@@ -1,0 +1,104 @@
+//! Criterion benches over the hot paths of the reproduction: crossbar
+//! analog reads, mapping, both architecture simulators, the functional
+//! SNN and the spike-accurate hardware cosim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use resparc_suite::prelude::*;
+
+fn bench_crossbar_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mvm");
+    for size in [32usize, 64, 128] {
+        let mut xbar = Crossbar::new(size, MemristorSpec::paper_default(), 16);
+        let synapses: Vec<(usize, usize, f64)> = (0..size * size)
+            .map(|i| (i / size, i % size, ((i % 13) as f64 / 13.0) - 0.5))
+            .collect();
+        xbar.program(&synapses).unwrap();
+        let spikes: Vec<bool> = (0..size).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(xbar.read(black_box(&spikes))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper");
+    group.sample_size(10);
+    let mlp = resparc_suite::resparc_workloads::mnist_mlp().topology;
+    group.bench_function("mnist_mlp_64", |b| {
+        b.iter(|| {
+            Mapper::new(ResparcConfig::resparc_64())
+                .map(black_box(&mlp))
+                .unwrap()
+        })
+    });
+    let cnn = resparc_suite::resparc_workloads::mnist_cnn().topology;
+    group.bench_function("mnist_cnn_64", |b| {
+        b.iter(|| {
+            Mapper::new(ResparcConfig::resparc_64())
+                .map(black_box(&cnn))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_resparc_sim(c: &mut Criterion) {
+    let bench = resparc_suite::resparc_workloads::mnist_mlp();
+    let mapping = Mapper::new(ResparcConfig::resparc_64())
+        .map(&bench.topology)
+        .unwrap();
+    let profile = bench.activity_profile(&[16, 32, 64, 128], 7);
+    c.bench_function("resparc_sim_mnist_mlp", |b| {
+        b.iter(|| Simulator::new(black_box(&mapping)).run(black_box(&profile)))
+    });
+}
+
+fn bench_cmos_sim(c: &mut Criterion) {
+    let bench = resparc_suite::resparc_workloads::mnist_mlp();
+    let profile = bench.activity_profile(&[16, 32, 64, 128], 7);
+    let sim = CmosSimulator::new(CmosConfig::paper_baseline());
+    c.bench_function("cmos_sim_mnist_mlp", |b| {
+        b.iter(|| sim.run(black_box(&bench.topology), black_box(&profile)))
+    });
+}
+
+fn bench_functional_snn(c: &mut Criterion) {
+    let net = Network::random(Topology::mlp(256, &[128, 10]), 3, 1.0);
+    let enc = RegularEncoder::new(0.5);
+    let stimulus: Vec<f32> = (0..256).map(|i| (i % 11) as f32 / 11.0).collect();
+    let raster = enc.encode(&stimulus, 20);
+    c.bench_function("functional_snn_20steps", |b| {
+        b.iter(|| {
+            let mut runner = net.spiking();
+            black_box(runner.run(black_box(&raster)))
+        })
+    });
+}
+
+fn bench_hw_cosim(c: &mut Criterion) {
+    let net = Network::random(Topology::mlp(64, &[32, 8]), 5, 1.0);
+    let mut cfg = ResparcConfig::with_mca_size(32);
+    cfg.mca_levels = 1 << 12;
+    let mapping = Mapper::new(cfg).with_details().map_network(&net).unwrap();
+    let mut enc = PoissonEncoder::new(0.3, 1);
+    let stimulus: Vec<f32> = (0..64).map(|i| (i % 5) as f32 / 5.0).collect();
+    let raster = enc.encode(&stimulus, 10);
+    c.bench_function("hw_cosim_10steps", |b| {
+        b.iter(|| {
+            let mut hw = HwCore::build(&net, &mapping).unwrap();
+            for step in raster.iter() {
+                black_box(hw.step(step));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crossbar_mvm, bench_mapper, bench_resparc_sim, bench_cmos_sim, bench_functional_snn, bench_hw_cosim
+}
+criterion_main!(benches);

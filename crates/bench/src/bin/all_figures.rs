@@ -1,0 +1,13 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! writes them to `results/`.
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+    for (name, text) in resparc_bench::all_figures() {
+        println!("{text}");
+        fs::write(format!("results/{name}.txt"), &text)?;
+        eprintln!("wrote results/{name}.txt");
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Prints the data behind the paper's Fig. 12.
+fn main() {
+    println!("{}", resparc_bench::fig12());
+}

@@ -1,0 +1,35 @@
+//! Calibration probe: prints gains/speedups and group breakdowns for
+//! all six benchmarks at RESPARC-64 (used while tuning the models).
+use resparc_suite::compare::compare_benchmark;
+use resparc_suite::prelude::*;
+
+fn main() {
+    for b in resparc_suite::resparc_workloads::all_benchmarks() {
+        let cmp = compare_benchmark(
+            &b,
+            &ResparcConfig::resparc_64(),
+            &CmosConfig::paper_baseline(),
+            7,
+        )
+        .unwrap();
+        println!(
+            "{:<12} gain {:>7.1}x speedup {:>7.1}x | R {:>9.2} uJ {:>9.1} us | C {:>9.1} uJ {:>9.1} us",
+            cmp.name,
+            cmp.energy_gain,
+            cmp.speedup,
+            cmp.resparc.total_energy().microjoules(),
+            cmp.resparc.latency.microseconds(),
+            cmp.cmos.total_energy().microjoules(),
+            cmp.cmos.latency.microseconds(),
+        );
+        print!("  RESPARC: ");
+        for (g, e) in cmp.resparc.energy.resparc_groups() {
+            print!("{g}={:.1}% ", 100.0 * (e / cmp.resparc.total_energy()));
+        }
+        print!("\n  CMOS:    ");
+        for (g, e) in cmp.cmos.energy.cmos_groups() {
+            print!("{g}={:.1}% ", 100.0 * (e / cmp.cmos.total_energy()));
+        }
+        println!();
+    }
+}

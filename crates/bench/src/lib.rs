@@ -1,0 +1,518 @@
+//! Benchmark harness regenerating every table and figure of the RESPARC
+//! paper's evaluation (Figs. 8–14).
+//!
+//! Each `figNN` function renders one figure's data as text; the matching
+//! binaries (`cargo run -p resparc-bench --release --bin fig11`, or
+//! `--bin all_figures` for the lot) print them and `all_figures` also
+//! writes `results/figNN.txt`. Absolute joules and seconds come from our
+//! calibrated analytic models, not the authors' Synopsys flow — the
+//! reproduction targets the *shape* of each result (who wins, by what
+//! order, where the crossovers fall). EXPERIMENTS.md records
+//! paper-vs-measured for every figure.
+
+use std::fmt::Write as _;
+
+use resparc_suite::compare::{compare_benchmark, Comparison};
+use resparc_suite::prelude::*;
+use resparc_suite::resparc_workloads::{all_benchmarks, cnn_benchmarks, mlp_benchmarks};
+
+/// Packet widths measured into every activity profile.
+pub const WIDTHS: [u32; 4] = [16, 32, 64, 128];
+/// Seed used by every generator (full determinism).
+pub const SEED: u64 = 7;
+
+fn fmt_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "| {:<w$} ", c, w = widths[i]);
+        }
+        out.push_str("|\n");
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let mut sep = String::new();
+    for w in &widths {
+        let _ = write!(sep, "|{}", "-".repeat(w + 2));
+    }
+    sep.push_str("|\n");
+    out.push_str(&sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Runs one benchmark on both machines at the given MCA size.
+///
+/// # Panics
+///
+/// Panics only on an invalid internal configuration (a bug, not input).
+pub fn run_pair(bench: &Benchmark, mca: usize, event_driven: bool) -> Comparison {
+    compare_benchmark(
+        bench,
+        &ResparcConfig::with_mca_size(mca).with_event_driven(event_driven),
+        &CmosConfig::paper_baseline(),
+        SEED,
+    )
+    .expect("benchmark configs are valid")
+}
+
+/// Fig. 8: RESPARC micro-architectural parameters and implementation
+/// metrics.
+pub fn fig08() -> String {
+    let cfg = ResparcConfig::resparc_64();
+    let m = cfg.reported_metrics();
+    let rows = vec![
+        vec!["Architecture".into(), format!("{} bit", cfg.packet_bits)],
+        vec![
+            "NC Dimension".into(),
+            format!("{}x{}", cfg.nc_dim, cfg.nc_dim),
+        ],
+        vec![
+            "No. of mPE (Switches)".into(),
+            format!("{} ({})", cfg.mpes_per_nc(), cfg.switches_per_nc()),
+        ],
+        vec![
+            "No. of MCAs per mPE".into(),
+            format!("{}", cfg.mcas_per_mpe),
+        ],
+        vec!["Feature Size".into(), "45nm".into()],
+        vec![
+            "Area".into(),
+            format!("{:.2} mm^2", m.area.square_millimeters()),
+        ],
+        vec!["Power".into(), format!("{:.1} mW", m.power.milliwatts())],
+        vec!["Gate Count".into(), format!("{}", m.gate_count)],
+        vec!["Frequency".into(), format!("{}", m.frequency)],
+    ];
+    format!(
+        "Fig. 8 — RESPARC parameters and metrics (one NeuroCell)\n{}",
+        fmt_table(&["Parameter", "Value"], &rows)
+    )
+}
+
+/// Fig. 9: CMOS baseline parameters and implementation metrics.
+pub fn fig09() -> String {
+    let cfg = CmosConfig::paper_baseline();
+    let m = cfg.reported_metrics();
+    let rows = vec![
+        vec!["NU count".into(), format!("{}", cfg.nu_count)],
+        vec![
+            "FIFO(s): Input (Weight)".into(),
+            format!("{} (1)", cfg.input_fifos),
+        ],
+        vec!["FIFO depth".into(), format!("{}", cfg.fifo_depth)],
+        vec![
+            "Width: FIFO (NU)".into(),
+            format!("{0} ({0})", cfg.datapath_bits),
+        ],
+        vec!["Feature Size".into(), "45nm".into()],
+        vec![
+            "Area".into(),
+            format!("{:.2} mm^2", m.area.square_millimeters()),
+        ],
+        vec!["Power".into(), format!("{:.1} mW", m.power.milliwatts())],
+        vec!["Gate Count".into(), format!("{}", m.gate_count)],
+        vec!["Frequency".into(), format!("{}", m.frequency)],
+    ];
+    format!(
+        "Fig. 9 — CMOS baseline parameters and metrics\n{}",
+        fmt_table(&["Parameter", "Value"], &rows)
+    )
+}
+
+/// Fig. 10: the six SNN benchmarks (paper numbers next to our concrete
+/// topologies).
+pub fn fig10() -> String {
+    let rows: Vec<Vec<String>> = all_benchmarks()
+        .iter()
+        .map(|b| {
+            vec![
+                b.dataset.name().into(),
+                b.style.name().into(),
+                format!("{}", b.paper.layers),
+                format!("{}", b.topology.layer_count()),
+                format!("{}", b.paper.neurons),
+                format!("{}", b.topology.neuron_count()),
+                format!("{}", b.paper.synapses),
+                format!("{}", b.topology.synapse_count()),
+                format!("{:+.1}%", 100.0 * b.synapse_delta()),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 10 — SNN benchmarks (paper vs this reproduction)\n{}",
+        fmt_table(
+            &[
+                "Dataset",
+                "Net",
+                "Layers(p)",
+                "Layers",
+                "Neurons(p)",
+                "Neurons",
+                "Synapses(p)",
+                "Synapses",
+                "dSyn"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Fig. 11: per-classification energy benefits and speedups of RESPARC-64
+/// over the CMOS baseline, for the CNN and MLP benchmark groups.
+pub fn fig11() -> String {
+    let mut out = String::new();
+    for (tag, group, paper_gain, paper_speedup) in [
+        (
+            "CNN (Fig. 11 a/c)",
+            cnn_benchmarks(),
+            [11.0, 15.0, 10.0],
+            [33.0, 52.0, 95.0],
+        ),
+        (
+            "MLP (Fig. 11 b/d)",
+            mlp_benchmarks(),
+            [331.0, 659.0, 549.0],
+            [360.0, 371.0, 415.0],
+        ),
+    ] {
+        let mut rows = Vec::new();
+        for (i, b) in group.iter().enumerate() {
+            let cmp = run_pair(b, 64, true);
+            rows.push(vec![
+                b.name.clone(),
+                format!("{:.1}x", cmp.energy_gain),
+                format!("{:.0}x", paper_gain[i]),
+                format!("{:.1}x", cmp.speedup),
+                format!("{:.0}x", paper_speedup[i]),
+                format!("{:.2} uJ", cmp.resparc.total_energy().microjoules()),
+                format!("{:.1} uJ", cmp.cmos.total_energy().microjoules()),
+            ]);
+        }
+        let _ = write!(
+            out,
+            "{tag}\n{}\n",
+            fmt_table(
+                &[
+                    "Benchmark",
+                    "Energy gain",
+                    "(paper)",
+                    "Speedup",
+                    "(paper)",
+                    "RESPARC E",
+                    "CMOS E"
+                ],
+                &rows
+            )
+        );
+    }
+    format!("Fig. 11 — RESPARC-64 vs CMOS baseline, per classification\n{out}")
+}
+
+/// Fig. 12: energy breakdowns across MCA sizes (RESPARC) and the CMOS
+/// baseline's core/memory split, for both benchmark groups.
+pub fn fig12() -> String {
+    let mut out = String::new();
+    for (tag, group) in [
+        ("MLP (Fig. 12 a/b)", mlp_benchmarks()),
+        ("CNN (Fig. 12 c/d)", cnn_benchmarks()),
+    ] {
+        let mut rows = Vec::new();
+        for b in &group {
+            for mca in [32usize, 64, 128] {
+                let cmp = run_pair(b, mca, true);
+                let groups = cmp.resparc.energy.resparc_groups();
+                let total = cmp.resparc.total_energy();
+                rows.push(vec![
+                    format!("{} @ {mca}", b.name),
+                    format!("{:.2} uJ", total.microjoules()),
+                    format!("{:.1}%", 100.0 * (groups[0].1 / total)),
+                    format!("{:.1}%", 100.0 * (groups[1].1 / total)),
+                    format!("{:.1}%", 100.0 * (groups[2].1 / total)),
+                ]);
+            }
+        }
+        let _ = write!(
+            out,
+            "RESPARC breakdown — {tag}\n{}\n",
+            fmt_table(
+                &["Benchmark @ MCA", "Total", "Neuron", "Crossbar", "Peripherals"],
+                &rows
+            )
+        );
+
+        let mut rows = Vec::new();
+        for b in &group {
+            let cmp = run_pair(b, 64, true);
+            let groups = cmp.cmos.energy.cmos_groups();
+            let total = cmp.cmos.total_energy();
+            rows.push(vec![
+                b.name.clone(),
+                format!("{:.1} uJ", total.microjoules()),
+                format!("{:.1}%", 100.0 * (groups[0].1 / total)),
+                format!("{:.1}%", 100.0 * (groups[1].1 / total)),
+                format!("{:.1}%", 100.0 * (groups[2].1 / total)),
+            ]);
+        }
+        let _ = write!(
+            out,
+            "CMOS breakdown — {tag}\n{}\n",
+            fmt_table(
+                &["Benchmark", "Total", "Core", "Mem Access", "Mem Leakage"],
+                &rows
+            )
+        );
+    }
+    format!("Fig. 12 — energy breakdowns vs MCA size\n{out}")
+}
+
+/// Fig. 13: effect of event-drivenness (MNIST, MLP and CNN, MCA sizes
+/// 32/64/128, with vs without zero-check).
+pub fn fig13() -> String {
+    let mut out = String::new();
+    for b in [
+        resparc_suite::resparc_workloads::mnist_mlp(),
+        resparc_suite::resparc_workloads::mnist_cnn(),
+    ] {
+        let mut rows = Vec::new();
+        for mca in [128usize, 64, 32] {
+            let with = run_pair(&b, mca, true);
+            let without = run_pair(&b, mca, false);
+            let saving = 1.0
+                - with.resparc.total_energy().picojoules()
+                    / without.resparc.total_energy().picojoules();
+            rows.push(vec![
+                format!("RESPARC-{mca}"),
+                format!("{:.2} uJ", without.resparc.total_energy().microjoules()),
+                format!("{:.2} uJ", with.resparc.total_energy().microjoules()),
+                format!("{:.1}%", 100.0 * saving),
+            ]);
+        }
+        let _ = write!(
+            out,
+            "{} (w/o vs w/ event-drivenness)\n{}\n",
+            b.name,
+            fmt_table(&["Machine", "w/o", "w/", "Saving"], &rows)
+        );
+    }
+    format!("Fig. 13 — event-driven energy savings on MNIST\n{out}")
+}
+
+/// Fig. 14(a): classification accuracy vs weight bit-discretization on
+/// scaled-down trained SNNs for the three datasets.
+pub fn fig14a() -> String {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Mnist, DatasetKind::Svhn, DatasetKind::Cifar10] {
+        let side = 16usize;
+        let gen = SyntheticImages::new(kind, side, SEED);
+        let train = gen.labelled_set(400, 0);
+        let test = gen.labelled_set(100, 50_000);
+        let mut cfg = TrainConfig::quick_test();
+        cfg.epochs = 30;
+        let mut net = train_mlp(side * side, &[64, 10], &train, &cfg);
+        let calib: Vec<Vec<f32>> = train.iter().take(32).map(|(x, _)| x.clone()).collect();
+        normalize_for_snn(&mut net, &calib, 0.99);
+
+        let mut cells = vec![kind.name().to_string()];
+        for bits in [1u8, 2, 4, 8] {
+            let (qnet, _) = quantize_network(&net, Precision::new(bits));
+            let mut correct = 0usize;
+            for (i, (x, y)) in test.iter().enumerate() {
+                let mut enc = PoissonEncoder::new(0.8, SEED ^ i as u64);
+                let raster = enc.encode(x, 80);
+                let mut runner = qnet.spiking();
+                if runner.run(&raster).predicted == *y {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / test.len() as f64;
+            cells.push(format!("{:.1}%", 100.0 * acc));
+        }
+        rows.push(cells);
+    }
+    format!(
+        "Fig. 14(a) — spiking accuracy vs weight bit-discretization\n\
+         (scaled-down 16x16 synthetic sets, trained MLP 256-64-10; the paper's\n\
+         observation is that 4-bit accuracy ~= 8-bit accuracy)\n{}",
+        fmt_table(&["Dataset", "1 bit", "2 bit", "4 bit", "8 bit"], &rows)
+    )
+}
+
+/// Fig. 14(b): energy vs weight bit-discretization — RESPARC is
+/// insensitive, the CMOS baseline grows with precision.
+pub fn fig14b() -> String {
+    let b = resparc_suite::resparc_workloads::mnist_mlp();
+    let profile = b.activity_profile(&WIDTHS, SEED);
+    let mut rows = Vec::new();
+    let base_resparc = {
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map(&b.topology)
+            .expect("valid config");
+        Simulator::new(&mapping).run(&profile).total_energy()
+    };
+    let base_cmos = CmosSimulator::new(CmosConfig::paper_baseline().with_weight_bits(4))
+        .run(&b.topology, &profile)
+        .total_energy();
+    for bits in [1u32, 2, 4, 8] {
+        // RESPARC: conductance levels change, the analog read does not.
+        let mut rcfg = ResparcConfig::resparc_64();
+        rcfg.mca_levels = 1 << bits;
+        let mapping = Mapper::new(rcfg).map(&b.topology).expect("valid config");
+        let r = Simulator::new(&mapping).run(&profile).total_energy();
+        let c = CmosSimulator::new(CmosConfig::paper_baseline().with_weight_bits(bits))
+            .run(&b.topology, &profile)
+            .total_energy();
+        rows.push(vec![
+            format!("{bits}"),
+            format!("{:.3}", r / base_resparc),
+            format!("{:.3}", c / base_cmos),
+        ]);
+    }
+    format!(
+        "Fig. 14(b) — normalized energy vs bit-discretization (MNIST MLP;\n\
+         RESPARC normalized to itself, CMOS to its 4-bit point)\n{}",
+        fmt_table(&["Bits", "RESPARC (norm)", "CMOS (norm)"], &rows)
+    )
+}
+
+/// Every figure in order, as `(name, text)` pairs.
+pub fn all_figures() -> Vec<(&'static str, String)> {
+    vec![
+        ("fig08", fig08()),
+        ("fig09", fig09()),
+        ("fig10", fig10()),
+        ("fig11", fig11()),
+        ("fig12", fig12()),
+        ("fig13", fig13()),
+        ("fig14a", fig14a()),
+        ("fig14b", fig14b()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_reports_paper_metrics() {
+        let s = fig08();
+        assert!(s.contains("0.29 mm^2"));
+        assert!(s.contains("53.2 mW"));
+        assert!(s.contains("200 MHz"));
+        assert!(s.contains("16 (9)"));
+    }
+
+    #[test]
+    fn fig09_reports_paper_metrics() {
+        let s = fig09();
+        assert!(s.contains("0.19 mm^2"));
+        assert!(s.contains("35.1 mW"));
+        assert!(s.contains("1 GHz"));
+    }
+
+    #[test]
+    fn fig10_has_all_six_benchmarks() {
+        let s = fig10();
+        for name in ["MNIST", "SVHN", "CIFAR-10"] {
+            assert!(s.contains(name), "{name} missing");
+        }
+        assert!(s.contains("66778"));
+        assert!(s.contains("231066"));
+    }
+
+    #[test]
+    fn fig11_shape_mlp_beats_cnn() {
+        // The headline result: MLP gains far exceed CNN gains on both
+        // axes.
+        let mlp = run_pair(&resparc_suite::resparc_workloads::mnist_mlp(), 64, true);
+        let cnn = run_pair(&resparc_suite::resparc_workloads::mnist_cnn(), 64, true);
+        assert!(mlp.energy_gain > 100.0, "MLP gain {}", mlp.energy_gain);
+        assert!(
+            (3.0..60.0).contains(&cnn.energy_gain),
+            "CNN gain {}",
+            cnn.energy_gain
+        );
+        assert!(mlp.energy_gain > 5.0 * cnn.energy_gain);
+        assert!(mlp.speedup > cnn.speedup);
+        assert!(cnn.speedup > 10.0);
+    }
+
+    #[test]
+    fn fig12_shape_mlp_monotone_cnn_flattens_past_64() {
+        // Fig. 12(a): MLP energy falls monotonically with MCA size, with
+        // a substantial gain at every step. Fig. 12(c): CNNs gain a lot
+        // from 32->64 but "an increase in MCA size from 64 to 128 does
+        // not result in a corresponding decrease" -- under-utilization
+        // eats the benefit (our activity-gated device model flattens
+        // rather than upticks at 128; see EXPERIMENTS.md).
+        let b = resparc_suite::resparc_workloads::mnist_mlp();
+        let e: Vec<f64> = [32usize, 64, 128]
+            .iter()
+            .map(|&m| run_pair(&b, m, true).resparc.total_energy().picojoules())
+            .collect();
+        assert!(e[0] > e[1] && e[1] > e[2], "MLP energies {e:?}");
+        let mlp_step2_gain = 1.0 - e[2] / e[1];
+        assert!(mlp_step2_gain > 0.3, "MLP 64->128 gain {mlp_step2_gain}");
+
+        let c = resparc_suite::resparc_workloads::mnist_cnn();
+        let e: Vec<f64> = [32usize, 64, 128]
+            .iter()
+            .map(|&m| run_pair(&c, m, true).resparc.total_energy().picojoules())
+            .collect();
+        assert!(e[1] < 0.6 * e[0], "CNN 64 must strongly beat 32: {e:?}");
+        let cnn_step2_gain = 1.0 - e[2] / e[1];
+        assert!(
+            cnn_step2_gain < mlp_step2_gain,
+            "CNN 64->128 gain {cnn_step2_gain} must flatten vs MLP {mlp_step2_gain}"
+        );
+    }
+
+    #[test]
+    fn fig13_shape_event_driven_saves_more_on_small_mcas_and_mlp() {
+        let saving = |b: &Benchmark, mca: usize| {
+            let w = run_pair(b, mca, true).resparc.total_energy().picojoules();
+            let wo = run_pair(b, mca, false).resparc.total_energy().picojoules();
+            1.0 - w / wo
+        };
+        let mlp = resparc_suite::resparc_workloads::mnist_mlp();
+        let cnn = resparc_suite::resparc_workloads::mnist_cnn();
+        let s32 = saving(&mlp, 32);
+        let s128 = saving(&mlp, 128);
+        assert!(s32 > s128, "MLP: 32 saves {s32}, 128 saves {s128}");
+        assert!(saving(&mlp, 64) > saving(&cnn, 64), "MLP should save more than CNN");
+        assert!(s32 > 0.0);
+    }
+
+    #[test]
+    fn fig14b_shape_resparc_flat_cmos_growing() {
+        let b = resparc_suite::resparc_workloads::mnist_mlp();
+        let profile = b.activity_profile(&WIDTHS, SEED);
+        let cmos = |bits: u32| {
+            CmosSimulator::new(CmosConfig::paper_baseline().with_weight_bits(bits))
+                .run(&b.topology, &profile)
+                .total_energy()
+                .picojoules()
+        };
+        assert!(cmos(8) > cmos(4) && cmos(4) > cmos(2) && cmos(2) > cmos(1));
+        // RESPARC: level count does not change analog read energy.
+        let resparc = |bits: u32| {
+            let mut cfg = ResparcConfig::resparc_64();
+            cfg.mca_levels = 1 << bits;
+            let m = Mapper::new(cfg).map(&b.topology).unwrap();
+            Simulator::new(&m).run(&profile).total_energy().picojoules()
+        };
+        let r1 = resparc(1);
+        let r8 = resparc(8);
+        assert!((r1 / r8 - 1.0).abs() < 0.01, "RESPARC not flat: {r1} vs {r8}");
+    }
+}

@@ -1,0 +1,171 @@
+//! CMOS baseline configuration: the micro-architectural parameters of
+//! the paper's Fig. 9.
+//!
+//! The baseline implements the FALCON [15] dataflow "aggressively
+//! optimized for SNNs": 16 neuron units at 1 GHz, 16 input FIFOs and one
+//! weight FIFO (depth 32, width 4), event-driven optimisations that skip
+//! fetches/computation for all-zero spike packets, and reuse buffers that
+//! keep convolution kernels on-chip.
+
+use resparc_energy::components::{ComponentCatalog, ReportedMetrics};
+use resparc_energy::units::{Frequency, Power};
+
+/// Parameters of the digital CMOS SNN accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmosConfig {
+    /// Parallel neuron units (16 in Fig. 9).
+    pub nu_count: usize,
+    /// Input FIFO count (16).
+    pub input_fifos: usize,
+    /// FIFO depth in entries (32).
+    pub fifo_depth: usize,
+    /// FIFO / NU datapath width in bits (4).
+    pub datapath_bits: u32,
+    /// Weight precision in bits (4-bit discretized weights, §4.2).
+    pub weight_bits: u32,
+    /// Membrane-accumulator width in bits.
+    pub accumulator_bits: u32,
+    /// Clock frequency (1 GHz).
+    pub frequency: Frequency,
+    /// Spike-packet width for the event-driven zero check.
+    pub packet_bits: u32,
+    /// Enable event-driven skipping of zero packets.
+    pub event_driven: bool,
+    /// On-chip weight reuse buffer capacity in bytes (holds conv kernels).
+    pub weight_buffer_bytes: usize,
+    /// Static logic leakage of the core.
+    pub logic_leakage: Power,
+    /// Digital-periphery energy catalog.
+    pub catalog: ComponentCatalog,
+    /// Timesteps per classification (must match the RESPARC side for fair
+    /// comparisons).
+    pub timesteps: u32,
+}
+
+impl CmosConfig {
+    /// The paper's Fig. 9 baseline.
+    pub fn paper_baseline() -> Self {
+        Self {
+            nu_count: 16,
+            input_fifos: 16,
+            fifo_depth: 32,
+            datapath_bits: 4,
+            weight_bits: 4,
+            accumulator_bits: 16,
+            frequency: Frequency::from_gigahertz(1.0),
+            packet_bits: 64,
+            event_driven: true,
+            weight_buffer_bytes: 4 * 1024,
+            logic_leakage: Power::from_milliwatts(3.0),
+            catalog: ComponentCatalog::ibm45(),
+            timesteps: 100,
+        }
+    }
+
+    /// Returns a copy with event-driven optimisations toggled.
+    pub fn with_event_driven(mut self, enabled: bool) -> Self {
+        self.event_driven = enabled;
+        self
+    }
+
+    /// Returns a copy with a different timestep budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps` is zero.
+    pub fn with_timesteps(mut self, timesteps: u32) -> Self {
+        assert!(timesteps > 0, "need at least one timestep");
+        self.timesteps = timesteps;
+        self
+    }
+
+    /// Returns a copy with a different weight precision (the Fig. 14b
+    /// sweep: bigger weights ⇒ bigger memory, buffers and compute).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`.
+    pub fn with_weight_bits(mut self, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "weight bits out of range");
+        self.weight_bits = bits;
+        self.datapath_bits = bits;
+        self
+    }
+
+    /// Words held by the weight reuse buffer at the current precision.
+    pub fn weight_buffer_words(&self) -> usize {
+        (self.weight_buffer_bytes * 8) / self.weight_bits as usize
+    }
+
+    /// The paper's published implementation metrics (Fig. 9).
+    pub fn reported_metrics(&self) -> ReportedMetrics {
+        ReportedMetrics::cmos_baseline()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nu_count == 0 {
+            return Err("need at least one neuron unit".into());
+        }
+        if self.weight_bits == 0 || self.weight_bits > 16 {
+            return Err(format!("weight bits {} out of range", self.weight_bits));
+        }
+        if self.packet_bits == 0 {
+            return Err("packet width must be non-zero".into());
+        }
+        if self.timesteps == 0 {
+            return Err("need at least one timestep".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CmosConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_parameters() {
+        let cfg = CmosConfig::paper_baseline();
+        assert_eq!(cfg.nu_count, 16);
+        assert_eq!(cfg.input_fifos, 16);
+        assert_eq!(cfg.fifo_depth, 32);
+        assert_eq!(cfg.datapath_bits, 4);
+        assert!((cfg.frequency.gigahertz() - 1.0).abs() < 1e-12);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn weight_buffer_capacity_scales_with_precision() {
+        let cfg4 = CmosConfig::paper_baseline();
+        let cfg8 = CmosConfig::paper_baseline().with_weight_bits(8);
+        assert_eq!(cfg4.weight_buffer_words(), 8192);
+        assert_eq!(cfg8.weight_buffer_words(), 4096);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = CmosConfig::paper_baseline()
+            .with_event_driven(false)
+            .with_timesteps(7);
+        assert!(!cfg.event_driven);
+        assert_eq!(cfg.timesteps, 7);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = CmosConfig::paper_baseline();
+        cfg.nu_count = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! The optimized digital CMOS baseline accelerator the paper compares
+//! RESPARC against (§4.1, Fig. 9).
+//!
+//! "We implemented the dataflow proposed in [15] for our CMOS baseline
+//! and aggressively optimized it for SNNs": 16 neuron units at 1 GHz,
+//! input/weight FIFOs, event-driven skipping of zero spike packets, and
+//! reuse buffers minimising memory fetches. This crate models that
+//! machine with the same activity-driven methodology as the RESPARC
+//! simulator so the two sides of Figs. 11–14 are directly comparable.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_cmos::prelude::*;
+//! use resparc_neuro::stats::ActivityProfile;
+//! use resparc_neuro::topology::Topology;
+//!
+//! let t = Topology::mlp(784, &[800, 10]);
+//! let profile = ActivityProfile::uniform(&[784, 800, 10], 0.2, 0.1);
+//! let report = CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile);
+//! assert!(report.total_energy().picojoules() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod sim;
+
+pub use config::CmosConfig;
+pub use sim::{CmosReport, CmosSimulator};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::config::CmosConfig;
+    pub use crate::sim::{CmosReport, CmosSimulator};
+}

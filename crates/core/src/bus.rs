@@ -1,0 +1,194 @@
+//! The global IO bus, input SRAM front-end and global control unit
+//! (paper §3.1.3, Fig. 3).
+//!
+//! NeuroCells share one serial bus backed by the input-memory SRAM: data
+//! crossing NeuroCells is written to the SRAM by the producer and
+//! broadcast to every NeuroCell whose `(x, y)` tag subscribes to the
+//! producing layer — a single bus transaction regardless of subscriber
+//! count. The global control unit keeps one *event flag* per NeuroCell,
+//! set when that cell finishes its timestep's work. A zero-check on the
+//! SRAM read path suppresses all-zero broadcasts (§3.2).
+
+/// A NeuroCell tag `(x, y)` used for broadcast subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NcTag {
+    /// Column in the NeuroCell array.
+    pub x: u16,
+    /// Row in the NeuroCell array.
+    pub y: u16,
+}
+
+/// One broadcast transaction's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// NeuroCells that received the word.
+    pub delivered_to: Vec<NcTag>,
+    /// Whether the zero-check suppressed the broadcast.
+    pub suppressed: bool,
+}
+
+/// The shared global bus with its SRAM zero-check and per-NC event flags.
+#[derive(Debug, Clone)]
+pub struct GlobalBus {
+    zero_check: bool,
+    subscriptions: Vec<(u32, Vec<NcTag>)>,
+    event_flags: std::collections::BTreeMap<NcTag, bool>,
+    /// Words actually driven onto the bus.
+    pub words_broadcast: u64,
+    /// Words suppressed by the SRAM zero-check.
+    pub words_suppressed: u64,
+}
+
+impl GlobalBus {
+    /// Creates a bus serving the given NeuroCells.
+    pub fn new(cells: impl IntoIterator<Item = NcTag>, zero_check: bool) -> Self {
+        Self {
+            zero_check,
+            subscriptions: Vec::new(),
+            event_flags: cells.into_iter().map(|t| (t, false)).collect(),
+            words_broadcast: 0,
+            words_suppressed: 0,
+        }
+    }
+
+    /// Number of NeuroCells on the bus.
+    pub fn cell_count(&self) -> usize {
+        self.event_flags.len()
+    }
+
+    /// Subscribes a set of NeuroCells to a layer's broadcast group (the
+    /// cells that map that layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tag is not on this bus.
+    pub fn subscribe(&mut self, layer: u32, cells: Vec<NcTag>) {
+        for c in &cells {
+            assert!(
+                self.event_flags.contains_key(c),
+                "NeuroCell {c:?} is not on this bus"
+            );
+        }
+        self.subscriptions.retain(|(l, _)| *l != layer);
+        self.subscriptions.push((layer, cells));
+    }
+
+    /// Broadcasts one word read from the SRAM to a layer's subscribers in
+    /// a single bus cycle.
+    pub fn broadcast(&mut self, layer: u32, word: u64) -> BroadcastOutcome {
+        if self.zero_check && word == 0 {
+            self.words_suppressed += 1;
+            return BroadcastOutcome {
+                delivered_to: Vec::new(),
+                suppressed: true,
+            };
+        }
+        let targets = self
+            .subscriptions
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|(_, cells)| cells.clone())
+            .unwrap_or_default();
+        self.words_broadcast += 1;
+        BroadcastOutcome {
+            delivered_to: targets,
+            suppressed: false,
+        }
+    }
+
+    /// Marks a NeuroCell's computation for the current step as complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is not on this bus.
+    pub fn set_event_flag(&mut self, cell: NcTag) {
+        let flag = self
+            .event_flags
+            .get_mut(&cell)
+            .expect("NeuroCell must be on the bus");
+        *flag = true;
+    }
+
+    /// Returns `true` when every NeuroCell has flagged completion (the
+    /// global control unit's step barrier).
+    pub fn all_complete(&self) -> bool {
+        self.event_flags.values().all(|&f| f)
+    }
+
+    /// Clears all event flags for the next timestep.
+    pub fn clear_event_flags(&mut self) {
+        for f in self.event_flags.values_mut() {
+            *f = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: u16, h: u16) -> Vec<NcTag> {
+        (0..h)
+            .flat_map(|y| (0..w).map(move |x| NcTag { x, y }))
+            .collect()
+    }
+
+    #[test]
+    fn broadcast_reaches_subscribers_in_one_transaction() {
+        let mut bus = GlobalBus::new(grid(3, 1), true);
+        bus.subscribe(0, vec![NcTag { x: 0, y: 0 }, NcTag { x: 2, y: 0 }]);
+        let out = bus.broadcast(0, 0b1010);
+        assert_eq!(out.delivered_to.len(), 2);
+        assert!(!out.suppressed);
+        assert_eq!(bus.words_broadcast, 1);
+    }
+
+    #[test]
+    fn zero_check_suppresses_silent_words() {
+        let mut bus = GlobalBus::new(grid(2, 2), true);
+        bus.subscribe(0, grid(2, 2));
+        let out = bus.broadcast(0, 0);
+        assert!(out.suppressed);
+        assert!(out.delivered_to.is_empty());
+        assert_eq!(bus.words_suppressed, 1);
+        assert_eq!(bus.words_broadcast, 0);
+    }
+
+    #[test]
+    fn zero_check_disabled_broadcasts_zeros() {
+        let mut bus = GlobalBus::new(grid(2, 1), false);
+        bus.subscribe(0, grid(2, 1));
+        let out = bus.broadcast(0, 0);
+        assert!(!out.suppressed);
+        assert_eq!(out.delivered_to.len(), 2);
+    }
+
+    #[test]
+    fn event_flag_barrier() {
+        let cells = grid(2, 1);
+        let mut bus = GlobalBus::new(cells.clone(), true);
+        assert!(!bus.all_complete());
+        bus.set_event_flag(cells[0]);
+        assert!(!bus.all_complete());
+        bus.set_event_flag(cells[1]);
+        assert!(bus.all_complete());
+        bus.clear_event_flags();
+        assert!(!bus.all_complete());
+    }
+
+    #[test]
+    fn resubscribing_replaces_group() {
+        let mut bus = GlobalBus::new(grid(3, 1), true);
+        bus.subscribe(5, vec![NcTag { x: 0, y: 0 }]);
+        bus.subscribe(5, vec![NcTag { x: 1, y: 0 }, NcTag { x: 2, y: 0 }]);
+        let out = bus.broadcast(5, 1);
+        assert_eq!(out.delivered_to.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on this bus")]
+    fn subscribing_unknown_cell_panics() {
+        let mut bus = GlobalBus::new(grid(1, 1), true);
+        bus.subscribe(0, vec![NcTag { x: 9, y: 9 }]);
+    }
+}

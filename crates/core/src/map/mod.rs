@@ -1,0 +1,394 @@
+//! The SNN → RESPARC mapper.
+//!
+//! Maps a [`Topology`] (or weighted [`Network`]) onto the machine: each
+//! layer's connectivity matrix is partitioned into crossbar tiles
+//! ([`partition`]), tiles are placed onto mPEs and NeuroCells
+//! ([`placement`]), and the result is summarised in a [`Mapping`] the
+//! simulator and the report generators consume.
+//!
+//! The mapper is *technology-aware* (paper abstract): it can rank
+//! candidate MCA sizes by mapped energy via
+//! [`Mapper::recommend_mca_size`] and warns when the configured size
+//! exceeds what the device technology supports reliably.
+
+pub mod partition;
+pub mod placement;
+
+use resparc_device::sizing::max_feasible_size;
+use resparc_neuro::connectivity::ConnectivityMatrix;
+use resparc_neuro::network::Network;
+use resparc_neuro::topology::Topology;
+
+use crate::config::ResparcConfig;
+pub use partition::{LayerPartition, PartitionOptions, Tile, TileColumnDetail, TileDetail};
+pub use placement::{place, LayerSpan, Placement};
+
+/// Error from mapping a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The SNN → hardware mapper.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    config: ResparcConfig,
+    input_sharing: bool,
+    record_details: bool,
+    /// Non-ideality error budget used for technology warnings.
+    error_budget: f64,
+}
+
+impl Mapper {
+    /// Creates a mapper for the given machine configuration.
+    pub fn new(config: ResparcConfig) -> Self {
+        Self {
+            config,
+            input_sharing: true,
+            record_details: false,
+            error_budget: 0.15,
+        }
+    }
+
+    /// Disables input-sharing packing (the §3.1.1 ablation).
+    pub fn without_input_sharing(mut self) -> Self {
+        self.input_sharing = false;
+        self
+    }
+
+    /// Records full tile assignments (for hardware cosimulation of small
+    /// networks).
+    pub fn with_details(mut self) -> Self {
+        self.record_details = true;
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &ResparcConfig {
+        &self.config
+    }
+
+    /// Maps a topology with an assumed mean |weight| of 0.5 per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn map(&self, topology: &Topology) -> Result<Mapping, MapError> {
+        let mags = vec![0.5f64; topology.layer_count()];
+        self.map_with_weights(topology, &mags)
+    }
+
+    /// Maps a trained network, deriving per-layer mean |weight|
+    /// magnitudes from its actual weights (used by the crossbar energy
+    /// model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn map_network(&self, network: &Network) -> Result<Mapping, MapError> {
+        let topology = network.topology();
+        let mags: Vec<f64> = network
+            .layers()
+            .iter()
+            .map(|l| {
+                let ws = l.weights();
+                if ws.is_empty() {
+                    0.0
+                } else {
+                    let max = ws.iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
+                    // Mean magnitude of the *normalized* weights, which is
+                    // what the crossbar stores.
+                    (ws.iter().map(|&w| (w.abs() / max) as f64).sum::<f64>())
+                        / ws.len() as f64
+                }
+            })
+            .collect();
+        self.map_with_weights(&topology, &mags)
+    }
+
+    /// Maps a topology with explicit per-layer mean normalized-|weight|
+    /// magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_weight_mags.len() != topology.layer_count()`.
+    pub fn map_with_weights(
+        &self,
+        topology: &Topology,
+        mean_weight_mags: &[f64],
+    ) -> Result<Mapping, MapError> {
+        self.config
+            .validate()
+            .map_err(MapError::InvalidConfig)?;
+        assert_eq!(
+            mean_weight_mags.len(),
+            topology.layer_count(),
+            "need one mean weight magnitude per layer"
+        );
+
+        let opts = {
+            let mut o = PartitionOptions::new(self.config.mca_size);
+            o.input_sharing = self.input_sharing;
+            o.record_details = self.record_details;
+            o
+        };
+        let partitions: Vec<LayerPartition> = topology
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let conn = ConnectivityMatrix::from_layer(spec);
+                partition::partition_layer(&conn, i, &opts)
+            })
+            .collect();
+        let placement = place(&partitions, &self.config);
+
+        let technology_warning = match max_feasible_size(&self.config.device, self.error_budget)
+        {
+            Some(max) if self.config.mca_size <= max => None,
+            Some(max) => Some(format!(
+                "MCA size {} exceeds the technology's reliable maximum of {max} \
+                 (error budget {})",
+                self.config.mca_size, self.error_budget
+            )),
+            None => Some(format!(
+                "device technology supports no candidate MCA size at error budget {}",
+                self.error_budget
+            )),
+        };
+
+        Ok(Mapping {
+            config: self.config.clone(),
+            partitions,
+            placement,
+            mean_weight_mags: mean_weight_mags.to_vec(),
+            technology_warning,
+        })
+    }
+
+    /// Technology-aware size recommendation: maps `topology` at every
+    /// feasible candidate size and returns `(size, mapped MCA count)`
+    /// pairs, smallest-footprint first. The full energy ranking lives in
+    /// the simulator; this structural ranking is the mapper-level proxy
+    /// (fewer, fuller crossbars).
+    pub fn recommend_mca_size(&self, topology: &Topology, candidates: &[usize]) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = candidates
+            .iter()
+            .map(|&size| {
+                let mut cfg = self.config.clone();
+                cfg.mca_size = size;
+                let m = Mapper::new(cfg).map(topology).expect("valid config");
+                // Footprint proxy: total devices = tiles × size².
+                (size, m.placement.mcas_used * size * size)
+            })
+            .collect();
+        out.sort_by_key(|&(_, devices)| devices);
+        out
+    }
+}
+
+/// A mapped network: partitions + placement + the statistics the
+/// simulator needs.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Machine configuration used.
+    pub config: ResparcConfig,
+    /// Per-layer tile partitions.
+    pub partitions: Vec<LayerPartition>,
+    /// Tile placement over mPEs/NeuroCells.
+    pub placement: Placement,
+    /// Per-layer mean normalized |weight| (crossbar energy input).
+    pub mean_weight_mags: Vec<f64>,
+    /// Advisory warning when the MCA size exceeds the technology's
+    /// reliable range.
+    pub technology_warning: Option<String>,
+}
+
+impl Mapping {
+    /// Number of layers mapped.
+    pub fn layer_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Summarises the mapping (the report behind Fig. 12's utilization
+    /// story).
+    pub fn report(&self) -> MappingReport {
+        MappingReport {
+            mca_size: self.config.mca_size,
+            mcas_used: self.placement.mcas_used,
+            mpes_used: self.placement.mpes_used,
+            ncs_used: self.placement.ncs_used,
+            layers: self
+                .partitions
+                .iter()
+                .zip(&self.placement.layers)
+                .map(|(p, s)| LayerReport {
+                    layer: p.layer,
+                    tiles: p.tile_count(),
+                    max_degree: p.max_degree,
+                    mean_degree: p.mean_degree,
+                    mean_utilization: p.mean_utilization(self.config.mca_size),
+                    mean_row_occupancy: p.mean_row_occupancy(self.config.mca_size),
+                    mean_col_occupancy: p.mean_col_occupancy(self.config.mca_size),
+                    mpes: s.mpe_count(),
+                    ncs: s.nc_count(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Mean device utilization across every mapped tile.
+    pub fn overall_utilization(&self) -> f64 {
+        let total_tiles: usize = self.partitions.iter().map(|p| p.tile_count()).sum();
+        if total_tiles == 0 {
+            return 0.0;
+        }
+        let total_syn: u64 = self.partitions.iter().map(|p| p.total_synapses).sum();
+        total_syn as f64 / (total_tiles * self.config.mca_capacity()) as f64
+    }
+}
+
+/// Human-readable mapping summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// Crossbar edge length used.
+    pub mca_size: usize,
+    /// Crossbars consumed.
+    pub mcas_used: usize,
+    /// mPEs consumed.
+    pub mpes_used: usize,
+    /// NeuroCells consumed.
+    pub ncs_used: usize,
+    /// Per-layer details.
+    pub layers: Vec<LayerReport>,
+}
+
+/// Per-layer mapping summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer index.
+    pub layer: usize,
+    /// Tiles used.
+    pub tiles: usize,
+    /// Maximum time-multiplexing degree.
+    pub max_degree: u32,
+    /// Mean time-multiplexing degree.
+    pub mean_degree: f64,
+    /// Mean device utilization.
+    pub mean_utilization: f64,
+    /// Mean row occupancy.
+    pub mean_row_occupancy: f64,
+    /// Mean column occupancy.
+    pub mean_col_occupancy: f64,
+    /// mPEs occupied.
+    pub mpes: usize,
+    /// NeuroCells touched.
+    pub ncs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resparc_neuro::topology::{ChannelTable, Padding, Shape};
+
+    #[test]
+    fn maps_small_mlp() {
+        let t = Topology::mlp(784, &[800, 10]);
+        let m = Mapper::new(ResparcConfig::resparc_64()).map(&t).unwrap();
+        assert_eq!(m.layer_count(), 2);
+        let r = m.report();
+        assert_eq!(r.layers[0].tiles, 13 * 13);
+        assert_eq!(r.layers[0].max_degree, 13);
+        assert!(r.layers[0].mean_utilization > 0.9);
+        assert!(m.technology_warning.is_none());
+    }
+
+    #[test]
+    fn cnn_utilization_lower_than_mlp() {
+        let cnn = Topology::builder(Shape::new(16, 16, 1))
+            .conv(8, 5, Padding::Valid, ChannelTable::Full)
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        let mlp = Topology::mlp(256, &[256, 10]);
+        let mapper = Mapper::new(ResparcConfig::resparc_64());
+        let um = mapper.map(&mlp).unwrap().overall_utilization();
+        let uc = mapper.map(&cnn).unwrap().overall_utilization();
+        assert!(uc < um, "cnn {uc} vs mlp {um}");
+    }
+
+    #[test]
+    fn oversize_mca_triggers_technology_warning() {
+        let t = Topology::mlp(64, &[10]);
+        let cfg = ResparcConfig::with_mca_size(256);
+        let m = Mapper::new(cfg).map(&t).unwrap();
+        assert!(m.technology_warning.is_some());
+    }
+
+    #[test]
+    fn network_weights_set_magnitudes() {
+        let net = Network::random(Topology::mlp(32, &[16, 4]), 3, 1.0);
+        let m = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        assert_eq!(m.mean_weight_mags.len(), 2);
+        assert!(m.mean_weight_mags.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        assert!(m.mean_weight_mags[0] > 0.0);
+    }
+
+    #[test]
+    fn recommendation_prefers_small_arrays_for_sparse_nets() {
+        let cnn = Topology::builder(Shape::new(16, 16, 1))
+            .conv(8, 5, Padding::Valid, ChannelTable::Full)
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        let mapper = Mapper::new(ResparcConfig::resparc_64());
+        let ranking = mapper.recommend_mca_size(&cnn, &[32, 64, 128]);
+        // Smallest device footprint first; for sparse nets that is the
+        // smallest array.
+        assert_eq!(ranking.first().map(|r| r.0), Some(32));
+    }
+
+    #[test]
+    fn ablation_without_sharing_uses_more_mcas() {
+        let cnn = Topology::builder(Shape::new(12, 12, 1))
+            .conv(6, 5, Padding::Valid, ChannelTable::Full)
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        let with = Mapper::new(ResparcConfig::resparc_64())
+            .map(&cnn)
+            .unwrap()
+            .placement
+            .mcas_used;
+        let without = Mapper::new(ResparcConfig::resparc_64())
+            .without_input_sharing()
+            .map(&cnn)
+            .unwrap()
+            .placement
+            .mcas_used;
+        assert!(without > with, "without {without} vs with {with}");
+    }
+}

@@ -1,0 +1,544 @@
+//! Connectivity-matrix partitioning: slicing a layer's synapses into
+//! crossbar-sized tiles.
+//!
+//! This implements §3.1.1 of the paper:
+//!
+//! * a neuron whose fan-in exceeds the MCA's rows is split into *chunks*
+//!   that are integrated into the neuron time-multiplexed (Fig. 5); the
+//!   number of chunks is the neuron's **multiplexing degree**,
+//! * for sparse (CNN) connectivity, output columns that *share inputs*
+//!   are packed into the same tile so one physical row feeds many columns
+//!   — the input-sharing optimisation that raises MCA utilization on
+//!   small arrays,
+//! * dense (MLP) matrices degenerate to the classic grid tiling, filling
+//!   every row and column.
+//!
+//! The fundamental invariant — checked here and property-tested — is that
+//! **every synapse of the layer lands in exactly one tile**.
+
+use resparc_neuro::connectivity::ConnectivityMatrix;
+
+/// Aggregate description of one crossbar-sized tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Index of the layer this tile belongs to.
+    pub layer: usize,
+    /// Multiplexing phase (fan-in chunk index) this tile serves.
+    pub chunk: u32,
+    /// Distinct input rows occupied.
+    pub rows: u32,
+    /// Columns occupied (one per output-chunk).
+    pub cols: u32,
+    /// Synapses programmed into the tile.
+    pub synapses: u32,
+}
+
+impl Tile {
+    /// Device utilization of this tile on an `n × n` array.
+    pub fn utilization(&self, mca_size: usize) -> f64 {
+        self.synapses as f64 / (mca_size * mca_size) as f64
+    }
+}
+
+/// Full row/column assignment of one tile (for the functional hardware
+/// cosimulation of small networks).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileDetail {
+    /// Global input-neuron id of each occupied row, in row order.
+    pub row_inputs: Vec<u32>,
+    /// Per-column assignments.
+    pub columns: Vec<TileColumnDetail>,
+}
+
+/// One occupied column of a tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileColumnDetail {
+    /// Global output-neuron id this column computes (one chunk of it).
+    pub output: u32,
+    /// Which fan-in chunk of the output this column carries.
+    pub chunk: u32,
+    /// `(row_slot, weight_id)` pairs: the devices programmed on this
+    /// column, addressed by row slot within the tile.
+    pub synapses: Vec<(u32, u32)>,
+}
+
+/// The partitioning of one layer into tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPartition {
+    /// Layer index within the topology.
+    pub layer: usize,
+    /// Aggregate tile descriptions.
+    pub tiles: Vec<Tile>,
+    /// Full assignments, present only when requested.
+    pub details: Option<Vec<TileDetail>>,
+    /// Maximum multiplexing degree over the layer's outputs.
+    pub max_degree: u32,
+    /// Mean multiplexing degree over outputs.
+    pub mean_degree: f64,
+    /// Layer input count.
+    pub inputs: u32,
+    /// Layer output count.
+    pub outputs: u32,
+    /// Total synapses across tiles (must equal the layer's count).
+    pub total_synapses: u64,
+    /// Whether the layer's connectivity is sparse (conv/pool). Sparse
+    /// tiles gather 2-D receptive fields, which do not enjoy the 1-D
+    /// zero run-length clustering dense rows see (paper §5.3).
+    pub sparse: bool,
+}
+
+impl LayerPartition {
+    /// Number of tiles (crossbars) used.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Mean device utilization across tiles on `mca_size` arrays.
+    pub fn mean_utilization(&self, mca_size: usize) -> f64 {
+        if self.tiles.is_empty() {
+            return 0.0;
+        }
+        self.tiles
+            .iter()
+            .map(|t| t.utilization(mca_size))
+            .sum::<f64>()
+            / self.tiles.len() as f64
+    }
+
+    /// Mean fraction of rows occupied per tile.
+    pub fn mean_row_occupancy(&self, mca_size: usize) -> f64 {
+        if self.tiles.is_empty() {
+            return 0.0;
+        }
+        self.tiles
+            .iter()
+            .map(|t| t.rows as f64 / mca_size as f64)
+            .sum::<f64>()
+            / self.tiles.len() as f64
+    }
+
+    /// Mean fraction of columns occupied per tile.
+    pub fn mean_col_occupancy(&self, mca_size: usize) -> f64 {
+        if self.tiles.is_empty() {
+            return 0.0;
+        }
+        self.tiles
+            .iter()
+            .map(|t| t.cols as f64 / mca_size as f64)
+            .sum::<f64>()
+            / self.tiles.len() as f64
+    }
+}
+
+/// Options controlling partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Crossbar edge length.
+    pub mca_size: usize,
+    /// Enable input-sharing column packing (§3.1.1). Disabling it is the
+    /// ablation: each column's rows are counted privately, so sparse
+    /// layers waste rows.
+    pub input_sharing: bool,
+    /// Record full row/column assignments (needed for hardware cosim;
+    /// memory-heavy for large layers).
+    pub record_details: bool,
+}
+
+impl PartitionOptions {
+    /// Default options at a given MCA size (input sharing on, no
+    /// details).
+    pub fn new(mca_size: usize) -> Self {
+        Self {
+            mca_size,
+            input_sharing: true,
+            record_details: false,
+        }
+    }
+
+    /// Enables detail recording.
+    pub fn with_details(mut self) -> Self {
+        self.record_details = true;
+        self
+    }
+
+    /// Disables input-sharing packing (ablation).
+    pub fn without_input_sharing(mut self) -> Self {
+        self.input_sharing = false;
+        self
+    }
+}
+
+/// Mutable state of the tile currently being filled.
+struct OpenTile {
+    /// Map from global input id to row slot.
+    row_of: std::collections::HashMap<u32, u32>,
+    row_inputs: Vec<u32>,
+    columns: Vec<TileColumnDetail>,
+    synapses: u32,
+    /// Row budget consumed if input sharing is disabled.
+    private_rows: u32,
+}
+
+impl OpenTile {
+    fn new() -> Self {
+        Self {
+            row_of: std::collections::HashMap::new(),
+            row_inputs: Vec::new(),
+            columns: Vec::new(),
+            synapses: 0,
+            private_rows: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Rows that would be occupied after adding `inputs`, under the given
+    /// sharing rule.
+    fn rows_after(&self, inputs: &[u32], sharing: bool) -> u32 {
+        if sharing {
+            let new = inputs
+                .iter()
+                .filter(|i| !self.row_of.contains_key(i))
+                .count() as u32;
+            self.row_inputs.len() as u32 + new
+        } else {
+            self.private_rows + inputs.len() as u32
+        }
+    }
+
+    fn push_column(
+        &mut self,
+        output: u32,
+        chunk: u32,
+        inputs: &[u32],
+        weight_ids: &[u32],
+        sharing: bool,
+        record: bool,
+    ) {
+        let mut synapses = Vec::new();
+        for (&i, &w) in inputs.iter().zip(weight_ids) {
+            let slot = if sharing {
+                *self.row_of.entry(i).or_insert_with(|| {
+                    self.row_inputs.push(i);
+                    (self.row_inputs.len() - 1) as u32
+                })
+            } else {
+                self.row_inputs.push(i);
+                self.private_rows += 1;
+                (self.row_inputs.len() - 1) as u32
+            };
+            if record {
+                synapses.push((slot, w));
+            }
+        }
+        if !sharing {
+            // Without sharing, row_of is unused; private_rows already
+            // advanced inside the loop via push.
+            self.private_rows = self.row_inputs.len() as u32;
+        }
+        self.synapses += inputs.len() as u32;
+        self.columns.push(TileColumnDetail {
+            output,
+            chunk,
+            synapses,
+        });
+    }
+
+    fn close(self, layer: usize, chunk_phase: u32, record: bool) -> (Tile, Option<TileDetail>) {
+        let tile = Tile {
+            layer,
+            chunk: chunk_phase,
+            rows: self.row_inputs.len() as u32,
+            cols: self.columns.len() as u32,
+            synapses: self.synapses,
+        };
+        let detail = record.then_some(TileDetail {
+            row_inputs: self.row_inputs,
+            columns: self.columns,
+        });
+        (tile, detail)
+    }
+}
+
+/// Partitions one layer's connectivity matrix into tiles.
+///
+/// # Panics
+///
+/// Panics if `options.mca_size` is zero. Internal invariant violations
+/// (synapse under/over-coverage) also panic — they would indicate a
+/// partitioning bug, never bad user input.
+pub fn partition_layer(
+    conn: &ConnectivityMatrix,
+    layer: usize,
+    options: &PartitionOptions,
+) -> LayerPartition {
+    let n = options.mca_size;
+    assert!(n > 0, "MCA size must be non-zero");
+    let outputs = conn.outputs();
+
+    // Multiplexing degree per output.
+    let mut max_degree = 0u32;
+    let mut degree_sum = 0u64;
+    for o in 0..outputs {
+        let d = (conn.fan_in(o)).div_ceil(n).max(1) as u32;
+        max_degree = max_degree.max(d);
+        degree_sum += d as u64;
+    }
+
+    let mut tiles = Vec::new();
+    let mut details: Vec<TileDetail> = Vec::new();
+
+    // Pack outputs whose receptive fields overlap into the same tile:
+    // ordering by first input id clusters the same spatial position
+    // across feature maps (identical or near-identical input sets), which
+    // is what makes input sharing effective for convolutions. Dense
+    // layers are unaffected (every output starts at input 0).
+    let mut order: Vec<u32> = (0..outputs as u32).collect();
+    order.sort_by_key(|&o| {
+        (
+            conn.inputs_of(o as usize).first().copied().unwrap_or(0),
+            o,
+        )
+    });
+
+    // Chunk-major sweep: phase k packs the k-th fan-in chunk of every
+    // output that has one. Dense layers degenerate to grid tiling because
+    // chunk k of every output covers the identical row window.
+    for k in 0..max_degree as usize {
+        let mut open = OpenTile::new();
+        for &o in &order {
+            let o = o as usize;
+            let ins = conn.inputs_of(o);
+            let wids = conn.weight_ids_of(o);
+            let start = k * n;
+            if start >= ins.len() {
+                continue;
+            }
+            let end = (start + n).min(ins.len());
+            let chunk_inputs = &ins[start..end];
+            let chunk_wids = &wids[start..end];
+
+            let fits_rows = open.rows_after(chunk_inputs, options.input_sharing) <= n as u32;
+            let fits_cols = (open.columns.len() as u32) < n as u32;
+            if !(fits_rows && fits_cols) && !open.is_empty() {
+                let (tile, detail) = std::mem::replace(&mut open, OpenTile::new()).close(
+                    layer,
+                    k as u32,
+                    options.record_details,
+                );
+                tiles.push(tile);
+                if let Some(d) = detail {
+                    details.push(d);
+                }
+            }
+            open.push_column(
+                o as u32,
+                k as u32,
+                chunk_inputs,
+                chunk_wids,
+                options.input_sharing,
+                options.record_details,
+            );
+            debug_assert!(
+                open.row_inputs.len() <= n,
+                "tile row overflow: {} > {n}",
+                open.row_inputs.len()
+            );
+        }
+        if !open.is_empty() {
+            let (tile, detail) = open.close(layer, k as u32, options.record_details);
+            tiles.push(tile);
+            if let Some(d) = detail {
+                details.push(d);
+            }
+        }
+    }
+
+    let total_synapses: u64 = tiles.iter().map(|t| t.synapses as u64).sum();
+    assert_eq!(
+        total_synapses,
+        conn.synapse_count() as u64,
+        "partition must cover every synapse exactly once"
+    );
+
+    LayerPartition {
+        layer,
+        tiles,
+        details: options.record_details.then_some(details),
+        max_degree,
+        mean_degree: if outputs == 0 {
+            0.0
+        } else {
+            degree_sum as f64 / outputs as f64
+        },
+        inputs: conn.inputs() as u32,
+        outputs: outputs as u32,
+        total_synapses,
+        sparse: conn.density() < 0.999,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resparc_neuro::topology::{ChannelTable, LayerSpec, Padding, Shape};
+
+    fn conn(spec: &LayerSpec) -> ConnectivityMatrix {
+        ConnectivityMatrix::from_layer(spec)
+    }
+
+    #[test]
+    fn dense_layer_grid_tiling() {
+        // 100 inputs × 30 outputs on 32-wide MCAs: 4 row chunks (ceil
+        // 100/32), each packing all 30 outputs in one tile.
+        let c = conn(&LayerSpec::Dense {
+            inputs: 100,
+            outputs: 30,
+        });
+        let p = partition_layer(&c, 0, &PartitionOptions::new(32));
+        assert_eq!(p.max_degree, 4);
+        assert_eq!(p.tile_count(), 4);
+        assert_eq!(p.total_synapses, 3000);
+        // Chunk 0..2 tiles are full rows; chunk 3 has 100-96=4 rows.
+        assert_eq!(p.tiles[0].rows, 32);
+        assert_eq!(p.tiles[3].rows, 4);
+        assert!(p.tiles.iter().all(|t| t.cols == 30));
+    }
+
+    #[test]
+    fn dense_layer_splits_columns_too() {
+        let c = conn(&LayerSpec::Dense {
+            inputs: 64,
+            outputs: 100,
+        });
+        let p = partition_layer(&c, 0, &PartitionOptions::new(64));
+        // One row chunk, two column tiles (64 + 36).
+        assert_eq!(p.max_degree, 1);
+        assert_eq!(p.tile_count(), 2);
+        assert_eq!(p.tiles[0].cols, 64);
+        assert_eq!(p.tiles[1].cols, 36);
+    }
+
+    #[test]
+    fn conv_input_sharing_packs_columns() {
+        // conv 5×5 on one map: fan-in 25 ≪ 64 rows; neighbouring outputs
+        // share 20 inputs, so tiles pack many columns.
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(12, 12, 1),
+            maps: 4,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        let c = conn(&spec);
+        let shared = partition_layer(&c, 0, &PartitionOptions::new(64));
+        let unshared = partition_layer(
+            &c,
+            0,
+            &PartitionOptions::new(64).without_input_sharing(),
+        );
+        assert!(shared.tile_count() < unshared.tile_count());
+        assert!(shared.mean_utilization(64) > unshared.mean_utilization(64));
+        assert_eq!(shared.total_synapses, unshared.total_synapses);
+        assert_eq!(shared.max_degree, 1);
+    }
+
+    #[test]
+    fn smaller_mcas_have_higher_sparse_utilization() {
+        // The paper's §3.1.1/Fig. 12(c) mechanism.
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(16, 16, 1),
+            maps: 8,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        let c = conn(&spec);
+        let u32_ = partition_layer(&c, 0, &PartitionOptions::new(32)).mean_utilization(32);
+        let u64_ = partition_layer(&c, 0, &PartitionOptions::new(64)).mean_utilization(64);
+        let u128_ = partition_layer(&c, 0, &PartitionOptions::new(128)).mean_utilization(128);
+        // Utilization must not improve with array size, and must drop
+        // clearly by 128 (rows/cols saturate at the sharing limit).
+        assert!(u32_ + 1e-9 >= u64_, "{u32_} vs {u64_}");
+        assert!(u64_ + 1e-9 >= u128_, "{u64_} vs {u128_}");
+        assert!(u32_ > 1.5 * u128_, "{u32_} vs {u128_}");
+    }
+
+    #[test]
+    fn dense_utilization_stays_high_at_all_sizes() {
+        let c = conn(&LayerSpec::Dense {
+            inputs: 512,
+            outputs: 512,
+        });
+        for n in [32usize, 64, 128] {
+            let u = partition_layer(&c, 0, &PartitionOptions::new(n)).mean_utilization(n);
+            assert!(u > 0.95, "size {n}: utilization {u}");
+        }
+    }
+
+    #[test]
+    fn details_cover_every_synapse_with_consistent_slots() {
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(8, 8, 2),
+            maps: 3,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        let c = conn(&spec);
+        let p = partition_layer(&c, 0, &PartitionOptions::new(32).with_details());
+        let details = p.details.as_ref().unwrap();
+        assert_eq!(details.len(), p.tile_count());
+        let mut covered = 0usize;
+        for (tile, det) in p.tiles.iter().zip(details) {
+            assert_eq!(det.row_inputs.len() as u32, tile.rows);
+            assert_eq!(det.columns.len() as u32, tile.cols);
+            for col in &det.columns {
+                for &(slot, _) in &col.synapses {
+                    assert!((slot as usize) < det.row_inputs.len());
+                }
+                covered += col.synapses.len();
+            }
+        }
+        assert_eq!(covered, c.synapse_count());
+    }
+
+    #[test]
+    fn high_fan_in_sparse_outputs_are_chunked() {
+        // Full-table conv over many channels: fan-in 3*3*24 = 216 > 64.
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(6, 6, 24),
+            maps: 2,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        let c = conn(&spec);
+        let p = partition_layer(&c, 0, &PartitionOptions::new(64));
+        assert_eq!(p.max_degree, 4); // ceil(216/64)
+        assert_eq!(p.total_synapses, c.synapse_count() as u64);
+    }
+
+    #[test]
+    fn rows_never_exceed_mca_size() {
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(10, 10, 3),
+            maps: 6,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            table: ChannelTable::Banded { fan: 2 },
+        };
+        let c = conn(&spec);
+        for n in [16usize, 32, 64] {
+            let p = partition_layer(&c, 0, &PartitionOptions::new(n));
+            assert!(p.tiles.iter().all(|t| t.rows <= n as u32 && t.cols <= n as u32));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The macro Processing Engine's digital shell (paper Fig. 4): per-MCA
+//! buffers, the Local Control Unit's phase sequencing and the Current
+//! Control Unit's inter-mPE handshake.
+//!
+//! Each of an mPE's four MCA slots owns three buffers:
+//!
+//! * **iBUFF** — buffers incoming spike packets "until the required data
+//!   needed by the MCA is available" (a full input window),
+//! * **oBUFF** — buffers computed output spike packets until the target
+//!   neuron's data is assembled,
+//! * **tBUFF** — stores the address of the target neuron(s).
+//!
+//! The Local Control Unit sequences the slot reads of a timestep
+//! (time-multiplexed integration, Fig. 5), and the **CCU** arbitrates the
+//! `request`/`wait` handshake that moves analog partial currents
+//! (`C_ext`) between neighbouring mPEs when a neuron's fan-in spans mPEs.
+//!
+//! The analog datapath itself (crossbars + neurons) lives in
+//! [`crate::hw`]; this module models the digital shell and is exercised
+//! by the structural tests.
+
+use std::collections::VecDeque;
+
+use crate::switch::{PacketAddress, SpikePacket};
+
+/// One MCA slot's buffer set (iBUFF / oBUFF / tBUFF).
+#[derive(Debug, Clone, Default)]
+pub struct McaBuffers {
+    ibuff: VecDeque<SpikePacket>,
+    obuff: VecDeque<SpikePacket>,
+    tbuff: Vec<PacketAddress>,
+}
+
+impl McaBuffers {
+    /// Creates empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an incoming spike packet.
+    pub fn push_input(&mut self, packet: SpikePacket) {
+        self.ibuff.push_back(packet);
+    }
+
+    /// Packets waiting to be consumed by the MCA.
+    pub fn input_pending(&self) -> usize {
+        self.ibuff.len()
+    }
+
+    /// Returns `true` once at least `packets_needed` input packets are
+    /// buffered — the "required data is available" condition that lets
+    /// the MCA fire its read.
+    pub fn input_ready(&self, packets_needed: usize) -> bool {
+        self.ibuff.len() >= packets_needed
+    }
+
+    /// Drains one input window of `packets_needed` packets (FIFO order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not ready; callers gate on
+    /// [`Self::input_ready`].
+    pub fn take_input_window(&mut self, packets_needed: usize) -> Vec<SpikePacket> {
+        assert!(
+            self.input_ready(packets_needed),
+            "input window not ready: {} of {packets_needed} packets",
+            self.ibuff.len()
+        );
+        (0..packets_needed)
+            .map(|_| self.ibuff.pop_front().expect("checked above"))
+            .collect()
+    }
+
+    /// Queues a computed output packet.
+    pub fn push_output(&mut self, packet: SpikePacket) {
+        self.obuff.push_back(packet);
+    }
+
+    /// Pops the next output packet for the switch network.
+    pub fn pop_output(&mut self) -> Option<SpikePacket> {
+        self.obuff.pop_front()
+    }
+
+    /// Programs the target-neuron addresses (datapath configuration).
+    pub fn set_targets(&mut self, targets: Vec<PacketAddress>) {
+        self.tbuff = targets;
+    }
+
+    /// The configured targets.
+    pub fn targets(&self) -> &[PacketAddress] {
+        &self.tbuff
+    }
+}
+
+/// The CCU handshake state for one neighbouring-mPE gated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcuLink {
+    /// Wire idle.
+    #[default]
+    Idle,
+    /// A transfer has been requested; the receiver has not granted yet
+    /// (`wait` asserted).
+    Requested,
+    /// The wire is granted and carrying a partial current this phase.
+    Granted,
+}
+
+/// The Current Control Unit: arbitrates analog partial-current transfers
+/// between this mPE and its neighbours (one gated wire per neighbour,
+/// only one may carry current per phase — analog wires cannot be
+/// multiplexed).
+#[derive(Debug, Clone)]
+pub struct CurrentControlUnit {
+    links: Vec<CcuLink>,
+    /// Completed transfers (for energy/statistics accounting).
+    pub transfers_completed: u64,
+}
+
+impl CurrentControlUnit {
+    /// Creates a CCU with `neighbours` gated wires.
+    pub fn new(neighbours: usize) -> Self {
+        Self {
+            links: vec![CcuLink::Idle; neighbours],
+            transfers_completed: 0,
+        }
+    }
+
+    /// Requests the wire to `neighbour`. Returns the resulting state:
+    /// `Granted` if no other wire is active this phase, `Requested`
+    /// (wait) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbour` is out of range.
+    pub fn request(&mut self, neighbour: usize) -> CcuLink {
+        assert!(neighbour < self.links.len(), "no such neighbour");
+        if self.links[neighbour] != CcuLink::Idle {
+            return self.links[neighbour];
+        }
+        let busy = self.links.iter().any(|&l| l == CcuLink::Granted);
+        self.links[neighbour] = if busy {
+            CcuLink::Requested
+        } else {
+            CcuLink::Granted
+        };
+        self.links[neighbour]
+    }
+
+    /// Ends the current phase: the granted transfer completes, and the
+    /// oldest waiting request (lowest index) is promoted.
+    pub fn complete_phase(&mut self) {
+        if let Some(l) = self.links.iter_mut().find(|l| **l == CcuLink::Granted) {
+            *l = CcuLink::Idle;
+            self.transfers_completed += 1;
+        }
+        if let Some(l) = self.links.iter_mut().find(|l| **l == CcuLink::Requested) {
+            *l = CcuLink::Granted;
+        }
+    }
+
+    /// State of one link.
+    pub fn link(&self, neighbour: usize) -> CcuLink {
+        self.links[neighbour]
+    }
+
+    /// Whether any wire is active or pending.
+    pub fn is_busy(&self) -> bool {
+        self.links.iter().any(|&l| l != CcuLink::Idle)
+    }
+}
+
+/// The Local Control Unit's phase schedule for one timestep: which MCA
+/// slot fires in which cycle, honouring the time-multiplexed integration
+/// of Fig. 5 (one integration per neuron per cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// `order[c]` is the slot read in cycle `c`.
+    pub order: Vec<usize>,
+}
+
+impl PhaseSchedule {
+    /// Builds the schedule for an mPE whose slots `0..active_slots` hold
+    /// chunk tiles of the same output group: they must fire sequentially
+    /// (their currents integrate into the same neurons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_slots` exceeds `total_slots`.
+    pub fn sequential(active_slots: usize, total_slots: usize) -> Self {
+        assert!(
+            active_slots <= total_slots,
+            "cannot schedule {active_slots} of {total_slots} slots"
+        );
+        Self {
+            order: (0..active_slots).collect(),
+        }
+    }
+
+    /// Number of cycles one timestep's compute takes.
+    pub fn cycles(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// The digital shell of one macro Processing Engine.
+#[derive(Debug, Clone)]
+pub struct MacroProcessingEngine {
+    buffers: Vec<McaBuffers>,
+    ccu: CurrentControlUnit,
+    schedule: PhaseSchedule,
+}
+
+impl MacroProcessingEngine {
+    /// Creates an mPE shell with `mca_slots` slots and `neighbours` CCU
+    /// wires (4 and 2–4 in the paper's Fig. 3/4 arrangement).
+    pub fn new(mca_slots: usize, neighbours: usize) -> Self {
+        Self {
+            buffers: (0..mca_slots).map(|_| McaBuffers::new()).collect(),
+            ccu: CurrentControlUnit::new(neighbours),
+            schedule: PhaseSchedule::sequential(0, mca_slots),
+        }
+    }
+
+    /// Number of MCA slots.
+    pub fn slot_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Buffer set of one slot.
+    pub fn slot(&self, idx: usize) -> &McaBuffers {
+        &self.buffers[idx]
+    }
+
+    /// Mutable buffer set of one slot.
+    pub fn slot_mut(&mut self, idx: usize) -> &mut McaBuffers {
+        &mut self.buffers[idx]
+    }
+
+    /// The CCU.
+    pub fn ccu(&self) -> &CurrentControlUnit {
+        &self.ccu
+    }
+
+    /// Mutable CCU access.
+    pub fn ccu_mut(&mut self) -> &mut CurrentControlUnit {
+        &mut self.ccu
+    }
+
+    /// Configures the timestep schedule for `active_slots` chunk tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more slots are requested than exist.
+    pub fn configure_phases(&mut self, active_slots: usize) {
+        self.schedule = PhaseSchedule::sequential(active_slots, self.buffers.len());
+    }
+
+    /// The current phase schedule.
+    pub fn schedule(&self) -> &PhaseSchedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(payload: u64) -> SpikePacket {
+        SpikePacket {
+            address: PacketAddress {
+                switch: 0,
+                mpe: 0,
+                mca: 0,
+            },
+            payload,
+        }
+    }
+
+    #[test]
+    fn ibuff_gates_on_window_completeness() {
+        let mut b = McaBuffers::new();
+        b.push_input(packet(1));
+        assert!(!b.input_ready(2));
+        b.push_input(packet(2));
+        assert!(b.input_ready(2));
+        let window = b.take_input_window(2);
+        assert_eq!(window[0].payload, 1);
+        assert_eq!(window[1].payload, 2);
+        assert_eq!(b.input_pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn draining_incomplete_window_panics() {
+        let mut b = McaBuffers::new();
+        b.push_input(packet(1));
+        let _ = b.take_input_window(2);
+    }
+
+    #[test]
+    fn obuff_is_fifo() {
+        let mut b = McaBuffers::new();
+        b.push_output(packet(7));
+        b.push_output(packet(8));
+        assert_eq!(b.pop_output().unwrap().payload, 7);
+        assert_eq!(b.pop_output().unwrap().payload, 8);
+        assert!(b.pop_output().is_none());
+    }
+
+    #[test]
+    fn ccu_grants_one_wire_at_a_time() {
+        let mut ccu = CurrentControlUnit::new(3);
+        assert_eq!(ccu.request(0), CcuLink::Granted);
+        // A second simultaneous request must wait (analog wires cannot
+        // share a phase).
+        assert_eq!(ccu.request(2), CcuLink::Requested);
+        assert!(ccu.is_busy());
+        ccu.complete_phase();
+        assert_eq!(ccu.transfers_completed, 1);
+        // The waiter is promoted.
+        assert_eq!(ccu.link(2), CcuLink::Granted);
+        ccu.complete_phase();
+        assert_eq!(ccu.transfers_completed, 2);
+        assert!(!ccu.is_busy());
+    }
+
+    #[test]
+    fn ccu_request_is_idempotent_while_pending() {
+        let mut ccu = CurrentControlUnit::new(2);
+        ccu.request(0);
+        assert_eq!(ccu.request(0), CcuLink::Granted);
+        assert_eq!(ccu.request(1), CcuLink::Requested);
+        assert_eq!(ccu.request(1), CcuLink::Requested);
+    }
+
+    #[test]
+    fn schedule_matches_multiplexing_degree() {
+        // Fig. 5: degree-2 time multiplexing takes 2 cycles.
+        let s = PhaseSchedule::sequential(2, 4);
+        assert_eq!(s.cycles(), 2);
+        assert_eq!(s.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn mpe_shell_wires_everything() {
+        let mut mpe = MacroProcessingEngine::new(4, 4);
+        assert_eq!(mpe.slot_count(), 4);
+        mpe.configure_phases(3);
+        assert_eq!(mpe.schedule().cycles(), 3);
+        mpe.slot_mut(1).push_input(packet(5));
+        assert_eq!(mpe.slot(1).input_pending(), 1);
+        mpe.slot_mut(0).set_targets(vec![PacketAddress {
+            switch: 1,
+            mpe: 2,
+            mca: 3,
+        }]);
+        assert_eq!(mpe.slot(0).targets().len(), 1);
+        assert_eq!(mpe.ccu_mut().request(0), CcuLink::Granted);
+        assert!(mpe.ccu().is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn overcommitted_schedule_panics() {
+        let _ = PhaseSchedule::sequential(5, 4);
+    }
+}

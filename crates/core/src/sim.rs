@@ -1,0 +1,486 @@
+//! The RESPARC execution model: activity-driven energy and latency
+//! simulation of a mapped network.
+//!
+//! Rate-coded SNN inference is statistically stationary across timesteps,
+//! so the simulator computes *expected* per-timestep quantities from an
+//! [`ActivityProfile`] (firing rates and zero-packet probabilities per
+//! layer boundary) and scales by the timestep budget. Every energy event
+//! is charged to a fine-grained [`Category`]; Fig. 12's groups fall out of
+//! [`EnergyBreakdown::resparc_groups`].
+//!
+//! Modelled per timestep and layer:
+//!
+//! * **spike distribution** — packets travel oBUFF → switch network →
+//!   iBUFF within a NeuroCell, and over the shared bus through the input
+//!   SRAM across NeuroCells (paper Fig. 7); with event-driven operation
+//!   (§3.2) all-zero packets are dropped at the zero-check,
+//! * **analog compute** — each tile performs one crossbar read per phase
+//!   unless its input window is entirely silent; device energy scales
+//!   with the number of *active* rows, fixed column-sensing with the
+//!   array width,
+//! * **neuron integration** — one integration event per occupied column
+//!   per read (time-multiplexing degree many per output), one spike event
+//!   per emitted spike; analog partial currents crossing mPEs are charged
+//!   to the CCU gated wires,
+//! * **latency** — compute phases (multiplexing degree), switch
+//!   serialisation and serial bus transactions per timestep at 200 MHz.
+
+use resparc_device::energy_model::McaEnergyModel;
+use resparc_energy::accounting::{Category, EnergyBreakdown};
+use resparc_energy::sram::SramSpec;
+use resparc_energy::units::{Energy, Time};
+use resparc_neuro::stats::ActivityProfile;
+
+use crate::map::Mapping;
+
+/// Average switch hops for an intra-NeuroCell packet delivery. The
+/// dedicated row/column switch links make most transfers one-hop (paper
+/// §3.1.2); boundary cases add a second hop.
+const AVG_SWITCH_HOPS: f64 = 1.5;
+/// Address width of a tBUFF target entry (SW_ID + mPE_ID + MCA_ID,
+/// Fig. 6).
+const TARGET_ADDRESS_BITS: u32 = 24;
+/// Analog CCU transfer: gated-wire hand-off of one partial current.
+const CCU_TRANSFER_BITS: u32 = 8;
+
+/// Per-classification execution report for a RESPARC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Energy per classification, by fine-grained category.
+    pub energy: EnergyBreakdown,
+    /// Cycles per timestep (compute + communication + bus).
+    pub timestep_cycles: u64,
+    /// Wall-clock latency per classification.
+    pub latency: Time,
+    /// Classifications per second.
+    pub throughput: f64,
+    /// Per-layer expected statistics (per timestep).
+    pub layers: Vec<LayerExecStats>,
+}
+
+impl ExecutionReport {
+    /// Total energy per classification.
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// Energy-delay product (pJ·ns), a common figure of merit.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.total().picojoules() * self.latency.nanoseconds()
+    }
+}
+
+/// Expected per-timestep statistics for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerExecStats {
+    /// Layer index.
+    pub layer: usize,
+    /// Tiles mapped.
+    pub tiles: usize,
+    /// Expected crossbar reads per timestep (event-driven gating
+    /// applied).
+    pub reads_per_step: f64,
+    /// Expected active rows per read.
+    pub mean_active_rows: f64,
+    /// Expected packet deliveries per timestep.
+    pub deliveries_per_step: f64,
+    /// Expected bus packets per timestep (zero when the boundary stays
+    /// inside one NeuroCell).
+    pub bus_packets_per_step: f64,
+}
+
+/// Activity-driven simulator over a [`Mapping`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    mapping: &'m Mapping,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for a mapped network.
+    pub fn new(mapping: &'m Mapping) -> Self {
+        Self { mapping }
+    }
+
+    /// Runs one classification (the configured timestep budget) under the
+    /// given activity profile and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's boundary count is not `layers + 1`.
+    pub fn run(&self, profile: &ActivityProfile) -> ExecutionReport {
+        let cfg = &self.mapping.config;
+        assert_eq!(
+            profile.boundary_count(),
+            self.mapping.layer_count() + 1,
+            "profile must have layers + 1 boundaries"
+        );
+
+        let cat = &cfg.catalog;
+        let n = cfg.mca_size;
+        let pkt = cfg.packet_bits;
+        let mca = McaEnergyModel::new(cfg.device, n);
+        // Linearise the crossbar read energy: E(active) = a·active + b at
+        // fixed utilization; we re-evaluate a/b per tile utilization.
+        let sram = SramSpec::new(cfg.input_sram_bytes, pkt).build();
+
+        let mut per_step = EnergyBreakdown::new();
+        let mut layer_stats = Vec::with_capacity(self.mapping.layer_count());
+        let mut compute_cycles = 0u64;
+        let mut comm_cycles = 0u64;
+        let mut bus_cycles_total = 0f64;
+
+        for (l, part) in self.mapping.partitions.iter().enumerate() {
+            let span = &self.mapping.placement.layers[l];
+            let rate_in = profile.rate(l);
+            let rate_out = profile.rate(l + 1);
+            // Zero-check granularity follows the crossbar's input window:
+            // a RESPARC-32 machine checks 32-row windows, which are far
+            // more often all-zero than 64-row ones — the Fig. 13
+            // small-MCA advantage. Sparse (conv) tiles gather 2-D
+            // receptive fields that straddle foreground pixels, so they
+            // see the *independence* zero probability, not the measured
+            // 1-D run-length clustering dense rows enjoy (§5.3).
+            let check_bits = pkt.min(n as u32);
+            let zero_prob = |width: u32| -> f64 {
+                if part.sparse {
+                    (1.0 - rate_in).powi(width as i32).clamp(0.0, 1.0)
+                } else {
+                    profile.zero_packet_prob(l, width)
+                }
+            };
+            let active_packet_frac = if cfg.event_driven {
+                1.0 - zero_prob(check_bits)
+            } else {
+                1.0
+            };
+
+            // --- Spike distribution -------------------------------------
+            let packets_in = (part.inputs as u64).div_ceil(pkt as u64) as f64;
+            let deliveries_total: f64 = part
+                .tiles
+                .iter()
+                .map(|t| (t.rows as u64).div_ceil(pkt as u64) as f64)
+                .sum();
+            let deliveries_active = deliveries_total * active_packet_frac;
+
+            // Switch traversal + zero checks on every candidate packet.
+            per_step.charge(
+                Category::Communication,
+                cat.switch_hop(pkt) * (deliveries_active * AVG_SWITCH_HOPS),
+            );
+            if cfg.event_driven {
+                per_step.charge(
+                    Category::Communication,
+                    cat.zero_check(pkt) * deliveries_total,
+                );
+            }
+            // Buffering: oBUFF read at producer, iBUFF write + read at
+            // the consuming mPE.
+            per_step.charge(
+                Category::Buffer,
+                cat.buffer_access(pkt) * (3.0 * deliveries_active),
+            );
+
+            // --- Bus + input SRAM (inter-NC boundary) -------------------
+            // Spatially-local boundaries (fan-in fits one crossbar window,
+            // i.e. multiplexing degree 1: conv and pool layers) are kept
+            // on the switch network by the reconfigurable datapath
+            // (§3.1.2) — consumer tiles are co-resident with their
+            // producer region. Global-fan-in boundaries (dense layers)
+            // and the stimulus itself go through the SRAM-backed bus.
+            let crosses = self.mapping.placement.boundary_crosses_nc(l)
+                && (l == 0 || part.max_degree > 1);
+            let bus_packets = if crosses {
+                packets_in * active_packet_frac
+            } else {
+                0.0
+            };
+            if crosses {
+                // Layer 0 reads the stimulus from SRAM; deeper boundaries
+                // write producer spikes to SRAM and broadcast them back.
+                let trips = if l == 0 { 1.0 } else { 2.0 };
+                per_step.charge(
+                    Category::Communication,
+                    cat.bus_transfer(pkt) * (bus_packets * trips),
+                );
+                per_step.charge(
+                    Category::MemoryAccess,
+                    sram.read_energy() * bus_packets
+                        + if l == 0 {
+                            Energy::ZERO
+                        } else {
+                            sram.write_energy() * bus_packets
+                        },
+                );
+                if cfg.event_driven {
+                    per_step.charge(Category::Communication, cat.zero_check(pkt) * packets_in);
+                }
+                bus_cycles_total += bus_packets * trips;
+            }
+
+            // --- Crossbar reads -----------------------------------------
+            let mag = self.mapping.mean_weight_mags[l];
+            let mut reads = 0.0f64;
+            let mut active_rows_sum = 0.0f64;
+            let mut crossbar_e = Energy::ZERO;
+            for t in &part.tiles {
+                let util = t.synapses as f64 / (n * n) as f64;
+                // Device conduction is data-dependent (only spiking rows
+                // conduct); drivers and sensing are clocked for the whole
+                // array on every read — the fixed cost under-utilized
+                // tiles cannot amortise (the Fig. 12c penalty at 128).
+                let base = mca.read_energy(0, util, mag);
+                let per_row_device =
+                    (mca.read_energy(1, util, mag) - base) - mca.row_driver_energy;
+                let fixed = base + mca.row_driver_energy * n as f64;
+                let p_read = if cfg.event_driven {
+                    1.0 - zero_prob(t.rows)
+                } else {
+                    1.0
+                };
+                let exp_active = t.rows as f64 * rate_in;
+                crossbar_e += per_row_device * exp_active + fixed * p_read;
+                reads += p_read;
+                active_rows_sum += exp_active;
+            }
+            per_step.charge(Category::Crossbar, crossbar_e);
+
+            // --- Neurons -------------------------------------------------
+            let mut integrations = 0.0f64;
+            for t in &part.tiles {
+                let p_read = if cfg.event_driven {
+                    1.0 - zero_prob(t.rows)
+                } else {
+                    1.0
+                };
+                integrations += t.cols as f64 * p_read;
+            }
+            let spikes_out = part.outputs as f64 * rate_out;
+            per_step.charge(
+                Category::Neuron,
+                cat.neuron_integrate * integrations + cat.neuron_spike * spikes_out,
+            );
+            // Target-address lookups for emitted spike packets.
+            let out_packets = (part.outputs as u64).div_ceil(pkt as u64) as f64;
+            per_step.charge(
+                Category::Buffer,
+                cat.buffer_access(TARGET_ADDRESS_BITS) * out_packets,
+            );
+
+            // --- CCU analog transfers ------------------------------------
+            let mean_p_read = if part.tiles.is_empty() {
+                0.0
+            } else {
+                reads / part.tiles.len() as f64
+            };
+            let ccu = span.ccu_transfers_per_step as f64 * mean_p_read;
+            per_step.charge(
+                Category::Communication,
+                cat.switch_hop(CCU_TRANSFER_BITS) * ccu,
+            );
+
+            // --- Control -------------------------------------------------
+            let local_phases = (part.max_degree as usize).min(cfg.mcas_per_mpe).max(1);
+            per_step.charge(
+                Category::Control,
+                cat.control_cycle * (span.mpe_count() as f64 * local_phases as f64)
+                    + cat.control_cycle * deliveries_active,
+            );
+
+            // --- Latency contributions -----------------------------------
+            let layer_compute = part.max_degree as u64
+                + u64::from(span.ccu_transfers_per_step > 0);
+            compute_cycles = compute_cycles.max(layer_compute);
+            let switch_capacity =
+                (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
+            comm_cycles = comm_cycles.max((deliveries_active / switch_capacity).ceil() as u64);
+
+            layer_stats.push(LayerExecStats {
+                layer: l,
+                tiles: part.tile_count(),
+                reads_per_step: reads,
+                mean_active_rows: if part.tiles.is_empty() {
+                    0.0
+                } else {
+                    active_rows_sum / part.tiles.len() as f64
+                },
+                deliveries_per_step: deliveries_active,
+                bus_packets_per_step: bus_packets,
+            });
+        }
+
+        // Networks that overflow the physical NeuroCell pool
+        // time-multiplex the fabric: each timestep serialises over the
+        // mapped-to-physical ratio.
+        let fold = self
+            .mapping
+            .placement
+            .ncs_used
+            .div_ceil(cfg.physical_ncs)
+            .max(1) as u64;
+        let timestep_cycles =
+            ((compute_cycles + comm_cycles) * fold + bus_cycles_total.ceil() as u64).max(1);
+        let latency = cfg
+            .frequency
+            .cycles_to_time(timestep_cycles * cfg.timesteps as u64);
+
+        // Per-classification scaling + leakage over the latency window.
+        // Leakage accrues on the *physical* chip, not the (possibly
+        // larger) mapped footprint.
+        let mut energy = per_step.scaled(cfg.timesteps as f64);
+        let physical_mpes = (cfg.physical_ncs * cfg.mpes_per_nc())
+            .min(self.mapping.placement.mpes_used.max(1));
+        let physical_switch_ncs = cfg.physical_ncs.min(self.mapping.placement.ncs_used.max(1));
+        let logic_leak = cat.mpe_leakage * physical_mpes as f64
+            + cat.switch_leakage * (physical_switch_ncs * cfg.switches_per_nc()) as f64;
+        energy.charge(Category::LogicLeakage, logic_leak * latency);
+        energy.charge(Category::MemoryLeakage, sram.leakage() * latency);
+
+        ExecutionReport {
+            energy,
+            timestep_cycles,
+            latency,
+            throughput: 1.0 / latency.seconds(),
+            layers: layer_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+    use crate::map::Mapper;
+    use resparc_energy::accounting::ResparcGroup;
+    use resparc_neuro::topology::{ChannelTable, Padding, Shape, Topology};
+
+    fn profile_for(t: &Topology, input_rate: f64, layer_rate: f64) -> ActivityProfile {
+        let mut counts = vec![t.input_count()];
+        counts.extend(t.layers().iter().map(|l| l.output_count()));
+        ActivityProfile::uniform(&counts, input_rate, layer_rate)
+    }
+
+    fn mlp_report(mca: usize, event_driven: bool) -> ExecutionReport {
+        let t = Topology::mlp(784, &[800, 10]);
+        let cfg = ResparcConfig::with_mca_size(mca).with_event_driven(event_driven);
+        let m = Mapper::new(cfg).map(&t).unwrap();
+        let p = profile_for(&t, 0.15, 0.1);
+        Simulator::new(&m).run(&p)
+    }
+
+    #[test]
+    fn report_has_positive_energy_and_latency() {
+        let r = mlp_report(64, true);
+        assert!(r.total_energy() > Energy::ZERO);
+        assert!(r.latency.nanoseconds() > 0.0);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.layers.len(), 2);
+    }
+
+    #[test]
+    fn event_driven_saves_energy() {
+        // With a sparse input the zero-check suppresses traffic and
+        // reads; energy must drop (Fig. 13's headline).
+        let with = mlp_report(64, true);
+        let without = mlp_report(64, false);
+        assert!(
+            with.total_energy() < without.total_energy(),
+            "with {} vs without {}",
+            with.total_energy(),
+            without.total_energy()
+        );
+    }
+
+    #[test]
+    fn groups_partition_total() {
+        let r = mlp_report(64, true);
+        let groups = r.energy.resparc_groups();
+        let sum: Energy = groups.iter().map(|(_, e)| *e).sum();
+        assert!((sum / r.total_energy() - 1.0).abs() < 1e-9);
+        // All three groups are non-trivial for an MLP.
+        for (g, e) in groups {
+            assert!(e > Energy::ZERO, "group {g} empty");
+        }
+    }
+
+    #[test]
+    fn mlp_energy_decreases_with_mca_size() {
+        // Fig. 12(a): dense layers amortise periphery better on larger
+        // arrays.
+        let e32 = mlp_report(32, true).total_energy();
+        let e64 = mlp_report(64, true).total_energy();
+        let e128 = mlp_report(128, true).total_energy();
+        assert!(e32 > e64, "32: {e32} vs 64: {e64}");
+        assert!(e64 > e128, "64: {e64} vs 128: {e128}");
+    }
+
+    #[test]
+    fn cnn_pays_more_overhead_per_synapse_than_mlp() {
+        // Under-utilized CNN tiles pay proportionally more fixed cost
+        // (periphery + clocked crossbar drivers) per useful synapse —
+        // the Fig. 11/12 narrative. Neuron energy is excluded: it scales
+        // with outputs, not synapses.
+        let mlp = Topology::mlp(256, &[256, 10]);
+        let cnn = Topology::builder(Shape::new(16, 16, 1))
+            .conv(8, 5, Padding::Valid, ChannelTable::Full)
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        let cfg = ResparcConfig::resparc_64();
+        let per_synapse = |t: &Topology| {
+            let m = Mapper::new(cfg.clone()).map(t).unwrap();
+            let p = profile_for(t, 0.15, 0.1);
+            let r = Simulator::new(&m).run(&p);
+            let groups = r.energy.resparc_groups();
+            let non_neuron: Energy = groups
+                .iter()
+                .filter(|(g, _)| *g != ResparcGroup::Neuron)
+                .map(|(_, e)| *e)
+                .sum();
+            non_neuron.picojoules() / t.synapse_count() as f64
+        };
+        assert!(
+            per_synapse(&cnn) > 1.5 * per_synapse(&mlp),
+            "cnn {} vs mlp {}",
+            per_synapse(&cnn),
+            per_synapse(&mlp)
+        );
+    }
+
+    #[test]
+    fn higher_activity_costs_more() {
+        let t = Topology::mlp(256, &[128, 10]);
+        let cfg = ResparcConfig::resparc_64();
+        let m = Mapper::new(cfg).map(&t).unwrap();
+        let quiet = Simulator::new(&m).run(&profile_for(&t, 0.05, 0.05));
+        let busy = Simulator::new(&m).run(&profile_for(&t, 0.5, 0.4));
+        assert!(busy.total_energy() > quiet.total_energy());
+    }
+
+    #[test]
+    fn latency_scales_with_timesteps() {
+        let t = Topology::mlp(128, &[64, 10]);
+        let m10 = Mapper::new(ResparcConfig::resparc_64().with_timesteps(10))
+            .map(&t)
+            .unwrap();
+        let m100 = Mapper::new(ResparcConfig::resparc_64().with_timesteps(100))
+            .map(&t)
+            .unwrap();
+        let p = profile_for(&t, 0.2, 0.1);
+        let r10 = Simulator::new(&m10).run(&p);
+        let r100 = Simulator::new(&m100).run(&p);
+        assert_eq!(r10.timestep_cycles, r100.timestep_cycles);
+        let ratio = r100.latency.nanoseconds() / r10.latency.nanoseconds();
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries")]
+    fn wrong_profile_shape_panics() {
+        let t = Topology::mlp(64, &[10]);
+        let m = Mapper::new(ResparcConfig::resparc_64()).map(&t).unwrap();
+        let bad = ActivityProfile::uniform(&[64, 10, 10], 0.1, 0.1);
+        let _ = Simulator::new(&m).run(&bad);
+    }
+}

@@ -1,0 +1,293 @@
+//! The programmable switch (paper Fig. 6): buffered, address-routed
+//! spike-packet transfer with zero-check suppression.
+//!
+//! Each NeuroCell carries a `(nc_dim-1)²` grid of switches. A switch
+//! serves its four neighbouring mPEs and has dedicated links to every
+//! switch in its row and column, so any intra-NeuroCell transfer takes at
+//! most two hops (row then column). Packets carry a hierarchical address
+//! `(SW_ID, mPE_ID, MCA_ID)`; a packet whose payload is all-zero is
+//! dropped at the sender's zero-check (§3.2) — that drop is the
+//! event-driven energy optimisation of Fig. 13.
+
+use std::collections::VecDeque;
+
+/// Hierarchical packet address (Fig. 6 input-address format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketAddress {
+    /// Target switch id within the NeuroCell.
+    pub switch: u8,
+    /// Target mPE port on that switch (0–3).
+    pub mpe: u8,
+    /// Target MCA slot within the mPE.
+    pub mca: u8,
+}
+
+impl PacketAddress {
+    /// Packs the address into the wire format (SW_ID[23:16] |
+    /// mPE_ID[15:8] | MCA_ID[7:0]).
+    pub fn pack(self) -> u32 {
+        (u32::from(self.switch) << 16) | (u32::from(self.mpe) << 8) | u32::from(self.mca)
+    }
+
+    /// Unpacks an address from the wire format.
+    pub fn unpack(raw: u32) -> Self {
+        Self {
+            switch: ((raw >> 16) & 0xff) as u8,
+            mpe: ((raw >> 8) & 0xff) as u8,
+            mca: (raw & 0xff) as u8,
+        }
+    }
+}
+
+/// A spike packet: address plus a bit-packed spike payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpikePacket {
+    /// Routing address.
+    pub address: PacketAddress,
+    /// Spike bits (up to 64 neurons per packet, the paper's word width).
+    pub payload: u64,
+}
+
+impl SpikePacket {
+    /// Returns `true` if every spike bit is zero (zero-check).
+    pub fn is_zero(&self) -> bool {
+        self.payload == 0
+    }
+}
+
+/// Where a switch sits in its NeuroCell's `(dim-1) × (dim-1)` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchCoord {
+    /// Grid column.
+    pub x: u8,
+    /// Grid row.
+    pub y: u8,
+}
+
+impl SwitchCoord {
+    /// Converts a linear switch id to grid coordinates.
+    pub fn from_id(id: u8, grid_dim: u8) -> Self {
+        Self {
+            x: id % grid_dim,
+            y: id / grid_dim,
+        }
+    }
+
+    /// Converts back to a linear id.
+    pub fn id(self, grid_dim: u8) -> u8 {
+        self.y * grid_dim + self.x
+    }
+
+    /// The next switch on the (row-first, then column) one-hop route
+    /// toward `target`; `None` if already there. Dedicated row/column
+    /// links make each of the two legs a single hop regardless of
+    /// distance.
+    pub fn next_hop_toward(self, target: SwitchCoord) -> Option<SwitchCoord> {
+        if self == target {
+            None
+        } else if self.x != target.x {
+            Some(SwitchCoord {
+                x: target.x,
+                y: self.y,
+            })
+        } else {
+            Some(target)
+        }
+    }
+
+    /// Number of link traversals to reach `target` (0, 1 or 2).
+    pub fn hops_to(self, target: SwitchCoord) -> u32 {
+        u32::from(self.x != target.x) + u32::from(self.y != target.y)
+    }
+}
+
+/// A programmable switch with input/output buffering, arbitration and
+/// zero-check statistics.
+#[derive(Debug, Clone)]
+pub struct ProgrammableSwitch {
+    coord: SwitchCoord,
+    grid_dim: u8,
+    zero_check: bool,
+    queue: VecDeque<SpikePacket>,
+    /// Packets accepted for forwarding.
+    pub forwarded: u64,
+    /// Packets dropped by the zero-check.
+    pub dropped_zero: u64,
+}
+
+/// Outcome of servicing one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutput {
+    /// Deliver to a local mPE port.
+    Local {
+        /// mPE port index.
+        mpe: u8,
+        /// The packet.
+        packet: SpikePacket,
+    },
+    /// Forward over a row/column link to another switch.
+    Forward {
+        /// Next switch on the route.
+        next: SwitchCoord,
+        /// The packet.
+        packet: SpikePacket,
+    },
+}
+
+impl ProgrammableSwitch {
+    /// Creates a switch at `coord` in a `grid_dim × grid_dim` switch grid.
+    pub fn new(coord: SwitchCoord, grid_dim: u8, zero_check: bool) -> Self {
+        Self {
+            coord,
+            grid_dim,
+            zero_check,
+            queue: VecDeque::new(),
+            forwarded: 0,
+            dropped_zero: 0,
+        }
+    }
+
+    /// This switch's coordinates.
+    pub fn coord(&self) -> SwitchCoord {
+        self.coord
+    }
+
+    /// Packets waiting for arbitration.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a packet on an input line. All-zero packets are dropped
+    /// when zero-check is enabled; returns whether the packet was
+    /// accepted.
+    pub fn offer(&mut self, packet: SpikePacket) -> bool {
+        if self.zero_check && packet.is_zero() {
+            self.dropped_zero += 1;
+            return false;
+        }
+        self.queue.push_back(packet);
+        true
+    }
+
+    /// Arbitrates one packet per call (one packet per cycle per switch),
+    /// returning its routing decision.
+    pub fn service(&mut self) -> Option<SwitchOutput> {
+        let packet = self.queue.pop_front()?;
+        self.forwarded += 1;
+        let target = SwitchCoord::from_id(packet.address.switch, self.grid_dim);
+        Some(match self.coord.next_hop_toward(target) {
+            None => SwitchOutput::Local {
+                mpe: packet.address.mpe,
+                packet,
+            },
+            Some(next) => SwitchOutput::Forward { next, packet },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_pack_roundtrip() {
+        let a = PacketAddress {
+            switch: 7,
+            mpe: 3,
+            mca: 2,
+        };
+        assert_eq!(PacketAddress::unpack(a.pack()), a);
+        assert_eq!(a.pack(), 0x07_03_02);
+    }
+
+    #[test]
+    fn routing_is_at_most_two_hops() {
+        let dim = 3u8;
+        for from in 0..9u8 {
+            for to in 0..9u8 {
+                let f = SwitchCoord::from_id(from, dim);
+                let t = SwitchCoord::from_id(to, dim);
+                let mut cur = f;
+                let mut hops = 0;
+                while let Some(next) = cur.next_hop_toward(t) {
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= 2, "route {from}->{to} exceeded 2 hops");
+                }
+                assert_eq!(cur, t);
+                assert_eq!(hops, f.hops_to(t));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_check_drops_silent_packets() {
+        let mut sw = ProgrammableSwitch::new(SwitchCoord { x: 0, y: 0 }, 3, true);
+        let addr = PacketAddress {
+            switch: 0,
+            mpe: 1,
+            mca: 0,
+        };
+        assert!(!sw.offer(SpikePacket {
+            address: addr,
+            payload: 0
+        }));
+        assert!(sw.offer(SpikePacket {
+            address: addr,
+            payload: 0b100
+        }));
+        assert_eq!(sw.dropped_zero, 1);
+        assert_eq!(sw.pending(), 1);
+    }
+
+    #[test]
+    fn zero_check_disabled_forwards_everything() {
+        let mut sw = ProgrammableSwitch::new(SwitchCoord { x: 0, y: 0 }, 3, false);
+        let addr = PacketAddress {
+            switch: 0,
+            mpe: 0,
+            mca: 0,
+        };
+        assert!(sw.offer(SpikePacket {
+            address: addr,
+            payload: 0
+        }));
+        assert_eq!(sw.dropped_zero, 0);
+    }
+
+    #[test]
+    fn service_delivers_local_and_forwards_remote() {
+        let mut sw = ProgrammableSwitch::new(SwitchCoord { x: 0, y: 0 }, 3, true);
+        let local = SpikePacket {
+            address: PacketAddress {
+                switch: 0,
+                mpe: 2,
+                mca: 1,
+            },
+            payload: 1,
+        };
+        let remote = SpikePacket {
+            address: PacketAddress {
+                switch: 8, // coord (2,2)
+                mpe: 0,
+                mca: 0,
+            },
+            payload: 1,
+        };
+        sw.offer(local);
+        sw.offer(remote);
+        match sw.service().unwrap() {
+            SwitchOutput::Local { mpe, .. } => assert_eq!(mpe, 2),
+            other => panic!("expected local delivery, got {other:?}"),
+        }
+        match sw.service().unwrap() {
+            SwitchOutput::Forward { next, .. } => {
+                // Row-first routing: x moves to target column 2.
+                assert_eq!(next, SwitchCoord { x: 2, y: 0 });
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert!(sw.service().is_none());
+        assert_eq!(sw.forwarded, 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The Memristive Crossbar Array (MCA): an analog inner-product engine.
+//!
+//! A crossbar receives voltages on its rows; by Kirchhoff's current law the
+//! current flowing into each column is `I_j = Σ_i V_i · G_ij` (paper
+//! Fig. 2) — a full matrix-vector product in one analog step. Signed
+//! weights use the standard *differential pair*: each synapse is two
+//! devices, one on a positive and one on a negative column line, and the
+//! neuron integrates their difference.
+//!
+//! Spike inputs are binary, so row voltages are either `read_voltage` or 0
+//! — no DACs are needed, and the outputs feed IF neurons directly without
+//! ADCs (the paper's energy argument against ISAAC/PRIME-style designs).
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_device::crossbar::Crossbar;
+//! use resparc_device::memristor::MemristorSpec;
+//!
+//! let mut xbar = Crossbar::new(4, MemristorSpec::paper_default(), 16);
+//! xbar.program(&[(0, 0, 1.0), (1, 0, -0.5)]).unwrap();
+//! let out = xbar.read(&[true, true, false, false]);
+//! // Column 0 computes 1.0 - 0.5 = 0.5 (in normalized weight units).
+//! assert!((out[0] - 0.5).abs() < 0.1);
+//! ```
+
+use resparc_energy::units::{Energy, Time};
+
+use crate::memristor::MemristorSpec;
+
+/// Errors from programming a crossbar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramError {
+    /// A synapse coordinate fell outside the array.
+    OutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Array edge length.
+        size: usize,
+    },
+    /// A weight magnitude exceeded 1.0 (weights must be pre-normalized).
+    WeightOutOfRange {
+        /// The offending value.
+        weight: f64,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::OutOfBounds { row, col, size } => {
+                write!(f, "synapse ({row}, {col}) outside {size}x{size} crossbar")
+            }
+            ProgramError::WeightOutOfRange { weight } => {
+                write!(f, "weight {weight} outside [-1, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An `n × n` memristive crossbar storing signed weights as differential
+/// conductance pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossbar {
+    size: usize,
+    device: MemristorSpec,
+    levels: u32,
+    /// Positive-line conductances, row-major, Siemens.
+    g_pos: Vec<f64>,
+    /// Negative-line conductances, row-major, Siemens.
+    g_neg: Vec<f64>,
+    /// Rows that carry at least one programmed synapse.
+    rows_used: usize,
+    /// Columns that carry at least one programmed synapse.
+    cols_used: usize,
+    programmed: usize,
+}
+
+impl Crossbar {
+    /// Creates an erased crossbar (`size × size`, all devices at minimum
+    /// conductance) with `levels` programmable levels per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero, `levels < 2`, or the device spec is
+    /// electrically inconsistent.
+    pub fn new(size: usize, device: MemristorSpec, levels: u32) -> Self {
+        assert!(size > 0, "crossbar size must be non-zero");
+        assert!(levels >= 2, "need at least 2 conductance levels");
+        device.validate().expect("device spec must be valid");
+        let g_min = device.g_min_siemens();
+        Self {
+            size,
+            device,
+            levels,
+            g_pos: vec![g_min; size * size],
+            g_neg: vec![g_min; size * size],
+            rows_used: 0,
+            cols_used: 0,
+            programmed: 0,
+        }
+    }
+
+    /// Array edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The device technology.
+    pub fn device(&self) -> &MemristorSpec {
+        &self.device
+    }
+
+    /// Conductance levels per device.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of programmed synapses.
+    pub fn programmed_synapses(&self) -> usize {
+        self.programmed
+    }
+
+    /// Rows carrying at least one synapse.
+    pub fn rows_used(&self) -> usize {
+        self.rows_used
+    }
+
+    /// Columns carrying at least one synapse.
+    pub fn cols_used(&self) -> usize {
+        self.cols_used
+    }
+
+    /// Fraction of the array's devices that hold a synapse.
+    pub fn utilization(&self) -> f64 {
+        self.programmed as f64 / (self.size * self.size) as f64
+    }
+
+    /// Programs synapses given as `(row, column, weight)` with weights
+    /// normalized to `[-1, 1]`. Positive weights program the positive
+    /// line, negative ones the negative line; magnitudes are quantized to
+    /// the device's levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on out-of-bounds coordinates or
+    /// out-of-range weights; no partial programming occurs on error.
+    pub fn program(&mut self, synapses: &[(usize, usize, f64)]) -> Result<(), ProgramError> {
+        for &(r, c, w) in synapses {
+            if r >= self.size || c >= self.size {
+                return Err(ProgramError::OutOfBounds {
+                    row: r,
+                    col: c,
+                    size: self.size,
+                });
+            }
+            if !(-1.0..=1.0).contains(&w) || !w.is_finite() {
+                return Err(ProgramError::WeightOutOfRange { weight: w });
+            }
+        }
+        for &(r, c, w) in synapses {
+            let idx = r * self.size + c;
+            let mag = self.device.quantize_conductance(w.abs(), self.levels);
+            let gmin = self.device.g_min_siemens();
+            if w >= 0.0 {
+                self.g_pos[idx] = mag;
+                self.g_neg[idx] = gmin;
+            } else {
+                self.g_neg[idx] = mag;
+                self.g_pos[idx] = gmin;
+            }
+            self.rows_used = self.rows_used.max(r + 1);
+            self.cols_used = self.cols_used.max(c + 1);
+        }
+        // Recount programmed devices (idempotent re-programming safe).
+        let gmin = self.device.g_min_siemens();
+        self.programmed = self
+            .g_pos
+            .iter()
+            .zip(&self.g_neg)
+            .filter(|(&p, &n)| p > gmin || n > gmin)
+            .count();
+        Ok(())
+    }
+
+    /// Analog read: applies `read_voltage` on rows whose spike bit is set
+    /// and returns per-column differential currents **in normalized weight
+    /// units** (i.e. `Σ_active w_ij` per column), which is what the
+    /// interfaced IF neuron integrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.len() != size()`.
+    pub fn read(&self, spikes: &[bool]) -> Vec<f64> {
+        assert_eq!(spikes.len(), self.size, "row input length mismatch");
+        let mut out = vec![0.0f64; self.size];
+        let scale = 1.0 / self.device.g_range_siemens();
+        for (r, &on) in spikes.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            let row = r * self.size;
+            for c in 0..self.size {
+                out[c] += (self.g_pos[row + c] - self.g_neg[row + c]) * scale;
+            }
+        }
+        out
+    }
+
+    /// Raw column currents in amperes for the given row activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.len() != size()`.
+    pub fn read_currents_amps(&self, spikes: &[bool]) -> Vec<f64> {
+        assert_eq!(spikes.len(), self.size, "row input length mismatch");
+        let v = self.device.read_voltage;
+        let mut out = vec![0.0f64; self.size];
+        for (r, &on) in spikes.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            let row = r * self.size;
+            for c in 0..self.size {
+                out[c] += v * (self.g_pos[row + c] - self.g_neg[row + c]);
+            }
+        }
+        out
+    }
+
+    /// Dynamic energy of one analog read with `active_rows` rows driven,
+    /// for a read pulse of `pulse` duration: every device on an active row
+    /// conducts (`V²·(G⁺+G⁻)·t`), regardless of whether it holds a useful
+    /// synapse — this is the device-level cost of under-utilized crossbars
+    /// that penalises CNNs in the paper's Fig. 12(c).
+    pub fn read_device_energy(&self, active_rows: usize, pulse: Time) -> Energy {
+        let v2 = self.device.read_voltage * self.device.read_voltage;
+        // Average row conductance: use the mean over the array (active
+        // rows are statistically interchangeable at the model's level).
+        let total_g: f64 = self
+            .g_pos
+            .iter()
+            .zip(&self.g_neg)
+            .map(|(&p, &n)| p + n)
+            .sum();
+        let per_row_g = total_g / self.size as f64;
+        let watts = v2 * per_row_g * active_rows.min(self.size) as f64;
+        Energy::from_picojoules(watts * 1e12 * pulse.seconds())
+    }
+
+    /// Applies multiplicative log-normal device variation (σ from the
+    /// device spec) to every programmed conductance, deterministically per
+    /// `seed`. Models chip-to-chip programming inaccuracy.
+    pub fn apply_variation(&mut self, seed: u64) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let sigma = self.device.variation_sigma;
+        if sigma == 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmin = self.device.g_min_siemens();
+        let gmax = self.device.g_max_siemens();
+        let mut perturb = |g: &mut f64| {
+            if *g > gmin {
+                let u1: f64 = rng.random_range(1e-12..1.0);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                *g = (*g * (sigma * z).exp()).clamp(gmin, gmax);
+            }
+        };
+        for g in &mut self.g_pos {
+            perturb(g);
+        }
+        for g in &mut self.g_neg {
+            perturb(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar_with(synapses: &[(usize, usize, f64)]) -> Crossbar {
+        let mut x = Crossbar::new(8, MemristorSpec::paper_default(), 256);
+        x.program(synapses).unwrap();
+        x
+    }
+
+    #[test]
+    fn read_computes_inner_product() {
+        let x = xbar_with(&[(0, 0, 0.5), (1, 0, 0.25), (2, 1, -0.75)]);
+        let out = x.read(&[true, true, true, false, false, false, false, false]);
+        assert!((out[0] - 0.75).abs() < 0.02, "col0 {}", out[0]);
+        assert!((out[1] + 0.75).abs() < 0.02, "col1 {}", out[1]);
+        assert!(out[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_rows_contribute_nothing() {
+        let x = xbar_with(&[(0, 0, 1.0), (1, 0, 1.0)]);
+        let out = x.read(&[true, false, false, false, false, false, false, false]);
+        assert!((out[0] - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn quantization_limits_precision() {
+        let mut coarse = Crossbar::new(4, MemristorSpec::paper_default(), 2);
+        coarse.program(&[(0, 0, 0.6)]).unwrap();
+        let out = coarse.read(&[true, false, false, false]);
+        // Two levels: 0.6 snaps to 1.0.
+        assert!((out[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_tracks_programming() {
+        let x = xbar_with(&[(0, 0, 0.5), (1, 1, 0.5), (2, 2, 0.5)]);
+        assert_eq!(x.programmed_synapses(), 3);
+        assert!((x.utilization() - 3.0 / 64.0).abs() < 1e-12);
+        assert_eq!(x.rows_used(), 3);
+        assert_eq!(x.cols_used(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_atomically() {
+        let mut x = Crossbar::new(4, MemristorSpec::paper_default(), 16);
+        let err = x.program(&[(0, 0, 0.5), (4, 0, 0.5)]).unwrap_err();
+        assert!(matches!(err, ProgramError::OutOfBounds { row: 4, .. }));
+        // Nothing was programmed.
+        assert_eq!(x.programmed_synapses(), 0);
+    }
+
+    #[test]
+    fn weight_out_of_range_rejected() {
+        let mut x = Crossbar::new(4, MemristorSpec::paper_default(), 16);
+        assert!(matches!(
+            x.program(&[(0, 0, 1.5)]),
+            Err(ProgramError::WeightOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn read_energy_grows_with_active_rows_and_programming() {
+        let pulse = Time::from_nanos(2.0);
+        let empty = Crossbar::new(64, MemristorSpec::paper_default(), 16);
+        let mut full = Crossbar::new(64, MemristorSpec::paper_default(), 16);
+        let all: Vec<(usize, usize, f64)> = (0..64)
+            .flat_map(|r| (0..64).map(move |c| (r, c, 0.8)))
+            .collect();
+        full.program(&all).unwrap();
+        let e_empty = empty.read_device_energy(64, pulse);
+        let e_full = full.read_device_energy(64, pulse);
+        assert!(e_full > e_empty, "{e_full} vs {e_empty}");
+        assert!(
+            full.read_device_energy(32, pulse) < e_full,
+            "fewer active rows must cost less"
+        );
+        // Even an erased crossbar leaks through G_min devices.
+        assert!(e_empty > Energy::ZERO);
+    }
+
+    #[test]
+    fn paper_scale_read_energy_is_plausible() {
+        // 64×64, all devices programmed mid-range, 2 ns pulse: should land
+        // in the tens-to-hundreds of pJ (ISAAC-class numbers).
+        let mut x = Crossbar::new(64, MemristorSpec::paper_default(), 16);
+        let all: Vec<(usize, usize, f64)> = (0..64)
+            .flat_map(|r| (0..64).map(move |c| (r, c, 0.5)))
+            .collect();
+        x.program(&all).unwrap();
+        let e = x.read_device_energy(64, Time::from_nanos(2.0));
+        let pj = e.picojoules();
+        assert!((5.0..500.0).contains(&pj), "read energy {pj} pJ");
+    }
+
+    #[test]
+    fn variation_perturbs_programmed_devices_deterministically() {
+        let mut a = xbar_with(&[(0, 0, 0.5), (1, 1, -0.5)]);
+        let mut b = a.clone();
+        let clean = a.clone();
+        a.apply_variation(9);
+        b.apply_variation(9);
+        assert_eq!(a, b);
+        assert_ne!(a, clean);
+        // Unprogrammed devices stay at G_min.
+        let out = a.read(&[false, false, true, false, false, false, false, false]);
+        assert!(out.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn currents_in_amps_match_normalized_read() {
+        let x = xbar_with(&[(0, 0, 0.5)]);
+        let norm = x.read(&[true, false, false, false, false, false, false, false]);
+        let amps = x.read_currents_amps(&[true, false, false, false, false, false, false, false]);
+        let expected =
+            norm[0] * x.device().read_voltage * x.device().g_range_siemens();
+        assert!((amps[0] - expected).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,61 @@
+//! Memristive device and crossbar substrate for the RESPARC reproduction.
+//!
+//! The paper builds its architecture on Memristive Crossbar Arrays (MCAs):
+//! analog inner-product engines whose cross-point devices store synaptic
+//! weights as conductances (paper §2.2). This crate provides:
+//!
+//! * [`memristor`] — device electrical models and technology presets
+//!   (PCM, Ag-Si, spintronic) including the paper's 20 kΩ–200 kΩ window,
+//! * [`crossbar`] — an explicit differential-pair crossbar with
+//!   Kirchhoff-law analog reads, conductance quantization and seeded
+//!   device variation,
+//! * [`nonideal`] — IR-drop, sneak-leakage and variation error models,
+//! * [`sizing`] — technology-aware feasible-size selection (why 64×64 is
+//!   the paper's default),
+//! * [`energy_model`] — the closed-form per-read energy/area model the
+//!   architecture simulator uses at scale, validated against the explicit
+//!   crossbar.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_device::prelude::*;
+//!
+//! let device = MemristorSpec::paper_default();
+//! // Which sizes does this technology support at a 15 % error budget?
+//! let feasible = feasible_sizes(&device, 0.15);
+//! assert!(feasible.contains(&64));
+//!
+//! // Cost of one analog read of a fully-utilized 64×64 array:
+//! let model = McaEnergyModel::new(device, 64);
+//! let e = model.read_energy(64, 1.0, 0.5);
+//! assert!(e.picojoules() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crossbar;
+pub mod energy_model;
+pub mod memristor;
+pub mod nonideal;
+pub mod sizing;
+
+pub use crossbar::{Crossbar, ProgramError};
+pub use energy_model::McaEnergyModel;
+pub use memristor::{DeviceFamily, MemristorSpec};
+pub use nonideal::{combined_error, ir_drop_error, sneak_leakage_fraction, variation_error};
+pub use sizing::{feasible_sizes, max_feasible_size, sizing_report, SizingReport, CANDIDATE_SIZES};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::crossbar::{Crossbar, ProgramError};
+    pub use crate::energy_model::McaEnergyModel;
+    pub use crate::memristor::{DeviceFamily, MemristorSpec};
+    pub use crate::nonideal::{
+        combined_error, ir_drop_error, sneak_leakage_fraction, variation_error,
+    };
+    pub use crate::sizing::{
+        feasible_sizes, max_feasible_size, sizing_report, SizingReport, CANDIDATE_SIZES,
+    };
+}

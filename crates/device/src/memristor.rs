@@ -1,0 +1,239 @@
+//! Memristive device models and technology presets.
+//!
+//! The paper's crossbars use devices with a resistance range of
+//! "20 kΩ – 200 kΩ with 16 levels (4 bits) for weight-discretization,
+//! typical of memristive technologies such as PCM, Ag-Si" (§4.2), operated
+//! at `Vdd/2` when interfaced with CMOS neurons [17]. A [`MemristorSpec`]
+//! captures exactly those knobs plus a device-to-device variation figure
+//! used by the non-ideality models.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_device::memristor::MemristorSpec;
+//!
+//! let dev = MemristorSpec::paper_default();
+//! assert!((dev.g_max_siemens() / dev.g_min_siemens() - 10.0).abs() < 1e-9);
+//! ```
+
+/// Which emerging-device family a spec models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceFamily {
+    /// Phase-change memory (Jackson et al. [9]).
+    Pcm,
+    /// Ag-Si metal-filament memristors (Jo et al. [6]).
+    AgSi,
+    /// Spintronic / domain-wall devices (Sengupta et al. [10]).
+    Spintronic,
+}
+
+impl DeviceFamily {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceFamily::Pcm => "PCM",
+            DeviceFamily::AgSi => "Ag-Si",
+            DeviceFamily::Spintronic => "spintronic",
+        }
+    }
+}
+
+/// Electrical parameters of one memristive synapse device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemristorSpec {
+    /// Device family.
+    pub family: DeviceFamily,
+    /// Low-resistance state in ohms (highest conductance).
+    pub r_on_ohm: f64,
+    /// High-resistance state in ohms (lowest conductance).
+    pub r_off_ohm: f64,
+    /// Read voltage applied across a selected device (the paper uses
+    /// `Vdd/2` = 0.5 V at a 1 V supply).
+    pub read_voltage: f64,
+    /// Log-normal device-to-device conductance variation (σ of ln G).
+    pub variation_sigma: f64,
+    /// Per-cell wire resistance contribution along a row/column, in ohms —
+    /// drives the IR-drop non-ideality (grows with array size).
+    pub wire_resistance_per_cell_ohm: f64,
+}
+
+impl MemristorSpec {
+    /// The paper's §4.2 device: 20 kΩ–200 kΩ at 0.5 V read, modelled on
+    /// PCM/Ag-Si class devices with moderate variation.
+    pub fn paper_default() -> Self {
+        Self {
+            family: DeviceFamily::AgSi,
+            r_on_ohm: 20e3,
+            r_off_ohm: 200e3,
+            read_voltage: 0.5,
+            variation_sigma: 0.05,
+            wire_resistance_per_cell_ohm: 2.5,
+        }
+    }
+
+    /// Phase-change memory preset: larger dynamic range, higher
+    /// variation, resistance drift class of devices.
+    pub fn pcm() -> Self {
+        Self {
+            family: DeviceFamily::Pcm,
+            r_on_ohm: 10e3,
+            r_off_ohm: 1e6,
+            read_voltage: 0.5,
+            variation_sigma: 0.10,
+            wire_resistance_per_cell_ohm: 2.5,
+        }
+    }
+
+    /// Ag-Si preset (same electrical window as the paper default).
+    pub fn ag_si() -> Self {
+        Self::paper_default()
+    }
+
+    /// Spintronic preset: low resistance window, very low variation, but
+    /// small on/off ratio — feasible sizes are the smallest.
+    pub fn spintronic() -> Self {
+        Self {
+            family: DeviceFamily::Spintronic,
+            r_on_ohm: 3e3,
+            r_off_ohm: 9e3,
+            read_voltage: 0.25,
+            variation_sigma: 0.02,
+            wire_resistance_per_cell_ohm: 2.5,
+        }
+    }
+
+    /// Maximum device conductance (Siemens), `1 / r_on`.
+    pub fn g_max_siemens(&self) -> f64 {
+        1.0 / self.r_on_ohm
+    }
+
+    /// Minimum device conductance (Siemens), `1 / r_off`.
+    pub fn g_min_siemens(&self) -> f64 {
+        1.0 / self.r_off_ohm
+    }
+
+    /// Conductance swing available for weight encoding.
+    pub fn g_range_siemens(&self) -> f64 {
+        self.g_max_siemens() - self.g_min_siemens()
+    }
+
+    /// On/off conductance ratio (a figure of merit for sizing).
+    pub fn on_off_ratio(&self) -> f64 {
+        self.r_off_ohm / self.r_on_ohm
+    }
+
+    /// Quantizes a normalized magnitude `m ∈ [0, 1]` onto `levels`
+    /// conductance levels; returns the device conductance in Siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn quantize_conductance(&self, m: f64, levels: u32) -> f64 {
+        assert!(levels >= 2, "need at least 2 conductance levels");
+        let m = m.clamp(0.0, 1.0);
+        let step = 1.0 / (levels - 1) as f64;
+        let q = (m / step).round() * step;
+        self.g_min_siemens() + q * self.g_range_siemens()
+    }
+
+    /// Validates electrical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.r_on_ohm <= 0.0 || self.r_off_ohm <= self.r_on_ohm {
+            return Err(format!(
+                "resistance window invalid: r_on {} Ω, r_off {} Ω",
+                self.r_on_ohm, self.r_off_ohm
+            ));
+        }
+        if self.read_voltage <= 0.0 || self.read_voltage > 1.0 {
+            return Err(format!("read voltage {} V out of range", self.read_voltage));
+        }
+        if self.variation_sigma < 0.0 {
+            return Err("variation sigma must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemristorSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4_2() {
+        let d = MemristorSpec::paper_default();
+        assert_eq!(d.r_on_ohm, 20e3);
+        assert_eq!(d.r_off_ohm, 200e3);
+        assert_eq!(d.read_voltage, 0.5);
+        assert!((d.on_off_ratio() - 10.0).abs() < 1e-12);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for d in [
+            MemristorSpec::pcm(),
+            MemristorSpec::ag_si(),
+            MemristorSpec::spintronic(),
+        ] {
+            d.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn conductance_quantization_hits_extremes() {
+        let d = MemristorSpec::paper_default();
+        let lo = d.quantize_conductance(0.0, 16);
+        let hi = d.quantize_conductance(1.0, 16);
+        assert!((lo - d.g_min_siemens()).abs() < 1e-15);
+        assert!((hi - d.g_max_siemens()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantization_is_monotone_and_on_grid() {
+        let d = MemristorSpec::paper_default();
+        let levels = 16u32;
+        let mut prev = 0.0;
+        for i in 0..=32 {
+            let g = d.quantize_conductance(i as f64 / 32.0, levels);
+            assert!(g >= prev);
+            prev = g;
+            // On-grid: (g - gmin) / range is a multiple of 1/15.
+            let frac = (g - d.g_min_siemens()) / d.g_range_siemens();
+            let level = frac * (levels - 1) as f64;
+            assert!((level - level.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut d = MemristorSpec::paper_default();
+        d.r_off_ohm = d.r_on_ohm;
+        assert!(d.validate().is_err());
+        let mut d2 = MemristorSpec::paper_default();
+        d2.read_voltage = 0.0;
+        assert!(d2.validate().is_err());
+    }
+
+    #[test]
+    fn family_names() {
+        assert_eq!(DeviceFamily::Pcm.name(), "PCM");
+        assert_eq!(DeviceFamily::AgSi.name(), "Ag-Si");
+        assert_eq!(DeviceFamily::Spintronic.name(), "spintronic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_level_panics() {
+        let _ = MemristorSpec::paper_default().quantize_conductance(0.5, 1);
+    }
+}

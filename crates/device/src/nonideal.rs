@@ -1,0 +1,117 @@
+//! Crossbar non-ideality models: IR drop, sneak-path leakage and device
+//! variation.
+//!
+//! The paper motivates its reconfigurable small-crossbar design with
+//! exactly these effects: "large crossbars are infeasible as they suffer
+//! from non-idealities like sneak-paths, process variations and parasitic
+//! voltage drops [11, 12] which lead to erroneous computations" (§1).
+//! This module provides first-order analytic estimates of each effect as a
+//! function of array size — enough to rank crossbar sizes and derive the
+//! *technology-aware* feasible-size limits in [`crate::sizing`].
+
+use crate::memristor::MemristorSpec;
+
+/// First-order relative inner-product error due to parasitic wire
+/// resistance (IR drop).
+///
+/// Model: a fully-driven row carries `n·V·Ḡ` of current through a wire of
+/// `n` segments; treating row and column lines as distributed RC ladders,
+/// the classic effective voltage-droop fraction is `n²·R_wire·Ḡ / 3`
+/// (the `1/3` is the ladder tapering factor). Error grows quadratically
+/// with array edge — the reason 128×128 arrays of low-resistance devices
+/// mis-compute, and the paper's case for small reconfigurable MCAs.
+pub fn ir_drop_error(device: &MemristorSpec, size: usize) -> f64 {
+    let g_avg = (device.g_max_siemens() + device.g_min_siemens()) / 2.0;
+    let e = (size as f64).powi(2) * device.wire_resistance_per_cell_ohm * g_avg / 3.0;
+    e.min(1.0)
+}
+
+/// Relative error contribution from stochastic device variation on an
+/// inner product of `fan_in` terms.
+///
+/// Independent log-normal per-device errors of σ average out across a
+/// column: the relative error of the sum scales as `σ / sqrt(fan_in)` for
+/// dense columns — but the *worst-case single-weight* error stays σ. We
+/// report the column-level figure for ranking.
+pub fn variation_error(device: &MemristorSpec, fan_in: usize) -> f64 {
+    if fan_in == 0 {
+        return 0.0;
+    }
+    device.variation_sigma / (fan_in as f64).sqrt()
+}
+
+/// Sneak-path leakage fraction for a selector-less array.
+///
+/// In parallel-MVM operation the undriven rows are grounded, so classic
+/// floating-node sneak paths are largely suppressed; the residual error is
+/// offset current through high-resistance (`G_min`) devices relative to
+/// the signal swing, accumulating with row count and worsening with a
+/// poor on/off ratio: `ε ≈ (G_min / G_range) · n·κ / ratio` with κ = 0.1.
+pub fn sneak_leakage_fraction(device: &MemristorSpec, size: usize) -> f64 {
+    if size <= 1 {
+        return 0.0;
+    }
+    const KAPPA: f64 = 0.1;
+    let offset_ratio = device.g_min_siemens() / device.g_range_siemens();
+    (offset_ratio * size as f64 * KAPPA / device.on_off_ratio().max(1.0)).min(1.0)
+}
+
+/// Combined relative computation error for a `size × size` array of this
+/// device (root-sum-square of the independent mechanisms, with variation
+/// evaluated at full-column fan-in).
+pub fn combined_error(device: &MemristorSpec, size: usize) -> f64 {
+    let ir = ir_drop_error(device, size);
+    let var = variation_error(device, size);
+    let sneak = sneak_leakage_fraction(device, size);
+    (ir * ir + var * var + sneak * sneak).sqrt().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_drop_grows_quadratically() {
+        let d = MemristorSpec::paper_default();
+        let e32 = ir_drop_error(&d, 32);
+        let e64 = ir_drop_error(&d, 64);
+        let e128 = ir_drop_error(&d, 128);
+        assert!(e32 < e64 && e64 < e128);
+        assert!((e64 / e32 - 4.0).abs() < 0.1, "ratio {}", e64 / e32);
+    }
+
+    #[test]
+    fn low_resistance_devices_suffer_more_ir_drop() {
+        let agsi = MemristorSpec::paper_default();
+        let spin = MemristorSpec::spintronic();
+        assert!(ir_drop_error(&spin, 64) > ir_drop_error(&agsi, 64));
+    }
+
+    #[test]
+    fn variation_error_averages_out_with_fan_in() {
+        let d = MemristorSpec::pcm();
+        assert!(variation_error(&d, 64) < variation_error(&d, 4));
+        assert_eq!(variation_error(&d, 0), 0.0);
+    }
+
+    #[test]
+    fn sneak_leakage_increases_with_size_and_poor_ratio() {
+        let agsi = MemristorSpec::paper_default(); // ratio 10
+        let spin = MemristorSpec::spintronic(); // ratio 3
+        assert!(sneak_leakage_fraction(&agsi, 128) > sneak_leakage_fraction(&agsi, 32));
+        assert!(sneak_leakage_fraction(&spin, 64) > sneak_leakage_fraction(&agsi, 64));
+        assert_eq!(sneak_leakage_fraction(&agsi, 1), 0.0);
+    }
+
+    #[test]
+    fn combined_error_bounded_and_monotone() {
+        let d = MemristorSpec::paper_default();
+        let mut prev = 0.0;
+        for size in [16, 32, 64, 128, 256] {
+            let e = combined_error(&d, size);
+            assert!((0.0..=1.0).contains(&e));
+            assert!(e >= prev, "combined error must not shrink with size");
+            prev = e;
+        }
+    }
+}

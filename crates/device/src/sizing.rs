@@ -1,0 +1,117 @@
+//! Technology-aware crossbar sizing.
+//!
+//! "RESPARC is a technology-aware architecture that maps a given SNN
+//! topology to the most optimized MCA size for the given crossbar
+//! technology" (abstract). The feasibility side of that claim lives here:
+//! given a device's non-ideality figures, which array sizes still compute
+//! reliably? The answer bounds the sizes the mapper may choose from
+//! (§3.1.1 cites 64×64 as the typical reliable size [11]).
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_device::memristor::MemristorSpec;
+//! use resparc_device::sizing::{feasible_sizes, max_feasible_size};
+//!
+//! let dev = MemristorSpec::paper_default();
+//! let sizes = feasible_sizes(&dev, 0.15);
+//! assert!(sizes.contains(&64));
+//! assert_eq!(max_feasible_size(&dev, 0.15), Some(*sizes.last().unwrap()));
+//! ```
+
+use crate::memristor::MemristorSpec;
+use crate::nonideal::combined_error;
+
+/// The candidate power-of-two array sizes RESPARC considers (the paper
+/// evaluates 32, 64 and 128).
+pub const CANDIDATE_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Returns the candidate sizes whose combined non-ideality error stays at
+/// or below `max_error`, in ascending order.
+pub fn feasible_sizes(device: &MemristorSpec, max_error: f64) -> Vec<usize> {
+    CANDIDATE_SIZES
+        .iter()
+        .copied()
+        .filter(|&s| combined_error(device, s) <= max_error)
+        .collect()
+}
+
+/// The largest feasible candidate size, if any.
+pub fn max_feasible_size(device: &MemristorSpec, max_error: f64) -> Option<usize> {
+    feasible_sizes(device, max_error).last().copied()
+}
+
+/// A per-technology feasibility report row (used by the technology
+/// explorer example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingReport {
+    /// Device family display name.
+    pub technology: &'static str,
+    /// Error estimates per candidate size, `(size, combined_error)`.
+    pub errors: Vec<(usize, f64)>,
+    /// Largest feasible size at the given error budget.
+    pub max_feasible: Option<usize>,
+}
+
+/// Builds a [`SizingReport`] for a device at the given error budget.
+pub fn sizing_report(device: &MemristorSpec, max_error: f64) -> SizingReport {
+    SizingReport {
+        technology: device.family.name(),
+        errors: CANDIDATE_SIZES
+            .iter()
+            .map(|&s| (s, combined_error(device, s)))
+            .collect(),
+        max_feasible: max_feasible_size(device, max_error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_device_supports_64() {
+        // The paper's main experiments use 64×64 arrays of the §4.2
+        // device; a sane error budget must admit them.
+        let dev = MemristorSpec::paper_default();
+        let sizes = feasible_sizes(&dev, 0.15);
+        assert!(sizes.contains(&64), "feasible sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn feasible_sizes_are_ascending_and_prefix_closed() {
+        let dev = MemristorSpec::paper_default();
+        let sizes = feasible_sizes(&dev, 0.2);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        // Error is monotone in size, so feasibility is a prefix of the
+        // candidates.
+        let all = CANDIDATE_SIZES;
+        assert_eq!(&all[..sizes.len()], sizes.as_slice());
+    }
+
+    #[test]
+    fn tighter_budget_shrinks_sizes() {
+        let dev = MemristorSpec::pcm();
+        let loose = feasible_sizes(&dev, 0.5);
+        let tight = feasible_sizes(&dev, 0.05);
+        assert!(tight.len() <= loose.len());
+    }
+
+    #[test]
+    fn low_resistance_technology_caps_smaller() {
+        // Spintronic devices (3 kΩ) suffer more IR drop than Ag-Si
+        // (20 kΩ), so their max feasible size cannot be larger.
+        let budget = 0.15;
+        let spin = max_feasible_size(&MemristorSpec::spintronic(), budget).unwrap_or(0);
+        let agsi = max_feasible_size(&MemristorSpec::paper_default(), budget).unwrap_or(0);
+        assert!(spin <= agsi, "spintronic {spin} vs Ag-Si {agsi}");
+    }
+
+    #[test]
+    fn report_has_all_candidates() {
+        let r = sizing_report(&MemristorSpec::paper_default(), 0.15);
+        assert_eq!(r.errors.len(), CANDIDATE_SIZES.len());
+        assert_eq!(r.technology, "Ag-Si");
+        assert!(r.max_feasible.is_some());
+    }
+}

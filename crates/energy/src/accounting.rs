@@ -1,0 +1,390 @@
+//! Energy accounting: fine-grained categories and the grouped breakdowns
+//! reported in the paper's Fig. 12.
+//!
+//! Simulators charge energy to a fine-grained [`Category`]; reports then
+//! fold categories into the paper's presentation groups:
+//!
+//! * RESPARC (Fig. 12 a/c): **Neuron**, **Crossbar**, **Peripherals**
+//!   (buffer + control + communication + input memory),
+//! * CMOS baseline (Fig. 12 b/d): **Core** (buffer + compute + control),
+//!   **Memory Access**, **Memory Leakage**.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_energy::accounting::{Category, EnergyBreakdown};
+//! use resparc_energy::units::Energy;
+//!
+//! let mut bd = EnergyBreakdown::new();
+//! bd.charge(Category::Crossbar, Energy::from_picojoules(140.0));
+//! bd.charge(Category::Buffer, Energy::from_picojoules(10.0));
+//! assert_eq!(bd.total(), Energy::from_picojoules(150.0));
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::units::Energy;
+
+/// Fine-grained energy category charged by the simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Spiking-neuron integration and firing.
+    Neuron,
+    /// Memristive crossbar analog reads (devices + drivers + sample/hold).
+    Crossbar,
+    /// Spike-packet and data buffers (iBUFF/oBUFF/tBUFF, FIFOs).
+    Buffer,
+    /// Control units (global, local, CCU, FSMs, decoders).
+    Control,
+    /// Communication fabric (switch network, gated wires, global bus).
+    Communication,
+    /// Digital compute datapath (CMOS baseline neuron units).
+    Compute,
+    /// SRAM dynamic access energy (reads + writes).
+    MemoryAccess,
+    /// SRAM leakage integrated over execution time.
+    MemoryLeakage,
+    /// Digital-logic leakage integrated over execution time.
+    LogicLeakage,
+}
+
+impl Category {
+    /// All categories, in presentation order.
+    pub const ALL: [Category; 9] = [
+        Category::Neuron,
+        Category::Crossbar,
+        Category::Buffer,
+        Category::Control,
+        Category::Communication,
+        Category::Compute,
+        Category::MemoryAccess,
+        Category::MemoryLeakage,
+        Category::LogicLeakage,
+    ];
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Neuron => "neuron",
+            Category::Crossbar => "crossbar",
+            Category::Buffer => "buffer",
+            Category::Control => "control",
+            Category::Communication => "communication",
+            Category::Compute => "compute",
+            Category::MemoryAccess => "memory-access",
+            Category::MemoryLeakage => "memory-leakage",
+            Category::LogicLeakage => "logic-leakage",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Category::Neuron => 0,
+            Category::Crossbar => 1,
+            Category::Buffer => 2,
+            Category::Control => 3,
+            Category::Communication => 4,
+            Category::Compute => 5,
+            Category::MemoryAccess => 6,
+            Category::MemoryLeakage => 7,
+            Category::LogicLeakage => 8,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three RESPARC presentation groups of Fig. 12 (a) and (c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResparcGroup {
+    /// IF neuron integration/firing.
+    Neuron,
+    /// Crossbar analog computation.
+    Crossbar,
+    /// Buffers, control and communication (including the input SRAM).
+    Peripherals,
+}
+
+impl ResparcGroup {
+    /// All groups in presentation order.
+    pub const ALL: [ResparcGroup; 3] = [
+        ResparcGroup::Neuron,
+        ResparcGroup::Crossbar,
+        ResparcGroup::Peripherals,
+    ];
+
+    /// Folds a fine-grained category into its RESPARC group.
+    pub fn from_category(cat: Category) -> Self {
+        match cat {
+            Category::Neuron => ResparcGroup::Neuron,
+            Category::Crossbar => ResparcGroup::Crossbar,
+            _ => ResparcGroup::Peripherals,
+        }
+    }
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResparcGroup::Neuron => "Neuron",
+            ResparcGroup::Crossbar => "Crossbar",
+            ResparcGroup::Peripherals => "Peripherals",
+        }
+    }
+}
+
+impl fmt::Display for ResparcGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three CMOS-baseline presentation groups of Fig. 12 (b) and (d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmosGroup {
+    /// Buffers, compute units and control.
+    Core,
+    /// Weight/input memory dynamic access.
+    MemoryAccess,
+    /// Memory leakage over execution time.
+    MemoryLeakage,
+}
+
+impl CmosGroup {
+    /// All groups in presentation order.
+    pub const ALL: [CmosGroup; 3] = [
+        CmosGroup::Core,
+        CmosGroup::MemoryAccess,
+        CmosGroup::MemoryLeakage,
+    ];
+
+    /// Folds a fine-grained category into its CMOS group.
+    pub fn from_category(cat: Category) -> Self {
+        match cat {
+            Category::MemoryAccess => CmosGroup::MemoryAccess,
+            Category::MemoryLeakage => CmosGroup::MemoryLeakage,
+            _ => CmosGroup::Core,
+        }
+    }
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmosGroup::Core => "Core",
+            CmosGroup::MemoryAccess => "Memory Access",
+            CmosGroup::MemoryLeakage => "Memory Leakage",
+        }
+    }
+}
+
+impl fmt::Display for CmosGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An additive energy ledger keyed by [`Category`].
+///
+/// The breakdown guarantees `total() == Σ get(c)` for all categories, which
+/// the property tests rely on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    entries: [Energy; Category::ALL.len()],
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty (all-zero) breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `energy` to `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `energy` is negative or non-finite; charge
+    /// ledgers are append-only.
+    pub fn charge(&mut self, category: Category, energy: Energy) {
+        debug_assert!(
+            energy.is_finite() && energy.picojoules() >= 0.0,
+            "charged energy must be finite and non-negative, got {energy}"
+        );
+        self.entries[category.index()] += energy;
+    }
+
+    /// The energy charged to one category.
+    pub fn get(&self, category: Category) -> Energy {
+        self.entries[category.index()]
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> Energy {
+        self.entries.iter().copied().sum()
+    }
+
+    /// Iterates `(category, energy)` pairs in presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, Energy)> + '_ {
+        Category::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Iterates only the non-zero `(category, energy)` pairs.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Category, Energy)> + '_ {
+        self.iter().filter(|(_, e)| !e.is_zero())
+    }
+
+    /// Folds the ledger into the RESPARC groups of Fig. 12 (a)/(c).
+    pub fn resparc_groups(&self) -> [(ResparcGroup, Energy); 3] {
+        let mut out = ResparcGroup::ALL.map(|g| (g, Energy::ZERO));
+        for (cat, e) in self.iter() {
+            let g = ResparcGroup::from_category(cat);
+            let slot = out.iter_mut().find(|(og, _)| *og == g).expect("group present");
+            slot.1 += e;
+        }
+        out
+    }
+
+    /// Folds the ledger into the CMOS groups of Fig. 12 (b)/(d).
+    pub fn cmos_groups(&self) -> [(CmosGroup, Energy); 3] {
+        let mut out = CmosGroup::ALL.map(|g| (g, Energy::ZERO));
+        for (cat, e) in self.iter() {
+            let g = CmosGroup::from_category(cat);
+            let slot = out.iter_mut().find(|(og, _)| *og == g).expect("group present");
+            slot.1 += e;
+        }
+        out
+    }
+
+    /// Scales every category by a dimensionless factor (e.g. averaging over
+    /// classifications).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        for e in &mut out.entries {
+            *e = *e * factor;
+        }
+        out
+    }
+
+    /// Merges another breakdown into this one, category-wise.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for (i, e) in other.entries.iter().enumerate() {
+            self.entries[i] += *e;
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.3}", self.total())?;
+        for (cat, e) in self.iter_nonzero() {
+            let share = if self.total().is_zero() {
+                0.0
+            } else {
+                100.0 * (e / self.total())
+            };
+            writeln!(f, "  {:<16} {:>14.3}  ({share:5.1}%)", cat.name(), e)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        let mut bd = EnergyBreakdown::new();
+        bd.charge(Category::Neuron, Energy::from_picojoules(1.0));
+        bd.charge(Category::Crossbar, Energy::from_picojoules(2.0));
+        bd.charge(Category::Buffer, Energy::from_picojoules(3.0));
+        bd.charge(Category::Control, Energy::from_picojoules(4.0));
+        bd.charge(Category::Communication, Energy::from_picojoules(5.0));
+        bd.charge(Category::Compute, Energy::from_picojoules(6.0));
+        bd.charge(Category::MemoryAccess, Energy::from_picojoules(7.0));
+        bd.charge(Category::MemoryLeakage, Energy::from_picojoules(8.0));
+        bd.charge(Category::LogicLeakage, Energy::from_picojoules(9.0));
+        bd
+    }
+
+    #[test]
+    fn total_is_sum_of_categories() {
+        let bd = sample();
+        assert_eq!(bd.total(), Energy::from_picojoules(45.0));
+    }
+
+    #[test]
+    fn resparc_grouping_partitions_total() {
+        let bd = sample();
+        let groups = bd.resparc_groups();
+        let sum: Energy = groups.iter().map(|(_, e)| *e).sum();
+        assert_eq!(sum, bd.total());
+        assert_eq!(groups[0], (ResparcGroup::Neuron, Energy::from_picojoules(1.0)));
+        assert_eq!(groups[1], (ResparcGroup::Crossbar, Energy::from_picojoules(2.0)));
+        assert_eq!(
+            groups[2],
+            (ResparcGroup::Peripherals, Energy::from_picojoules(42.0))
+        );
+    }
+
+    #[test]
+    fn cmos_grouping_partitions_total() {
+        let bd = sample();
+        let groups = bd.cmos_groups();
+        let sum: Energy = groups.iter().map(|(_, e)| *e).sum();
+        assert_eq!(sum, bd.total());
+        assert_eq!(groups[1], (CmosGroup::MemoryAccess, Energy::from_picojoules(7.0)));
+        assert_eq!(
+            groups[2],
+            (CmosGroup::MemoryLeakage, Energy::from_picojoules(8.0))
+        );
+    }
+
+    #[test]
+    fn merge_adds_category_wise() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), Energy::from_picojoules(90.0));
+        assert_eq!(a.get(Category::Buffer), Energy::from_picojoules(6.0));
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let bd = sample().scaled(0.5);
+        assert_eq!(bd.total(), Energy::from_picojoules(22.5));
+    }
+
+    #[test]
+    fn display_lists_nonzero_categories() {
+        let mut bd = EnergyBreakdown::new();
+        bd.charge(Category::Crossbar, Energy::from_picojoules(2.0));
+        let s = format!("{bd}");
+        assert!(s.contains("crossbar"));
+        assert!(!s.contains("neuron"));
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let mut bd = EnergyBreakdown::new();
+        bd.charge(Category::Compute, Energy::from_picojoules(1.0));
+        assert_eq!(bd.iter_nonzero().count(), 1);
+    }
+}

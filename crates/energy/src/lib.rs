@@ -1,0 +1,55 @@
+//! Energy, latency and area modelling substrate for the RESPARC
+//! reproduction.
+//!
+//! The DAC 2017 RESPARC paper estimates hardware cost with a commercial
+//! flow: peripheral RTL synthesized to IBM 45 nm with Synopsys Design
+//! Compiler / Power Compiler, and SRAM modelled with CACTI 6.0. This crate
+//! is the offline substitute for that flow. It provides:
+//!
+//! * [`units`] — dimension-safe newtypes ([`Energy`], [`Power`], [`Time`],
+//!   [`Area`], [`Frequency`]) chosen so `mW × ns = pJ` exactly,
+//! * [`components`] — a calibrated per-operation energy catalog for the
+//!   45 nm digital periphery ([`ComponentCatalog`]) plus the paper's
+//!   published aggregate metrics ([`ReportedMetrics`], Figs. 8–9),
+//! * [`sram`] — *CACTI-mini*, an analytic SRAM access-energy / leakage /
+//!   area model ([`SramSpec`], [`SramModel`]),
+//! * [`accounting`] — the additive [`EnergyBreakdown`] ledger and the
+//!   grouped views used by the paper's Fig. 12 ([`ResparcGroup`],
+//!   [`CmosGroup`]).
+//!
+//! # Examples
+//!
+//! Charging and reporting energy the way the simulators do:
+//!
+//! ```
+//! use resparc_energy::prelude::*;
+//!
+//! let catalog = ComponentCatalog::ibm45();
+//! let mut ledger = EnergyBreakdown::new();
+//! // A 64-bit spike packet crosses one programmable switch:
+//! ledger.charge(Category::Communication, catalog.switch_hop(64));
+//! // ... and the destination neuron integrates one phase:
+//! ledger.charge(Category::Neuron, catalog.neuron_integrate);
+//! assert!(ledger.total() > Energy::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod components;
+pub mod sram;
+pub mod units;
+
+pub use accounting::{Category, CmosGroup, EnergyBreakdown, ResparcGroup};
+pub use components::{ComponentCatalog, ReportedMetrics, TechnologyNode};
+pub use sram::{SramModel, SramSpec};
+pub use units::{Area, Energy, Frequency, Power, Time};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::accounting::{Category, CmosGroup, EnergyBreakdown, ResparcGroup};
+    pub use crate::components::{ComponentCatalog, ReportedMetrics, TechnologyNode};
+    pub use crate::sram::{SramModel, SramSpec};
+    pub use crate::units::{Area, Energy, Frequency, Power, Time};
+}

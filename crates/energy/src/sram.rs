@@ -1,0 +1,234 @@
+//! CACTI-mini: an analytic SRAM energy / leakage / area model.
+//!
+//! The RESPARC paper models its input memory (and the CMOS baseline's weight
+//! memory) with CACTI 6.0 [18]. CACTI itself is a large C++ tool; this
+//! module substitutes a compact analytic model whose outputs sit in the
+//! published CACTI 45 nm ranges:
+//!
+//! * dynamic read energy grows with the square root of the per-bank
+//!   capacity (bitline/wordline lengths grow with array edge) and roughly
+//!   linearly with the word width,
+//! * leakage power is proportional to capacity,
+//! * area is proportional to bit count with a periphery overhead.
+//!
+//! The calibration constants are documented on [`SramModel`] and can be
+//! re-derived from any CACTI run; the experiments in this repository only
+//! rely on the *relative* behaviour (bigger memory ⇒ costlier access and
+//! more leakage), which is structural rather than numeric.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_energy::sram::SramSpec;
+//!
+//! let weights = SramSpec::new(64 * 1024, 32).build();
+//! assert!(weights.read_energy().picojoules() > 1.0);
+//! assert!(weights.leakage().milliwatts() > 0.1);
+//! ```
+
+use crate::units::{Area, Energy, Power};
+
+/// Per-kilobyte leakage power at 45 nm (mW/KB).
+const LEAKAGE_MW_PER_KB: f64 = 0.030;
+/// Fixed decode/sense overhead per access (pJ).
+const ACCESS_BASE_PJ: f64 = 0.8;
+/// Bitline/wordline term: pJ per sqrt(KB-per-bank).
+const ACCESS_SQRT_PJ: f64 = 1.6;
+/// Area per bit including periphery at 45 nm (µm²/bit).
+const AREA_UM2_PER_BIT: f64 = 0.60;
+/// Write energy relative to read energy.
+const WRITE_FACTOR: f64 = 1.15;
+/// Inter-bank routing overhead per doubling of bank count.
+const BANK_ROUTE_FACTOR: f64 = 0.08;
+
+/// Parameters describing an SRAM macro.
+///
+/// Construct with [`SramSpec::new`], optionally adjust the bank count, then
+/// call [`SramSpec::build`] to obtain the derived [`SramModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramSpec {
+    capacity_bytes: usize,
+    word_bits: u32,
+    banks: u32,
+}
+
+impl SramSpec {
+    /// Creates a single-bank SRAM spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` or `word_bits` is zero.
+    pub fn new(capacity_bytes: usize, word_bits: u32) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be non-zero");
+        assert!(word_bits > 0, "SRAM word width must be non-zero");
+        Self {
+            capacity_bytes,
+            word_bits,
+            banks: 1,
+        }
+    }
+
+    /// Sets the number of independent banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks > 0, "bank count must be non-zero");
+        self.banks = banks;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Derives the energy/leakage/area model for this spec.
+    pub fn build(self) -> SramModel {
+        let kb = self.capacity_bytes as f64 / 1024.0;
+        let kb_per_bank = kb / self.banks as f64;
+        // Wider words read more bitlines per access; decode is shared, so
+        // the width term saturates below linear.
+        let width_factor = 0.4 + 0.6 * (self.word_bits as f64 / 32.0);
+        let route_factor = 1.0 + BANK_ROUTE_FACTOR * (self.banks as f64).log2();
+        let read_pj =
+            (ACCESS_BASE_PJ + ACCESS_SQRT_PJ * kb_per_bank.sqrt()) * width_factor * route_factor;
+        SramModel {
+            spec: self,
+            read_energy: Energy::from_picojoules(read_pj),
+            write_energy: Energy::from_picojoules(read_pj * WRITE_FACTOR),
+            leakage: Power::from_milliwatts(LEAKAGE_MW_PER_KB * kb),
+            area: Area::from_square_microns(
+                self.capacity_bytes as f64 * 8.0 * AREA_UM2_PER_BIT,
+            ),
+        }
+    }
+}
+
+/// Derived SRAM macro model: per-access energies, leakage power and area.
+///
+/// Produced by [`SramSpec::build`]; see the module docs for the analytic
+/// form and calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    spec: SramSpec,
+    read_energy: Energy,
+    write_energy: Energy,
+    leakage: Power,
+    area: Area,
+}
+
+impl SramModel {
+    /// The spec this model was derived from.
+    pub fn spec(&self) -> &SramSpec {
+        &self.spec
+    }
+
+    /// Dynamic energy for one word read.
+    pub fn read_energy(&self) -> Energy {
+        self.read_energy
+    }
+
+    /// Dynamic energy for one word write.
+    pub fn write_energy(&self) -> Energy {
+        self.write_energy
+    }
+
+    /// Static leakage power of the whole macro.
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Macro area including periphery.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Dynamic energy for reading `words` words.
+    pub fn read_many(&self, words: u64) -> Energy {
+        self.read_energy * words as f64
+    }
+
+    /// Dynamic energy for writing `words` words.
+    pub fn write_many(&self, words: u64) -> Energy {
+        self.write_energy * words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_capacity_costs_more_per_access() {
+        let small = SramSpec::new(2 * 1024, 32).build();
+        let big = SramSpec::new(1024 * 1024, 32).build();
+        assert!(big.read_energy() > small.read_energy());
+        assert!(big.leakage() > small.leakage());
+        assert!(big.area() > small.area());
+    }
+
+    #[test]
+    fn leakage_scales_linearly_with_capacity() {
+        let a = SramSpec::new(64 * 1024, 32).build();
+        let b = SramSpec::new(128 * 1024, 32).build();
+        let ratio = b.leakage() / a.leakage();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banking_reduces_access_energy_for_large_arrays() {
+        let mono = SramSpec::new(1024 * 1024, 32).build();
+        let banked = SramSpec::new(1024 * 1024, 32).with_banks(8).build();
+        assert!(banked.read_energy() < mono.read_energy());
+    }
+
+    #[test]
+    fn wider_words_cost_more() {
+        let narrow = SramSpec::new(64 * 1024, 16).build();
+        let wide = SramSpec::new(64 * 1024, 64).build();
+        assert!(wide.read_energy() > narrow.read_energy());
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let m = SramSpec::new(64 * 1024, 32).build();
+        assert!(m.write_energy() > m.read_energy());
+        assert!((m.write_energy() / m.read_energy() - WRITE_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_is_in_cacti_45nm_ballpark() {
+        // 64 KB / 32-bit: CACTI 6.0 at 45 nm reports roughly 5-30 pJ/read
+        // and 1-3 mW leakage.
+        let m = SramSpec::new(64 * 1024, 32).build();
+        let pj = m.read_energy().picojoules();
+        assert!((5.0..30.0).contains(&pj), "read energy {pj} pJ out of range");
+        let mw = m.leakage().milliwatts();
+        assert!((0.5..4.0).contains(&mw), "leakage {mw} mW out of range");
+    }
+
+    #[test]
+    fn read_many_is_linear() {
+        let m = SramSpec::new(8 * 1024, 32).build();
+        assert_eq!(m.read_many(10), m.read_energy() * 10.0);
+        assert_eq!(m.write_many(0), Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SramSpec::new(0, 32);
+    }
+}

@@ -1,0 +1,520 @@
+//! Physical-quantity newtypes used throughout the RESPARC models.
+//!
+//! The units are chosen so that the common hardware-modelling identity
+//! `energy = power × time` needs no conversion factors:
+//!
+//! * [`Energy`] is stored in **picojoules** (pJ),
+//! * [`Power`] in **milliwatts** (mW),
+//! * [`Time`] in **nanoseconds** (ns),
+//!
+//! and `1 mW × 1 ns = 1 pJ` exactly. [`Area`] is stored in square
+//! micrometres and [`Frequency`] in megahertz (`1 / MHz = µs`, so
+//! [`Frequency::period`] returns nanoseconds via a factor of 1000).
+//!
+//! All newtypes are `Copy` wrappers around `f64` with the arithmetic that is
+//! physically meaningful (adding energies, scaling by dimensionless factors,
+//! dividing energy by time to get power, …). Dimensionally nonsensical
+//! operations simply do not exist, which catches unit bugs at compile time.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_energy::units::{Energy, Power, Time};
+//!
+//! let leakage = Power::from_milliwatts(35.1);
+//! let runtime = Time::from_micros(2.0);
+//! let bill: Energy = leakage * runtime;
+//! assert!((bill.picojoules() - 70_200.0).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the boilerplate shared by every quantity newtype.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw magnitude in the canonical unit.
+            #[inline]
+            pub fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the magnitude is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` if the magnitude is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + *x)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// An amount of energy, canonically in picojoules.
+    Energy,
+    "pJ"
+);
+quantity!(
+    /// A power draw, canonically in milliwatts.
+    Power,
+    "mW"
+);
+quantity!(
+    /// A duration, canonically in nanoseconds.
+    Time,
+    "ns"
+);
+quantity!(
+    /// A silicon area, canonically in square micrometres.
+    Area,
+    "um^2"
+);
+
+impl Energy {
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self(pj)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[inline]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self(uj * 1e6)
+    }
+
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Self(fj * 1e-3)
+    }
+
+    /// The magnitude in picojoules.
+    #[inline]
+    pub fn picojoules(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude in nanojoules.
+    #[inline]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The magnitude in microjoules.
+    #[inline]
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self(uw * 1e-3)
+    }
+
+    /// Creates a power from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        Self(w * 1e3)
+    }
+
+    /// The magnitude in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude in microwatts.
+    #[inline]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The magnitude in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Time {
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self(us * 1e3)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e6)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Self(s * 1e9)
+    }
+
+    /// The magnitude in nanoseconds.
+    #[inline]
+    pub fn nanoseconds(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude in microseconds.
+    #[inline]
+    pub fn microseconds(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The magnitude in milliseconds.
+    #[inline]
+    pub fn milliseconds(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The magnitude in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0 * 1e-9
+    }
+}
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[inline]
+    pub fn from_square_microns(um2: f64) -> Self {
+        Self(um2)
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub fn from_square_millimeters(mm2: f64) -> Self {
+        Self(mm2 * 1e6)
+    }
+
+    /// The magnitude in square micrometres.
+    #[inline]
+    pub fn square_microns(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude in square millimetres.
+    #[inline]
+    pub fn square_millimeters(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+/// A clock frequency, canonically in megahertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive.
+    #[inline]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "frequency must be positive, got {mhz} MHz");
+        Self(mhz)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::from_megahertz(ghz * 1e3)
+    }
+
+    /// The magnitude in megahertz.
+    #[inline]
+    pub fn megahertz(self) -> f64 {
+        self.0
+    }
+
+    /// The magnitude in gigahertz.
+    #[inline]
+    pub fn gigahertz(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The clock period corresponding to this frequency.
+    #[inline]
+    pub fn period(self) -> Time {
+        Time::from_nanos(1e3 / self.0)
+    }
+
+    /// Converts a cycle count at this frequency into wall-clock time.
+    #[inline]
+    pub fn cycles_to_time(self, cycles: u64) -> Time {
+        self.period() * cycles as f64
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e3 {
+            write!(f, "{} GHz", self.0 * 1e-3)
+        } else {
+            write!(f, "{} MHz", self.0)
+        }
+    }
+}
+
+// --- cross-quantity relations -------------------------------------------
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    /// `power × time = energy` (mW × ns = pJ).
+    #[inline]
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    /// `energy / time = power` (pJ / ns = mW).
+    #[inline]
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Time;
+    /// `energy / power = time` (pJ / mW = ns).
+    #[inline]
+    fn div(self, rhs: Power) -> Time {
+        Time(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_milliwatts(2.0) * Time::from_nanos(3.0);
+        assert_eq!(e, Energy::from_picojoules(6.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_picojoules(10.0) / Time::from_nanos(4.0);
+        assert_eq!(p, Power::from_milliwatts(2.5));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Energy::from_picojoules(10.0) / Power::from_milliwatts(2.0);
+        assert_eq!(t, Time::from_nanos(5.0));
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert!((Energy::from_nanojoules(1.5).picojoules() - 1500.0).abs() < 1e-12);
+        assert!((Energy::from_microjoules(2.0).nanojoules() - 2_000_000.0 * 1e-3).abs() < 1e-6);
+        assert!((Power::from_watts(0.0351).milliwatts() - 35.1).abs() < 1e-12);
+        assert!((Time::from_secs(1e-6).microseconds() - 1.0).abs() < 1e-12);
+        assert!((Area::from_square_millimeters(0.29).square_microns() - 290_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period() {
+        let f = Frequency::from_megahertz(200.0);
+        assert!((f.period().nanoseconds() - 5.0).abs() < 1e-12);
+        let g = Frequency::from_gigahertz(1.0);
+        assert!((g.period().nanoseconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let f = Frequency::from_megahertz(200.0);
+        assert!((f.cycles_to_time(1000).microseconds() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_and_ratios() {
+        let es = [Energy::from_picojoules(1.0), Energy::from_picojoules(2.5)];
+        let total: Energy = es.iter().sum();
+        assert_eq!(total, Energy::from_picojoules(3.5));
+        assert!((total / Energy::from_picojoules(7.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(format!("{:.1}", Energy::from_picojoules(1.25)), "1.2 pJ");
+        assert_eq!(format!("{}", Frequency::from_gigahertz(1.0)), "1 GHz");
+        assert_eq!(format!("{}", Frequency::from_megahertz(200.0)), "200 MHz");
+    }
+
+    #[test]
+    fn min_max_and_zero() {
+        let a = Energy::from_picojoules(1.0);
+        let b = Energy::from_picojoules(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(Energy::ZERO.is_zero());
+        assert!(!a.is_zero());
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_megahertz(0.0);
+    }
+}

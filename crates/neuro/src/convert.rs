@@ -1,0 +1,179 @@
+//! ANN → SNN conversion by data-based weight/threshold balancing.
+//!
+//! The paper's benchmarks are "trained using the supervised learning
+//! algorithm proposed in [4]" (Diehl et al., IJCNN 2015): train a ReLU ANN,
+//! then rescale each layer so that an Integrate-and-Fire network with unit
+//! thresholds reproduces the ANN's activation ratios as firing rates. The
+//! balancing used here is the data-based variant: for each layer, find the
+//! `percentile`-th largest activation over a calibration set and scale
+//! weights by the ratio of consecutive layer percentiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_neuro::convert::{normalize_for_snn, NormalizationReport};
+//! use resparc_neuro::network::Network;
+//! use resparc_neuro::topology::Topology;
+//!
+//! let mut net = Network::random(Topology::mlp(8, &[6, 3]), 5, 1.0);
+//! let calib: Vec<Vec<f32>> = (0..16).map(|i| vec![(i as f32) / 16.0; 8]).collect();
+//! let report: NormalizationReport = normalize_for_snn(&mut net, &calib, 0.99);
+//! assert_eq!(report.scale_factors.len(), 2);
+//! ```
+
+use crate::network::Network;
+
+/// Outcome of a normalisation pass: the per-layer activation percentiles
+/// observed and the scale factor applied to each layer's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizationReport {
+    /// Observed per-layer activation percentile before scaling.
+    pub activation_percentiles: Vec<f32>,
+    /// Multiplicative factor applied to each layer's weights.
+    pub scale_factors: Vec<f32>,
+}
+
+/// Rescales `net`'s weights in place (Diehl-style data-based
+/// normalisation) so spiking inference with unit thresholds tracks the
+/// analog activations. Returns what was measured and applied.
+///
+/// `percentile` selects the activation quantile used as "max" (`0.99` in
+/// the original paper; `1.0` = strict max).
+///
+/// # Panics
+///
+/// Panics if `calibration` is empty or `percentile` is outside `(0, 1]`.
+pub fn normalize_for_snn(
+    net: &mut Network,
+    calibration: &[Vec<f32>],
+    percentile: f64,
+) -> NormalizationReport {
+    assert!(!calibration.is_empty(), "calibration set must be non-empty");
+    assert!(
+        percentile > 0.0 && percentile <= 1.0,
+        "percentile must be in (0, 1], got {percentile}"
+    );
+
+    let n_layers = net.layers().len();
+    // Gather all activations per layer across the calibration set.
+    let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+    for x in calibration {
+        let acts = net.forward_analog_all(x);
+        for (li, a) in acts.into_iter().enumerate() {
+            per_layer[li].extend(a.into_iter().filter(|v| *v > 0.0));
+        }
+    }
+
+    let percentiles: Vec<f32> = per_layer
+        .iter()
+        .map(|acts| quantile(acts, percentile))
+        .collect();
+
+    // Scale layer l by prev_p / p_l, where prev_p is the previous layer's
+    // percentile (1.0 for the input, which is already in [0, 1]).
+    let mut scale_factors = Vec::with_capacity(n_layers);
+    let mut prev_p = 1.0f32;
+    for (li, &p) in percentiles.iter().enumerate() {
+        let p = if p <= 0.0 { 1.0 } else { p };
+        let factor = prev_p / p;
+        for w in net.layers_mut()[li].weights_mut() {
+            *w *= factor;
+        }
+        scale_factors.push(factor);
+        // After scaling, this layer's activations peak near 1.0.
+        prev_p = 1.0;
+    }
+
+    NormalizationReport {
+        activation_percentiles: percentiles,
+        scale_factors,
+    }
+}
+
+/// The `q`-th quantile of a sample (0 < q ≤ 1); 0 if the sample is empty.
+fn quantile(xs: &[f32], q: f64) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite activations"));
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::RegularEncoder;
+    use crate::network::{Layer, Network};
+    use crate::topology::{LayerSpec, Topology};
+
+    #[test]
+    fn quantile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(quantile(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn normalization_caps_activations_near_one() {
+        let mut net = Network::random(Topology::mlp(16, &[12, 4]), 11, 3.0);
+        let calib: Vec<Vec<f32>> = (0..32)
+            .map(|i| (0..16).map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0).collect())
+            .collect();
+        normalize_for_snn(&mut net, &calib, 1.0);
+        // After normalisation, re-measured max activations are ≤ ~1.
+        let mut max_act = 0.0f32;
+        for x in &calib {
+            for a in net.forward_analog_all(x) {
+                for v in a {
+                    max_act = max_act.max(v);
+                }
+            }
+        }
+        assert!(max_act <= 1.0 + 1e-4, "max activation {max_act}");
+    }
+
+    #[test]
+    fn normalized_snn_tracks_analog_ratios() {
+        // A hand-built net with large weights; after normalisation the
+        // spiking rates should reproduce the analog output ordering.
+        let l0 = Layer::new(
+            LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            },
+            vec![4.0, 0.0, 0.0, 2.0],
+            1.0,
+        );
+        let mut net = Network::new(2, vec![l0]);
+        let calib = vec![vec![1.0, 1.0], vec![0.5, 0.8]];
+        normalize_for_snn(&mut net, &calib, 1.0);
+
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[0.9, 0.9], 300);
+        let mut runner = net.spiking();
+        let out = runner.run(&raster);
+        // Analog outputs are (4·0.9, 2·0.9): neuron 0 should fire about
+        // twice as often as neuron 1.
+        let ratio = out.output_counts[0] as f64 / out.output_counts[1].max(1) as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn report_shapes_match_layers() {
+        let mut net = Network::random(Topology::mlp(4, &[3, 2]), 0, 1.0);
+        let report = normalize_for_snn(&mut net, &[vec![0.5; 4]], 0.99);
+        assert_eq!(report.scale_factors.len(), 2);
+        assert_eq!(report.activation_percentiles.len(), 2);
+        assert!(report.scale_factors.iter().all(|f| f.is_finite() && *f > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration set must be non-empty")]
+    fn empty_calibration_panics() {
+        let mut net = Network::random(Topology::mlp(4, &[2]), 0, 1.0);
+        normalize_for_snn(&mut net, &[], 0.99);
+    }
+}

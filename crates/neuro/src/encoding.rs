@@ -1,0 +1,170 @@
+//! Input spike encoding: converting analog stimulus intensities into spike
+//! trains.
+//!
+//! SNNs "require the input to be encoded as spike trains" (paper §2.1). The
+//! standard scheme — and the one used by the Diehl et al. conversion flow
+//! the paper trains with — is *rate coding*: a pixel of intensity `p ∈
+//! [0, 1]` spikes with probability `p · max_rate` in each timestep.
+//!
+//! Two encoders are provided:
+//!
+//! * [`PoissonEncoder`] — stochastic Bernoulli/Poisson rate coding (the
+//!   realistic one; seeded for reproducibility),
+//! * [`RegularEncoder`] — deterministic evenly-spaced spikes at the same
+//!   mean rate (useful for exact, noise-free tests).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::spike::{SpikeRaster, SpikeVector};
+
+/// Stochastic rate encoder: intensity `p` spikes with probability
+/// `p × max_rate` per timestep, independently across steps and neurons.
+#[derive(Debug)]
+pub struct PoissonEncoder {
+    max_rate: f64,
+    rng: StdRng,
+}
+
+impl PoissonEncoder {
+    /// Creates an encoder with the given peak per-step spike probability
+    /// and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is outside `(0, 1]`.
+    pub fn new(max_rate: f64, seed: u64) -> Self {
+        assert!(
+            max_rate > 0.0 && max_rate <= 1.0,
+            "max_rate must be in (0, 1], got {max_rate}"
+        );
+        Self {
+            max_rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Peak per-step spike probability.
+    pub fn max_rate(&self) -> f64 {
+        self.max_rate
+    }
+
+    /// Encodes intensities (`[0, 1]`, clamped) into a raster of `steps`
+    /// timesteps.
+    pub fn encode(&mut self, intensities: &[f32], steps: usize) -> SpikeRaster {
+        let mut raster = SpikeRaster::new(intensities.len());
+        for _ in 0..steps {
+            let mut v = SpikeVector::new(intensities.len());
+            for (i, &p) in intensities.iter().enumerate() {
+                let prob = (p.clamp(0.0, 1.0) as f64) * self.max_rate;
+                if prob > 0.0 && self.rng.random_bool(prob) {
+                    v.set(i, true);
+                }
+            }
+            raster.push(v);
+        }
+        raster
+    }
+}
+
+/// Deterministic rate encoder: intensity `p` produces evenly spaced spikes
+/// with mean rate `p × max_rate` using per-neuron phase accumulators.
+#[derive(Debug, Clone)]
+pub struct RegularEncoder {
+    max_rate: f64,
+}
+
+impl RegularEncoder {
+    /// Creates an encoder with the given peak per-step rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is outside `(0, 1]`.
+    pub fn new(max_rate: f64) -> Self {
+        assert!(
+            max_rate > 0.0 && max_rate <= 1.0,
+            "max_rate must be in (0, 1], got {max_rate}"
+        );
+        Self { max_rate }
+    }
+
+    /// Encodes intensities into a deterministic raster of `steps`
+    /// timesteps.
+    pub fn encode(&self, intensities: &[f32], steps: usize) -> SpikeRaster {
+        let mut raster = SpikeRaster::new(intensities.len());
+        let mut phase = vec![0.0f64; intensities.len()];
+        for _ in 0..steps {
+            let mut v = SpikeVector::new(intensities.len());
+            for (i, &p) in intensities.iter().enumerate() {
+                phase[i] += (p.clamp(0.0, 1.0) as f64) * self.max_rate;
+                if phase[i] >= 1.0 {
+                    phase[i] -= 1.0;
+                    v.set(i, true);
+                }
+            }
+            raster.push(v);
+        }
+        raster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_tracks_intensity() {
+        let mut enc = PoissonEncoder::new(1.0, 7);
+        let raster = enc.encode(&[0.5; 64], 2_000);
+        let rate = raster.mean_rate();
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = PoissonEncoder::new(0.8, 42).encode(&[0.3; 32], 50);
+        let b = PoissonEncoder::new(0.8, 42).encode(&[0.3; 32], 50);
+        assert_eq!(a, b);
+        let c = PoissonEncoder::new(0.8, 43).encode(&[0.3; 32], 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_intensity_is_silent() {
+        let mut enc = PoissonEncoder::new(1.0, 1);
+        let raster = enc.encode(&[0.0; 16], 100);
+        assert_eq!(raster.total_spikes(), 0);
+    }
+
+    #[test]
+    fn regular_rate_is_exact() {
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[0.25], 400);
+        assert_eq!(raster.total_spikes(), 100);
+    }
+
+    #[test]
+    fn regular_spikes_are_evenly_spaced() {
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[0.5], 10);
+        // Rate 0.5: spike every other step.
+        let pattern: Vec<bool> = raster.iter().map(|s| s.get(0)).collect();
+        assert_eq!(
+            pattern,
+            vec![false, true, false, true, false, true, false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn intensities_above_one_are_clamped() {
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[5.0], 10);
+        assert_eq!(raster.total_spikes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rate must be in (0, 1]")]
+    fn invalid_rate_panics() {
+        let _ = PoissonEncoder::new(1.5, 0);
+    }
+}

@@ -1,0 +1,580 @@
+//! Weighted networks and the functional (algorithm-level) SNN simulator.
+//!
+//! A [`Network`] couples a [`Topology`] with per-layer unique-weight arrays
+//! and firing thresholds. It supports two execution modes:
+//!
+//! * **analog forward** ([`Network::forward_analog`]) — the ANN view
+//!   (ReLU between layers), used for training and for the Diehl-style
+//!   ANN→SNN normalisation,
+//! * **spiking** ([`SnnRunner`]) — timestep-by-timestep IF dynamics on
+//!   binary spikes, used to measure accuracy (paper Fig. 14a) and to
+//!   extract the spike-activity statistics that drive the architectural
+//!   simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_neuro::network::Network;
+//! use resparc_neuro::topology::Topology;
+//!
+//! let net = Network::random(Topology::mlp(16, &[8, 4]), 42, 0.5);
+//! let out = net.forward_analog(&vec![0.5; 16]);
+//! assert_eq!(out.len(), 4);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::neuron::{Membrane, NeuronConfig};
+use crate::spike::{SpikeRaster, SpikeVector};
+use crate::topology::{LayerSpec, Topology};
+
+/// One weighted layer: spec + unique weights + firing threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    spec: LayerSpec,
+    /// Unique weights, indexed by the weight ids that
+    /// [`LayerSpec::for_each_synapse`] yields.
+    weights: Vec<f32>,
+    /// IF firing threshold used in spiking mode.
+    threshold: f32,
+}
+
+impl Layer {
+    /// Creates a layer; `weights.len()` must equal
+    /// [`LayerSpec::unique_weight_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a weight-count mismatch or non-positive threshold.
+    pub fn new(spec: LayerSpec, weights: Vec<f32>, threshold: f32) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.unique_weight_count(),
+            "weight count mismatch for {} layer",
+            spec.kind()
+        );
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self {
+            spec,
+            weights,
+            threshold,
+        }
+    }
+
+    /// The layer's structural spec.
+    pub fn spec(&self) -> &LayerSpec {
+        &self.spec
+    }
+
+    /// The unique-weight array.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable access to the unique-weight array (training, quantization).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// The spiking threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Sets the spiking threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn set_threshold(&mut self, threshold: f32) {
+        assert!(threshold > 0.0, "threshold must be positive");
+        self.threshold = threshold;
+    }
+}
+
+/// A complete weighted network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    input_count: usize,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Assembles a network from weighted layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer stack fails [`Topology`] validation.
+    pub fn new(input_count: usize, layers: Vec<Layer>) -> Self {
+        let specs: Vec<LayerSpec> = layers.iter().map(|l| *l.spec()).collect();
+        Topology::new(input_count, specs).expect("layer stack must be size-consistent");
+        Self {
+            input_count,
+            layers,
+        }
+    }
+
+    /// Builds a network over `topology` with Gaussian random weights of
+    /// standard deviation `scale / sqrt(fan_in)` (He-style), thresholds 1.
+    ///
+    /// Used for architectural experiments that need realistic weight
+    /// *distributions* but not trained accuracy.
+    pub fn random(topology: Topology, seed: u64, scale: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = topology
+            .layers()
+            .iter()
+            .map(|&spec| {
+                let n = spec.unique_weight_count();
+                let std = scale / (spec.max_fan_in().max(1) as f32).sqrt();
+                let weights = match spec {
+                    LayerSpec::AvgPool { window, .. } => {
+                        vec![1.0 / (window * window) as f32]
+                    }
+                    _ => (0..n).map(|_| gaussian(&mut rng) * std).collect(),
+                };
+                Layer::new(spec, weights, 1.0)
+            })
+            .collect();
+        Self {
+            input_count: topology.input_count(),
+            layers,
+        }
+    }
+
+    /// Number of input neurons.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The weighted layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// The structural topology of this network.
+    pub fn topology(&self) -> Topology {
+        Topology::new(
+            self.input_count,
+            self.layers.iter().map(|l| *l.spec()).collect(),
+        )
+        .expect("validated at construction")
+    }
+
+    /// Output class count (size of the last layer).
+    pub fn output_count(&self) -> usize {
+        self.layers.last().expect("non-empty").spec().output_count()
+    }
+
+    /// ANN-mode forward pass: ReLU after every layer except the last;
+    /// pooling layers stay linear. Returns the final-layer activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_count()`.
+    pub fn forward_analog(&self, input: &[f32]) -> Vec<f32> {
+        self.forward_analog_all(input)
+            .pop()
+            .expect("at least one layer")
+    }
+
+    /// ANN-mode forward pass returning every layer's post-activation
+    /// output (used by the conversion normaliser).
+    pub fn forward_analog_all(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(input.len(), self.input_count, "input size mismatch");
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut current: &[f32] = input;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0f32; layer.spec().output_count()];
+            let w = layer.weights();
+            layer.spec().for_each_synapse(|o, i, wid| {
+                out[o] += w[wid] * current[i];
+            });
+            let last = li + 1 == self.layers.len();
+            if !last && !matches!(layer.spec(), LayerSpec::AvgPool { .. }) {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+            current = acts.last().expect("just pushed");
+        }
+        acts
+    }
+
+    /// Argmax classification in ANN mode.
+    pub fn classify_analog(&self, input: &[f32]) -> usize {
+        argmax(&self.forward_analog(input))
+    }
+
+    /// Creates a spiking runner with fresh membranes.
+    pub fn spiking(&self) -> SnnRunner<'_> {
+        SnnRunner::new(self)
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite activations"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Box–Muller standard normal sample.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Input-major adjacency used by the event-driven spiking simulator: for
+/// each input neuron, the `(output, weight_id)` pairs it drives.
+#[derive(Debug, Clone)]
+struct InputMajor {
+    indptr: Vec<u32>,
+    targets: Vec<u32>,
+    weight_ids: Vec<u32>,
+}
+
+impl InputMajor {
+    fn from_spec(spec: &LayerSpec) -> Self {
+        let inputs = spec.input_count();
+        let mut counts = vec![0u32; inputs];
+        spec.for_each_synapse(|_, i, _| counts[i] += 1);
+        let mut indptr = Vec::with_capacity(inputs + 1);
+        indptr.push(0u32);
+        for &c in &counts {
+            indptr.push(indptr.last().unwrap() + c);
+        }
+        let total = *indptr.last().unwrap() as usize;
+        let mut targets = vec![0u32; total];
+        let mut weight_ids = vec![0u32; total];
+        let mut cursor: Vec<u32> = indptr[..inputs].to_vec();
+        spec.for_each_synapse(|o, i, w| {
+            let at = cursor[i] as usize;
+            targets[at] = o as u32;
+            weight_ids[at] = w as u32;
+            cursor[i] += 1;
+        });
+        Self {
+            indptr,
+            targets,
+            weight_ids,
+        }
+    }
+}
+
+/// Event-driven functional SNN simulator over a [`Network`].
+///
+/// Each [`SnnRunner::step`] consumes one timestep of input spikes,
+/// propagates them through every layer (all layers update concurrently on
+/// the previous step's spikes is *not* assumed — the standard feed-forward
+/// per-step sweep of the Diehl conversion flow is used) and returns the
+/// output layer's spikes.
+#[derive(Debug, Clone)]
+pub struct SnnRunner<'net> {
+    net: &'net Network,
+    adjacency: Vec<InputMajor>,
+    membranes: Vec<Vec<Membrane>>,
+    spikes: Vec<SpikeVector>,
+    /// Cumulative spike counts per layer (for activity statistics).
+    layer_spikes: Vec<u64>,
+    /// Cumulative synaptic events (active-input fan-out sum) per layer.
+    synaptic_events: Vec<u64>,
+    steps_run: u64,
+    output_counts: Vec<u32>,
+}
+
+impl<'net> SnnRunner<'net> {
+    /// Creates a runner with silent membranes.
+    pub fn new(net: &'net Network) -> Self {
+        let adjacency = net
+            .layers()
+            .iter()
+            .map(|l| InputMajor::from_spec(l.spec()))
+            .collect();
+        let membranes = net
+            .layers()
+            .iter()
+            .map(|l| vec![Membrane::new(); l.spec().output_count()])
+            .collect();
+        let spikes = net
+            .layers()
+            .iter()
+            .map(|l| SpikeVector::new(l.spec().output_count()))
+            .collect();
+        let n_layers = net.layers().len();
+        Self {
+            net,
+            adjacency,
+            membranes,
+            spikes,
+            layer_spikes: vec![0; n_layers],
+            synaptic_events: vec![0; n_layers],
+            steps_run: 0,
+            output_counts: vec![0; net.output_count()],
+        }
+    }
+
+    /// Advances one timestep; returns the output layer's spike vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != network.input_count()`.
+    pub fn step(&mut self, input: &SpikeVector) -> &SpikeVector {
+        assert_eq!(input.len(), self.net.input_count(), "input size mismatch");
+        let n_layers = self.net.layers().len();
+        for li in 0..n_layers {
+            let layer = &self.net.layers()[li];
+            let adj = &self.adjacency[li];
+            let w = layer.weights();
+            let mut currents = vec![0.0f32; layer.spec().output_count()];
+            {
+                let in_spikes = if li == 0 { input } else { &self.spikes[li - 1] };
+                for i in in_spikes.iter_ones() {
+                    let s = adj.indptr[i] as usize;
+                    let e = adj.indptr[i + 1] as usize;
+                    self.synaptic_events[li] += (e - s) as u64;
+                    for k in s..e {
+                        currents[adj.targets[k] as usize] += w[adj.weight_ids[k] as usize];
+                    }
+                }
+            }
+            let cfg = NeuronConfig::integrate_and_fire(layer.threshold());
+            let out = &mut self.spikes[li];
+            out.clear();
+            for (o, m) in self.membranes[li].iter_mut().enumerate() {
+                if m.step(currents[o], &cfg) {
+                    out.set(o, true);
+                    self.layer_spikes[li] += 1;
+                }
+            }
+        }
+        self.steps_run += 1;
+        let out = &self.spikes[n_layers - 1];
+        for o in out.iter_ones() {
+            self.output_counts[o] += 1;
+        }
+        out
+    }
+
+    /// Runs an entire input raster; returns the classification outcome.
+    pub fn run(&mut self, input: &SpikeRaster) -> Classification {
+        for step in input.iter() {
+            self.step(step);
+        }
+        self.outcome()
+    }
+
+    /// Runs a raster while recording every layer's spikes, for activity
+    /// profiling. Returns the outcome and one raster per layer.
+    pub fn run_recording(&mut self, input: &SpikeRaster) -> (Classification, Vec<SpikeRaster>) {
+        let mut rasters: Vec<SpikeRaster> = self
+            .net
+            .layers()
+            .iter()
+            .map(|l| SpikeRaster::new(l.spec().output_count()))
+            .collect();
+        for step in input.iter() {
+            self.step(step);
+            for (li, r) in rasters.iter_mut().enumerate() {
+                r.push(self.spikes[li].clone());
+            }
+        }
+        (self.outcome(), rasters)
+    }
+
+    /// The outcome accumulated so far.
+    pub fn outcome(&self) -> Classification {
+        Classification {
+            predicted: self
+                .output_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| c)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            output_counts: self.output_counts.clone(),
+            layer_rates: self
+                .net
+                .layers()
+                .iter()
+                .enumerate()
+                .map(|(li, l)| {
+                    if self.steps_run == 0 {
+                        0.0
+                    } else {
+                        self.layer_spikes[li] as f64
+                            / (self.steps_run as f64 * l.spec().output_count() as f64)
+                    }
+                })
+                .collect(),
+            synaptic_events: self.synaptic_events.clone(),
+            steps: self.steps_run,
+        }
+    }
+
+    /// Resets membranes and statistics for a fresh stimulus.
+    pub fn reset(&mut self) {
+        for bank in &mut self.membranes {
+            for m in bank {
+                m.reset();
+            }
+        }
+        for s in &mut self.spikes {
+            s.clear();
+        }
+        self.layer_spikes.fill(0);
+        self.synaptic_events.fill(0);
+        self.output_counts.fill(0);
+        self.steps_run = 0;
+    }
+}
+
+/// Result of running a spiking classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Class with the highest output spike count.
+    pub predicted: usize,
+    /// Spike count per output neuron.
+    pub output_counts: Vec<u32>,
+    /// Mean per-neuron per-step firing rate of each layer.
+    pub layer_rates: Vec<f64>,
+    /// Total synaptic events (fan-out of active inputs) per layer.
+    pub synaptic_events: Vec<u64>,
+    /// Timesteps executed.
+    pub steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::RegularEncoder;
+
+    fn tiny_net() -> Network {
+        // 2 -> 2 -> 2 identity chain: with unit weights and unit
+        // thresholds, each layer relays its input's firing rate exactly.
+        let l0 = Layer::new(
+            LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            },
+            vec![1.0, 0.0, 0.0, 1.0],
+            1.0,
+        );
+        let l1 = Layer::new(
+            LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            },
+            vec![1.0, 0.0, 0.0, 1.0],
+            1.0,
+        );
+        Network::new(2, vec![l0, l1])
+    }
+
+    #[test]
+    fn analog_forward_computes_matvec() {
+        let net = tiny_net();
+        let out = net.forward_analog(&[1.0, 0.25]);
+        assert_eq!(out, vec![1.0, 0.25]);
+    }
+
+    #[test]
+    fn spiking_identity_net_relays_rate() {
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[0.8, 0.1], 100);
+        let mut runner = net.spiking();
+        let outcome = runner.run(&raster);
+        assert_eq!(outcome.predicted, 0);
+        // Input 0 spikes 80 times; each spike adds 1.0 ≥ threshold twice
+        // through the chain, so output 0 should fire ≈ 80 times.
+        assert!(outcome.output_counts[0] >= 75);
+        assert!(outcome.output_counts[1] <= 15);
+    }
+
+    #[test]
+    fn spiking_rates_match_analog_for_linear_chain() {
+        // Diehl conversion property: IF + subtract reset approximates the
+        // analog activation ratio.
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[0.6, 0.3], 200);
+        let mut runner = net.spiking();
+        let outcome = runner.run(&raster);
+        let r0 = outcome.output_counts[0] as f64 / 200.0;
+        let r1 = outcome.output_counts[1] as f64 / 200.0;
+        assert!((r0 - 0.6).abs() < 0.05, "r0 {r0}");
+        assert!((r1 - 0.3).abs() < 0.05, "r1 {r1}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[1.0, 1.0], 10);
+        let mut runner = net.spiking();
+        runner.run(&raster);
+        runner.reset();
+        let outcome = runner.outcome();
+        assert_eq!(outcome.steps, 0);
+        assert!(outcome.output_counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn random_network_has_right_shapes() {
+        let t = Topology::mlp(10, &[7, 3]);
+        let net = Network::random(t, 1, 1.0);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.layers()[0].weights().len(), 70);
+        assert_eq!(net.output_count(), 3);
+        // Deterministic per seed.
+        let net2 = Network::random(Topology::mlp(10, &[7, 3]), 1, 1.0);
+        assert_eq!(net, net2);
+    }
+
+    #[test]
+    fn run_recording_returns_layer_rasters() {
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[1.0, 0.0], 5);
+        let mut runner = net.spiking();
+        let (_, rasters) = runner.run_recording(&raster);
+        assert_eq!(rasters.len(), 2);
+        assert_eq!(rasters[0].len(), 5);
+        assert_eq!(rasters[0].neurons(), 2);
+        assert!(rasters[1].total_spikes() > 0);
+    }
+
+    #[test]
+    fn synaptic_events_counted() {
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[1.0, 1.0], 4);
+        let mut runner = net.spiking();
+        let outcome = runner.run(&raster);
+        // Layer 0: 2 active inputs × fan-out 2 × 4 steps = 16 events.
+        assert_eq!(outcome.synaptic_events[0], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn layer_weight_mismatch_panics() {
+        let _ = Layer::new(
+            LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            },
+            vec![1.0; 3],
+            1.0,
+        );
+    }
+}

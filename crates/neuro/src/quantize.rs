@@ -1,0 +1,172 @@
+//! Weight bit-discretization for memristive storage.
+//!
+//! Memristive devices store a small number of conductance levels — the
+//! paper uses "16 levels (4 bits) for weight-discretization" (§4.2) and
+//! sweeps 1/2/4/8 bits in Fig. 14. This module quantizes a trained
+//! network's weights to `2^bits` uniformly spaced levels per layer
+//! (symmetric around zero, per-layer scale = max |w|), which is exactly
+//! what a differential crossbar pair realises.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_neuro::quantize::Precision;
+//!
+//! let p = Precision::new(4);
+//! assert_eq!(p.levels(), 16);
+//! let (q, _err) = p.quantize_values(&[0.5, -0.25, 1.0]);
+//! assert!((q[2] - 1.0).abs() < 1e-6); // the max maps to a level exactly
+//! ```
+
+use crate::network::Network;
+
+/// A weight storage precision (bits per weight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Precision {
+    bits: u8,
+}
+
+impl Precision {
+    /// Creates a precision of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+        Self { bits }
+    }
+
+    /// The paper's default: 4 bits / 16 levels.
+    pub fn paper_default() -> Self {
+        Self::new(4)
+    }
+
+    /// Bits per weight.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Number of discrete levels (`2^bits`).
+    pub fn levels(self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Quantizes a slice of weights symmetrically: levels are uniformly
+    /// spaced over `[-max|w|, +max|w|]`. Returns the dequantized values
+    /// and the RMS quantization error.
+    pub fn quantize_values(self, weights: &[f32]) -> (Vec<f32>, f32) {
+        let max = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        if max == 0.0 {
+            return (weights.to_vec(), 0.0);
+        }
+        let levels = self.levels() as f32;
+        let step = 2.0 * max / (levels - 1.0);
+        let mut err2 = 0.0f64;
+        let out: Vec<f32> = weights
+            .iter()
+            .map(|&w| {
+                let q = ((w + max) / step).round().clamp(0.0, levels - 1.0);
+                let deq = q * step - max;
+                err2 += ((w - deq) as f64).powi(2);
+                deq
+            })
+            .collect();
+        let rms = (err2 / weights.len() as f64).sqrt() as f32;
+        (out, rms)
+    }
+}
+
+/// Returns a copy of `net` with every layer's weights quantized to
+/// `precision` (per-layer scales), plus per-layer RMS errors.
+///
+/// Pooling layers (a single fixed averaging weight) are left untouched —
+/// on hardware the averaging is wired, not stored in devices.
+pub fn quantize_network(net: &Network, precision: Precision) -> (Network, Vec<f32>) {
+    let mut out = net.clone();
+    let mut errs = Vec::with_capacity(net.layers().len());
+    for layer in out.layers_mut() {
+        if matches!(
+            layer.spec(),
+            crate::topology::LayerSpec::AvgPool { .. }
+        ) {
+            errs.push(0.0);
+            continue;
+        }
+        let (q, rms) = precision.quantize_values(layer.weights());
+        layer.weights_mut().copy_from_slice(&q);
+        errs.push(rms);
+    }
+    (out, errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::topology::Topology;
+
+    #[test]
+    fn levels_double_per_bit() {
+        assert_eq!(Precision::new(1).levels(), 2);
+        assert_eq!(Precision::new(4).levels(), 16);
+        assert_eq!(Precision::new(8).levels(), 256);
+    }
+
+    #[test]
+    fn quantized_values_are_on_grid() {
+        let p = Precision::new(2); // 4 levels
+        let (q, _) = p.quantize_values(&[-1.0, -0.2, 0.4, 1.0]);
+        // Levels: -1, -1/3, 1/3, 1.
+        let third = 1.0 / 3.0;
+        assert!((q[0] + 1.0).abs() < 1e-6);
+        assert!((q[1] + third).abs() < 1e-6);
+        assert!((q[2] - third).abs() < 1e-6);
+        assert!((q[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_shrinks_with_bits() {
+        let weights: Vec<f32> = (0..100).map(|i| (i as f32 / 37.0).sin()).collect();
+        let (_, e1) = Precision::new(1).quantize_values(&weights);
+        let (_, e2) = Precision::new(2).quantize_values(&weights);
+        let (_, e4) = Precision::new(4).quantize_values(&weights);
+        let (_, e8) = Precision::new(8).quantize_values(&weights);
+        assert!(e1 > e2 && e2 > e4 && e4 > e8, "{e1} {e2} {e4} {e8}");
+    }
+
+    #[test]
+    fn max_error_bounded_by_half_step() {
+        let weights: Vec<f32> = (0..64).map(|i| (i as f32 / 11.0).cos()).collect();
+        let p = Precision::new(4);
+        let (q, _) = p.quantize_values(&weights);
+        let max = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        let step = 2.0 * max / (p.levels() as f32 - 1.0);
+        for (&w, &d) in weights.iter().zip(&q) {
+            assert!((w - d).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_stay_zero() {
+        let (q, err) = Precision::new(4).quantize_values(&[0.0; 8]);
+        assert_eq!(q, vec![0.0; 8]);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn network_quantization_preserves_shapes() {
+        let net = Network::random(Topology::mlp(8, &[6, 3]), 3, 1.0);
+        let (qnet, errs) = quantize_network(&net, Precision::new(4));
+        assert_eq!(errs.len(), 2);
+        assert_eq!(qnet.layers()[0].weights().len(), net.layers()[0].weights().len());
+        // 8-bit quantization barely moves outputs.
+        let (q8, _) = quantize_network(&net, Precision::new(8));
+        let x = vec![0.5; 8];
+        let a = net.forward_analog(&x);
+        let b = q8.forward_analog(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 0.05, "{u} vs {v}");
+        }
+    }
+}

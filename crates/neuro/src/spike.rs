@@ -1,0 +1,365 @@
+//! Bit-packed spike vectors, spike rasters and the packet statistics that
+//! drive RESPARC's event-driven optimisations.
+//!
+//! Spikes are binary (paper §2.1), so a population's activity in one
+//! timestep is a bit vector ([`SpikeVector`]) and a full stimulus is a
+//! raster of those over time ([`SpikeRaster`]). RESPARC moves spikes in
+//! fixed-width *packets*; a packet whose bits are all zero is suppressed by
+//! the zero-check logic (§3.2), so the fraction of all-zero windows at a
+//! given width ([`SpikeRaster::zero_packet_fraction`]) is exactly the
+//! statistic the architecture exploits in Fig. 13.
+
+use std::fmt;
+
+/// A fixed-length, bit-packed vector of spikes (one bit per neuron).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SpikeVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SpikeVector {
+    /// Creates an all-silent vector for `len` neurons.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a vector from boolean spike flags.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = Self::new(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of neurons (bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector covers zero neurons.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the spike flag of neuron `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "spike index {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the spike flag of neuron `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, spike: bool) {
+        assert!(i < self.len, "spike index {i} out of bounds ({})", self.len);
+        let w = &mut self.words[i / 64];
+        if spike {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of spiking neurons.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no neuron spikes.
+    pub fn is_silent(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Fraction of neurons spiking.
+    pub fn activity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Returns `true` if all bits in `[start, start+width)` are zero
+    /// (the zero-check a RESPARC switch applies to a packet). Bits past
+    /// `len` count as zero.
+    pub fn window_is_zero(&self, start: usize, width: usize) -> bool {
+        (start..(start + width).min(self.len)).all(|i| !self.get(i))
+    }
+
+    /// Iterates the indices of spiking neurons in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clears every spike.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The underlying 64-bit words (little-endian bit order within words).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Display for SpikeVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpikeVector[{}/{} firing]", self.count_ones(), self.len)
+    }
+}
+
+/// Iterator over set-bit indices of a [`SpikeVector`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    vec: &'a SpikeVector,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                return (idx < self.vec.len).then_some(idx);
+            }
+            self.word_idx += 1;
+            self.current = *self.vec.words.get(self.word_idx)?;
+        }
+    }
+}
+
+/// A population's spikes over a window of timesteps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpikeRaster {
+    steps: Vec<SpikeVector>,
+    neurons: usize,
+}
+
+impl SpikeRaster {
+    /// Creates an empty raster for `neurons` neurons.
+    pub fn new(neurons: usize) -> Self {
+        Self {
+            steps: Vec::new(),
+            neurons,
+        }
+    }
+
+    /// Number of neurons covered.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Number of recorded timesteps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if no timesteps are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends one timestep of spikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the raster's neuron count.
+    pub fn push(&mut self, step: SpikeVector) {
+        assert_eq!(step.len(), self.neurons, "spike vector length mismatch");
+        self.steps.push(step);
+    }
+
+    /// The spike vector at timestep `t`.
+    pub fn step(&self, t: usize) -> &SpikeVector {
+        &self.steps[t]
+    }
+
+    /// Iterates timesteps in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SpikeVector> {
+        self.steps.iter()
+    }
+
+    /// Total spike count across all timesteps.
+    pub fn total_spikes(&self) -> u64 {
+        self.steps.iter().map(|s| s.count_ones() as u64).sum()
+    }
+
+    /// Mean per-neuron, per-timestep firing probability.
+    pub fn mean_rate(&self) -> f64 {
+        if self.steps.is_empty() || self.neurons == 0 {
+            return 0.0;
+        }
+        self.total_spikes() as f64 / (self.steps.len() as f64 * self.neurons as f64)
+    }
+
+    /// Per-neuron spike counts over the raster.
+    pub fn spike_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.neurons];
+        for s in &self.steps {
+            for i in s.iter_ones() {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Fraction of `width`-bit packets that are entirely zero, over all
+    /// timesteps and all aligned windows — the statistic RESPARC's
+    /// zero-check logic exploits (Fig. 13: "zeros with run length of 32
+    /// refers to a 32-bit spike-packet with all bits being zero").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero_packet_fraction(&self, width: usize) -> f64 {
+        assert!(width > 0, "packet width must be non-zero");
+        if self.steps.is_empty() || self.neurons == 0 {
+            return 1.0;
+        }
+        let windows_per_step = self.neurons.div_ceil(width);
+        let mut zero = 0u64;
+        for s in &self.steps {
+            for w in 0..windows_per_step {
+                if s.window_is_zero(w * width, width) {
+                    zero += 1;
+                }
+            }
+        }
+        zero as f64 / (windows_per_step as u64 * self.steps.len() as u64) as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a SpikeRaster {
+    type Item = &'a SpikeVector;
+    type IntoIter = std::slice::Iter<'a, SpikeVector>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = SpikeVector::new(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let flags = [true, false, true, true];
+        let v = SpikeVector::from_bools(&flags);
+        for (i, &b) in flags.iter().enumerate() {
+            assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut v = SpikeVector::new(200);
+        for &i in &[3usize, 70, 64, 199] {
+            v.set(i, true);
+        }
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 70, 199]);
+    }
+
+    #[test]
+    fn silence_and_activity() {
+        let mut v = SpikeVector::new(10);
+        assert!(v.is_silent());
+        v.set(5, true);
+        assert!(!v.is_silent());
+        assert!((v.activity() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_zero_check() {
+        let mut v = SpikeVector::new(100);
+        v.set(40, true);
+        assert!(v.window_is_zero(0, 32));
+        assert!(!v.window_is_zero(32, 32));
+        assert!(v.window_is_zero(64, 64)); // tail padding counts as zero
+    }
+
+    #[test]
+    fn raster_statistics() {
+        let mut r = SpikeRaster::new(64);
+        let mut a = SpikeVector::new(64);
+        a.set(0, true);
+        a.set(33, true);
+        r.push(a);
+        r.push(SpikeVector::new(64)); // silent step
+        assert_eq!(r.total_spikes(), 2);
+        assert!((r.mean_rate() - 2.0 / 128.0).abs() < 1e-12);
+        // width 32: 2 windows/step, 4 windows total, 3 zero (1st step has
+        // one spike in each window).
+        assert!((r.zero_packet_fraction(32) - 0.5).abs() < 1e-12);
+        // width 64: 1 window/step, 2 windows, step 2 zero.
+        assert!((r.zero_packet_fraction(64) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_packet_fraction_decreases_with_width() {
+        // A raster with scattered spikes: wider packets are less likely to
+        // be all-zero.
+        let mut r = SpikeRaster::new(256);
+        for t in 0..8 {
+            let mut v = SpikeVector::new(256);
+            v.set((t * 37) % 256, true);
+            v.set((t * 91 + 13) % 256, true);
+            r.push(v);
+        }
+        let f16 = r.zero_packet_fraction(16);
+        let f64w = r.zero_packet_fraction(64);
+        assert!(f16 > f64w, "16-bit {f16} should exceed 64-bit {f64w}");
+    }
+
+    #[test]
+    fn spike_counts_accumulate() {
+        let mut r = SpikeRaster::new(4);
+        r.push(SpikeVector::from_bools(&[true, false, false, true]));
+        r.push(SpikeVector::from_bools(&[true, true, false, false]));
+        assert_eq!(r.spike_counts(), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn raster_rejects_mismatched_vector() {
+        let mut r = SpikeRaster::new(8);
+        r.push(SpikeVector::new(9));
+    }
+}

@@ -1,0 +1,696 @@
+//! Network topology descriptions: the MLP and CNN layer structures that
+//! RESPARC maps onto crossbars.
+//!
+//! A [`Topology`] is a validated stack of [`LayerSpec`]s. Every layer can
+//! enumerate its synapses as `(output, input, weight-id)` triples via
+//! [`LayerSpec::for_each_synapse`]; that single enumeration is the source
+//! of truth shared by the functional simulator, the connectivity-matrix
+//! builder and the hardware mapper, so counts can never disagree between
+//! them.
+//!
+//! Convolution layers support LeNet-style *channel tables*
+//! ([`ChannelTable::Banded`]) in which each output map connects to only a
+//! few input maps — the sparse connectivity the paper's §3.1.1 discussion
+//! of CNN crossbar utilization hinges on.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_neuro::topology::Topology;
+//!
+//! // The paper's MNIST MLP (Fig. 10): 4 weight layers, 2 378 neurons.
+//! let t = Topology::mlp(784, &[800, 800, 768, 10]);
+//! assert_eq!(t.neuron_count(), 2_378);
+//! assert_eq!(t.layer_count(), 4);
+//! ```
+
+use std::fmt;
+
+/// A 3-D activation shape (height × width × channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Rows.
+    pub height: usize,
+    /// Columns.
+    pub width: usize,
+    /// Feature maps / channels.
+    pub channels: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub fn new(height: usize, width: usize, channels: usize) -> Self {
+        Self {
+            height,
+            width,
+            channels,
+        }
+    }
+
+    /// Total element count.
+    pub fn count(&self) -> usize {
+        self.height * self.width * self.channels
+    }
+
+    /// Linear index of `(channel, y, x)` in channel-major layout.
+    #[inline]
+    pub fn index(&self, channel: usize, y: usize, x: usize) -> usize {
+        channel * self.height * self.width + y * self.width + x
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.height, self.width, self.channels)
+    }
+}
+
+/// Spatial padding mode for convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Padding {
+    /// No padding; output shrinks by `kernel - 1`.
+    #[default]
+    Valid,
+    /// Zero padding so the output keeps the input's spatial size
+    /// (stride 1) or `ceil(size/stride)`.
+    Same,
+}
+
+/// Which input feature maps each output map of a convolution sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelTable {
+    /// Every output map connects to every input map (dense across
+    /// channels).
+    #[default]
+    Full,
+    /// LeNet-style sparse table: output map `m` connects to `fan`
+    /// consecutive input maps starting at `m mod c_in` (wrapping). This is
+    /// the sparse inter-map connectivity that lowers crossbar utilization
+    /// for CNNs in the paper.
+    Banded {
+        /// Number of input maps each output map connects to.
+        fan: usize,
+    },
+}
+
+/// One layer of an SNN topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerSpec {
+    /// Fully-connected layer.
+    Dense {
+        /// Input neuron count.
+        inputs: usize,
+        /// Output neuron count.
+        outputs: usize,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Input activation shape.
+        input: Shape,
+        /// Number of output feature maps.
+        maps: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+        /// Channel connectivity table.
+        table: ChannelTable,
+    },
+    /// Non-overlapping average pooling (window == stride).
+    AvgPool {
+        /// Input activation shape.
+        input: Shape,
+        /// Pooling window edge (and stride).
+        window: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Short kind name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerSpec::Dense { .. } => "dense",
+            LayerSpec::Conv2d { .. } => "conv",
+            LayerSpec::AvgPool { .. } => "pool",
+        }
+    }
+
+    /// Number of input neurons the layer consumes.
+    pub fn input_count(&self) -> usize {
+        match self {
+            LayerSpec::Dense { inputs, .. } => *inputs,
+            LayerSpec::Conv2d { input, .. } => input.count(),
+            LayerSpec::AvgPool { input, .. } => input.count(),
+        }
+    }
+
+    /// The layer's output shape, if it is spatial.
+    pub fn output_shape(&self) -> Option<Shape> {
+        match *self {
+            LayerSpec::Dense { .. } => None,
+            LayerSpec::Conv2d {
+                input,
+                maps,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let (h, w) = conv_out_dims(input.height, input.width, kernel, stride, padding);
+                Some(Shape::new(h, w, maps))
+            }
+            LayerSpec::AvgPool { input, window } => Some(Shape::new(
+                input.height / window,
+                input.width / window,
+                input.channels,
+            )),
+        }
+    }
+
+    /// Number of output neurons the layer produces.
+    pub fn output_count(&self) -> usize {
+        match self {
+            LayerSpec::Dense { outputs, .. } => *outputs,
+            _ => self.output_shape().expect("spatial layer").count(),
+        }
+    }
+
+    /// Number of *connections* (physical synapses when mapped onto
+    /// crossbars — weight sharing does not reduce this).
+    pub fn synapse_count(&self) -> usize {
+        let mut n = 0usize;
+        self.for_each_synapse(|_, _, _| n += 1);
+        n
+    }
+
+    /// Number of *unique* weight values (weight sharing collapses the
+    /// kernel reuse of convolutions).
+    pub fn unique_weight_count(&self) -> usize {
+        match *self {
+            LayerSpec::Dense { inputs, outputs } => inputs * outputs,
+            LayerSpec::Conv2d {
+                input,
+                maps,
+                kernel,
+                table,
+                ..
+            } => {
+                let fan_maps = match table {
+                    ChannelTable::Full => input.channels,
+                    ChannelTable::Banded { fan } => fan.min(input.channels),
+                };
+                maps * fan_maps * kernel * kernel
+            }
+            LayerSpec::AvgPool { .. } => 1,
+        }
+    }
+
+    /// Maximum fan-in over the layer's output neurons.
+    pub fn max_fan_in(&self) -> usize {
+        match *self {
+            LayerSpec::Dense { inputs, .. } => inputs,
+            LayerSpec::Conv2d {
+                input,
+                kernel,
+                table,
+                ..
+            } => {
+                let fan_maps = match table {
+                    ChannelTable::Full => input.channels,
+                    ChannelTable::Banded { fan } => fan.min(input.channels),
+                };
+                kernel * kernel * fan_maps
+            }
+            LayerSpec::AvgPool { window, .. } => window * window,
+        }
+    }
+
+    /// Whether the layer's connectivity matrix is sparse (CNN-style) as
+    /// opposed to dense (MLP-style).
+    pub fn is_sparse(&self) -> bool {
+        !matches!(self, LayerSpec::Dense { .. })
+    }
+
+    /// Enumerates every synapse as `(output_index, input_index,
+    /// weight_id)`, in output-major order. Weight ids index into the
+    /// layer's unique-weight array (see [`Self::unique_weight_count`]).
+    pub fn for_each_synapse<F: FnMut(usize, usize, usize)>(&self, mut f: F) {
+        match *self {
+            LayerSpec::Dense { inputs, outputs } => {
+                for o in 0..outputs {
+                    for i in 0..inputs {
+                        f(o, i, o * inputs + i);
+                    }
+                }
+            }
+            LayerSpec::Conv2d {
+                input,
+                maps,
+                kernel,
+                stride,
+                padding,
+                table,
+            } => {
+                let out = self.output_shape().expect("conv output");
+                let pad = match padding {
+                    Padding::Valid => 0isize,
+                    Padding::Same => {
+                        (((out.height - 1) * stride + kernel).saturating_sub(input.height) / 2)
+                            as isize
+                    }
+                };
+                let fan_maps = match table {
+                    ChannelTable::Full => input.channels,
+                    ChannelTable::Banded { fan } => fan.min(input.channels),
+                };
+                for m in 0..maps {
+                    for oy in 0..out.height {
+                        for ox in 0..out.width {
+                            let o = out.index(m, oy, ox);
+                            for j in 0..fan_maps {
+                                let c = match table {
+                                    ChannelTable::Full => j,
+                                    ChannelTable::Banded { .. } => (m + j) % input.channels,
+                                };
+                                for ky in 0..kernel {
+                                    for kx in 0..kernel {
+                                        let iy = (oy * stride) as isize - pad + ky as isize;
+                                        let ix = (ox * stride) as isize - pad + kx as isize;
+                                        if iy < 0
+                                            || ix < 0
+                                            || iy >= input.height as isize
+                                            || ix >= input.width as isize
+                                        {
+                                            continue;
+                                        }
+                                        let i = input.index(c, iy as usize, ix as usize);
+                                        let wid = ((m * fan_maps + j) * kernel + ky) * kernel + kx;
+                                        f(o, i, wid);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            LayerSpec::AvgPool { input, window } => {
+                let out = self.output_shape().expect("pool output");
+                for c in 0..input.channels {
+                    for oy in 0..out.height {
+                        for ox in 0..out.width {
+                            let o = out.index(c, oy, ox);
+                            for dy in 0..window {
+                                for dx in 0..window {
+                                    let i = input.index(c, oy * window + dy, ox * window + dx);
+                                    f(o, i, 0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conv_out_dims(
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+) -> (usize, usize) {
+    match padding {
+        Padding::Valid => ((h - kernel) / stride + 1, (w - kernel) / stride + 1),
+        Padding::Same => (h.div_ceil(stride), w.div_ceil(stride)),
+    }
+}
+
+/// A validated stack of layers.
+///
+/// Constructed with [`Topology::new`] or the [`Topology::mlp`] /
+/// [`TopologyBuilder`] conveniences; construction checks that adjacent
+/// layer sizes agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    input_count: usize,
+    layers: Vec<LayerSpec>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if the stack is empty, the first layer
+    /// does not consume `input_count` neurons, or adjacent layers disagree
+    /// on size.
+    pub fn new(input_count: usize, layers: Vec<LayerSpec>) -> Result<Self, TopologyError> {
+        if layers.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let mut expected = input_count;
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.input_count() != expected {
+                return Err(TopologyError::SizeMismatch {
+                    layer: i,
+                    expected,
+                    found: layer.input_count(),
+                });
+            }
+            expected = layer.output_count();
+        }
+        Ok(Self {
+            input_count,
+            layers,
+        })
+    }
+
+    /// Builds an MLP topology: `input -> hidden... -> output`, all dense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty (an MLP needs at least an output layer).
+    pub fn mlp(input: usize, sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(sizes.len());
+        let mut prev = input;
+        for &s in sizes {
+            layers.push(LayerSpec::Dense {
+                inputs: prev,
+                outputs: s,
+            });
+            prev = s;
+        }
+        Self::new(input, layers).expect("mlp construction is size-consistent")
+    }
+
+    /// Starts a builder for convolutional topologies.
+    pub fn builder(input: Shape) -> TopologyBuilder {
+        TopologyBuilder {
+            input,
+            current: input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Number of input neurons (not counted in [`Self::neuron_count`]).
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total neurons across all layers (excluding the input; the paper's
+    /// Fig. 10 counts match this convention).
+    pub fn neuron_count(&self) -> usize {
+        self.layers.iter().map(|l| l.output_count()).sum()
+    }
+
+    /// Total connections (physical synapses when crossbar-mapped).
+    pub fn synapse_count(&self) -> usize {
+        self.layers.iter().map(|l| l.synapse_count()).sum()
+    }
+
+    /// Total unique weights (with convolutional weight sharing).
+    pub fn unique_weight_count(&self) -> usize {
+        self.layers.iter().map(|l| l.unique_weight_count()).sum()
+    }
+
+    /// Output neuron count of the final layer.
+    pub fn output_count(&self) -> usize {
+        self.layers.last().expect("non-empty").output_count()
+    }
+
+    /// Whether any layer uses sparse (conv/pool) connectivity.
+    pub fn has_sparse_layers(&self) -> bool {
+        self.layers.iter().any(|l| l.is_sparse())
+    }
+}
+
+/// Builder for spatial (CNN) topologies.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    input: Shape,
+    current: Shape,
+    layers: Vec<LayerSpec>,
+}
+
+impl TopologyBuilder {
+    /// Appends a convolution layer.
+    pub fn conv(
+        mut self,
+        maps: usize,
+        kernel: usize,
+        padding: Padding,
+        table: ChannelTable,
+    ) -> Self {
+        let spec = LayerSpec::Conv2d {
+            input: self.current,
+            maps,
+            kernel,
+            stride: 1,
+            padding,
+            table,
+        };
+        self.current = spec.output_shape().expect("conv output");
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a non-overlapping average-pool layer.
+    pub fn pool(mut self, window: usize) -> Self {
+        let spec = LayerSpec::AvgPool {
+            input: self.current,
+            window,
+        };
+        self.current = spec.output_shape().expect("pool output");
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a dense layer consuming the flattened current shape.
+    pub fn dense(mut self, outputs: usize) -> Self {
+        self.layers.push(LayerSpec::Dense {
+            inputs: self.current.count(),
+            outputs,
+        });
+        self.current = Shape::new(1, 1, outputs);
+        self
+    }
+
+    /// Finalises the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] if no layer was added.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        Topology::new(self.input.count(), self.layers)
+    }
+}
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The layer stack was empty.
+    Empty,
+    /// Adjacent layers disagree on activation size.
+    SizeMismatch {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Size produced by the previous layer.
+        expected: usize,
+        /// Size the offending layer consumes.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has no layers"),
+            TopologyError::SizeMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
+                f,
+                "layer {layer} consumes {found} inputs but previous layer produces {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_counts() {
+        let t = Topology::mlp(784, &[800, 800, 768, 10]);
+        assert_eq!(t.neuron_count(), 2_378);
+        assert_eq!(
+            t.synapse_count(),
+            784 * 800 + 800 * 800 + 800 * 768 + 768 * 10
+        );
+        assert_eq!(t.unique_weight_count(), t.synapse_count());
+        assert_eq!(t.output_count(), 10);
+        assert!(!t.has_sparse_layers());
+    }
+
+    #[test]
+    fn dense_synapse_enumeration_is_exhaustive() {
+        let l = LayerSpec::Dense {
+            inputs: 3,
+            outputs: 2,
+        };
+        let mut triples = Vec::new();
+        l.for_each_synapse(|o, i, w| triples.push((o, i, w)));
+        assert_eq!(triples.len(), 6);
+        assert!(triples.contains(&(1, 2, 5)));
+    }
+
+    #[test]
+    fn conv_valid_output_shape() {
+        let l = LayerSpec::Conv2d {
+            input: Shape::new(28, 28, 1),
+            maps: 12,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        assert_eq!(l.output_shape(), Some(Shape::new(24, 24, 12)));
+        assert_eq!(l.output_count(), 12 * 24 * 24);
+        // Every output neuron has full 5x5 fan-in under Valid padding.
+        assert_eq!(l.synapse_count(), 12 * 24 * 24 * 25);
+        assert_eq!(l.unique_weight_count(), 12 * 25);
+        assert_eq!(l.max_fan_in(), 25);
+    }
+
+    #[test]
+    fn conv_same_padding_trims_border_synapses() {
+        let l = LayerSpec::Conv2d {
+            input: Shape::new(8, 8, 1),
+            maps: 1,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            table: ChannelTable::Full,
+        };
+        assert_eq!(l.output_shape(), Some(Shape::new(8, 8, 1)));
+        // Interior neurons have fan-in 9; border ones fewer.
+        assert!(l.synapse_count() < 8 * 8 * 9);
+        assert_eq!(l.max_fan_in(), 9);
+    }
+
+    #[test]
+    fn banded_table_reduces_fan_in() {
+        let full = LayerSpec::Conv2d {
+            input: Shape::new(12, 12, 8),
+            maps: 16,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        let banded = LayerSpec::Conv2d {
+            input: Shape::new(12, 12, 8),
+            maps: 16,
+            kernel: 5,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Banded { fan: 2 },
+        };
+        assert_eq!(banded.synapse_count() * 4, full.synapse_count());
+        assert_eq!(banded.max_fan_in(), 50);
+    }
+
+    #[test]
+    fn pool_counts() {
+        let l = LayerSpec::AvgPool {
+            input: Shape::new(24, 24, 12),
+            window: 2,
+        };
+        assert_eq!(l.output_shape(), Some(Shape::new(12, 12, 12)));
+        assert_eq!(l.synapse_count(), 24 * 24 * 12);
+        assert_eq!(l.unique_weight_count(), 1);
+    }
+
+    #[test]
+    fn builder_chains_shapes() {
+        let t = Topology::builder(Shape::new(28, 28, 1))
+            .conv(12, 5, Padding::Valid, ChannelTable::Full)
+            .pool(2)
+            .conv(64, 5, Padding::Valid, ChannelTable::Banded { fan: 4 })
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        assert_eq!(t.layer_count(), 5);
+        // Diehl-style CNN: 24²·12 + 12²·12 + 8²·64 + 4²·64 + 10
+        assert_eq!(
+            t.neuron_count(),
+            24 * 24 * 12 + 12 * 12 * 12 + 8 * 8 * 64 + 4 * 4 * 64 + 10
+        );
+        assert!(t.has_sparse_layers());
+    }
+
+    #[test]
+    fn mismatched_layers_rejected() {
+        let err = Topology::new(
+            10,
+            vec![LayerSpec::Dense {
+                inputs: 9,
+                outputs: 5,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::SizeMismatch {
+                layer: 0,
+                expected: 10,
+                found: 9
+            }
+        );
+        assert!(err.to_string().contains("layer 0"));
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert_eq!(Topology::new(10, vec![]).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn synapse_enumeration_matches_count_for_conv() {
+        let l = LayerSpec::Conv2d {
+            input: Shape::new(10, 10, 3),
+            maps: 4,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            table: ChannelTable::Banded { fan: 2 },
+        };
+        let mut n = 0usize;
+        let mut max_wid = 0usize;
+        l.for_each_synapse(|_, _, w| {
+            n += 1;
+            max_wid = max_wid.max(w);
+        });
+        assert_eq!(n, l.synapse_count());
+        assert!(max_wid < l.unique_weight_count());
+    }
+}

@@ -1,0 +1,325 @@
+//! The six SNN benchmarks of the paper's Fig. 10.
+//!
+//! | Application | Dataset | Connectivity | Layers | Neurons | Synapses |
+//! |---|---|---|---|---|---|
+//! | House number | SVHN | MLP | 4 | 2,778 | 2,778,000 |
+//! | House number | SVHN | CNN | 6 | 124,570 | 2,941,952 |
+//! | Digit | MNIST | MLP | 4 | 2,378 | 1,902,400 |
+//! | Digit | MNIST | CNN | 6 | 66,778 | 1,484,288 |
+//! | Object | CIFAR-10 | MLP | 5 | 3,778 | 3,778,000 |
+//! | Object | CIFAR-10 | CNN | 6 | 231,066 | 5,524,480 |
+//!
+//! Our topologies match the paper's layer counts exactly and the neuron
+//! counts exactly (hidden sizes solved for each network). Synapse counts
+//! are reported as *mapped connections*; the paper's synapse totals are
+//! not reconcilable with any standard topology at the stated neuron
+//! counts (see DESIGN.md §5), so the table generator prints ours next to
+//! the paper's with an explicit delta.
+
+use resparc_neuro::spike::SpikeRaster;
+use resparc_neuro::stats::{ActivityProfile, BoundaryStats};
+use resparc_neuro::topology::{ChannelTable, Padding, Shape, Topology};
+
+use crate::dataset::DatasetKind;
+use resparc_neuro::encoding::PoissonEncoder;
+
+/// MLP or CNN connectivity (Fig. 10 column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetStyle {
+    /// Fully-connected multi-layer perceptron.
+    Mlp,
+    /// Convolutional network (conv/pool/fc).
+    Cnn,
+}
+
+impl NetStyle {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetStyle::Mlp => "MLP",
+            NetStyle::Cnn => "CNN",
+        }
+    }
+}
+
+/// The paper's published Fig. 10 row for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperSpec {
+    /// Layer count.
+    pub layers: usize,
+    /// Neuron count.
+    pub neurons: usize,
+    /// Synapse count.
+    pub synapses: usize,
+}
+
+/// One benchmark network.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name, e.g. `"MNIST-CNN"`.
+    pub name: String,
+    /// Source dataset.
+    pub dataset: DatasetKind,
+    /// Connectivity style.
+    pub style: NetStyle,
+    /// Our concrete topology.
+    pub topology: Topology,
+    /// The paper's Fig. 10 numbers for this row.
+    pub paper: PaperSpec,
+}
+
+impl Benchmark {
+    /// Peak per-timestep input spike probability used for rate coding.
+    pub const PEAK_RATE: f64 = 0.6;
+
+    /// Builds the measured-input activity profile for this benchmark:
+    /// the input boundary's rate and zero-packet fractions are *measured*
+    /// by Poisson-encoding synthetic stimuli; deeper boundaries use the
+    /// standard depth-attenuated rates of rate-coded deep SNNs
+    /// (`0.15 × 0.85^depth`, pooling layers relay their input rate).
+    pub fn activity_profile(&self, widths: &[u32], seed: u64) -> ActivityProfile {
+        // Measure the input boundary on a handful of encoded stimuli
+        // (running average over probe images of different classes).
+        let gen = self.dataset.generator(seed);
+        let mut enc = PoissonEncoder::new(Self::PEAK_RATE, seed ^ 0xAC71);
+        let mut acc: Option<ActivityProfile> = None;
+        for (i, class) in [0usize, 3, 7].into_iter().enumerate() {
+            let img = gen.sample(class, i as u64);
+            let raster: SpikeRaster = enc.encode(&img, 40);
+            let p = ActivityProfile::measure(&raster, &[], widths);
+            match &mut acc {
+                None => acc = Some(p),
+                Some(a) => a.average_with(&p),
+            }
+        }
+        let input_stats = acc.expect("probe set non-empty").boundary(0).clone();
+
+        let mut boundaries = vec![input_stats];
+        let mut rate = 0.15f64;
+        for layer in self.topology.layers() {
+            let is_pool = matches!(
+                layer,
+                resparc_neuro::topology::LayerSpec::AvgPool { .. }
+            );
+            if !is_pool {
+                rate *= 0.85;
+            }
+            boundaries.push(BoundaryStats::analytic(layer.output_count(), rate));
+        }
+        ActivityProfile::new(boundaries)
+    }
+
+    /// Relative deviation of our synapse count from the paper's.
+    pub fn synapse_delta(&self) -> f64 {
+        (self.topology.synapse_count() as f64 - self.paper.synapses as f64)
+            / self.paper.synapses as f64
+    }
+}
+
+fn cnn_topology(side: usize, f1: usize, f2: usize, hidden: usize) -> Topology {
+    Topology::builder(Shape::new(side, side, 1))
+        .conv(f1, 5, Padding::Valid, ChannelTable::Full)
+        .pool(2)
+        .conv(f2, 5, Padding::Valid, ChannelTable::Banded { fan: 2 })
+        .pool(2)
+        .dense(hidden)
+        .dense(10)
+        .build()
+        .expect("benchmark CNN topology is consistent")
+}
+
+/// Digit recognition, MLP: 784 → 800 → 800 → 768 → 10.
+pub fn mnist_mlp() -> Benchmark {
+    Benchmark {
+        name: "MNIST-MLP".into(),
+        dataset: DatasetKind::Mnist,
+        style: NetStyle::Mlp,
+        topology: Topology::mlp(784, &[800, 800, 768, 10]),
+        paper: PaperSpec {
+            layers: 4,
+            neurons: 2_378,
+            synapses: 1_902_400,
+        },
+    }
+}
+
+/// Digit recognition, CNN: 28×28 −c5×83 −p2 −c5×86(q2) −p2 −fc128 −10.
+pub fn mnist_cnn() -> Benchmark {
+    Benchmark {
+        name: "MNIST-CNN".into(),
+        dataset: DatasetKind::Mnist,
+        style: NetStyle::Cnn,
+        topology: cnn_topology(28, 83, 86, 128),
+        paper: PaperSpec {
+            layers: 6,
+            neurons: 66_778,
+            synapses: 1_484_288,
+        },
+    }
+}
+
+/// House-number recognition, MLP: 1024 → 980 → 1000 → 788 → 10.
+pub fn svhn_mlp() -> Benchmark {
+    Benchmark {
+        name: "SVHN-MLP".into(),
+        dataset: DatasetKind::Svhn,
+        style: NetStyle::Mlp,
+        topology: Topology::mlp(1024, &[980, 1000, 788, 10]),
+        paper: PaperSpec {
+            layers: 4,
+            neurons: 2_778,
+            synapses: 2_778_000,
+        },
+    }
+}
+
+/// House-number recognition, CNN: 32×32 −c5×116 −p2 −c5×86(q2) −p2
+/// −fc130 −10.
+pub fn svhn_cnn() -> Benchmark {
+    Benchmark {
+        name: "SVHN-CNN".into(),
+        dataset: DatasetKind::Svhn,
+        style: NetStyle::Cnn,
+        topology: cnn_topology(32, 116, 86, 130),
+        paper: PaperSpec {
+            layers: 6,
+            neurons: 124_570,
+            synapses: 2_941_952,
+        },
+    }
+}
+
+/// Object classification, MLP: 1024 → 1000 → 1000 → 1000 → 768 → 10.
+pub fn cifar10_mlp() -> Benchmark {
+    Benchmark {
+        name: "CIFAR10-MLP".into(),
+        dataset: DatasetKind::Cifar10,
+        style: NetStyle::Mlp,
+        topology: Topology::mlp(1024, &[1000, 1000, 1000, 768, 10]),
+        paper: PaperSpec {
+            layers: 5,
+            neurons: 3_778,
+            synapses: 3_778_000,
+        },
+    }
+}
+
+/// Object classification, CNN: 32×32 −c5×216 −p2 −c5×154(q2) −p2 −fc126
+/// −10.
+pub fn cifar10_cnn() -> Benchmark {
+    Benchmark {
+        name: "CIFAR10-CNN".into(),
+        dataset: DatasetKind::Cifar10,
+        style: NetStyle::Cnn,
+        topology: cnn_topology(32, 216, 154, 126),
+        paper: PaperSpec {
+            layers: 6,
+            neurons: 231_066,
+            synapses: 5_524_480,
+        },
+    }
+}
+
+/// All six benchmarks in the paper's Fig. 10 grouping (per dataset:
+/// MLP then CNN).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        svhn_mlp(),
+        svhn_cnn(),
+        mnist_mlp(),
+        mnist_cnn(),
+        cifar10_mlp(),
+        cifar10_cnn(),
+    ]
+}
+
+/// The three MLP benchmarks (Figs. 11 b/d, 12 a/b).
+pub fn mlp_benchmarks() -> Vec<Benchmark> {
+    vec![mnist_mlp(), svhn_mlp(), cifar10_mlp()]
+}
+
+/// The three CNN benchmarks (Figs. 11 a/c, 12 c/d).
+pub fn cnn_benchmarks() -> Vec<Benchmark> {
+    vec![mnist_cnn(), svhn_cnn(), cifar10_cnn()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_counts_match_paper_exactly() {
+        for b in all_benchmarks() {
+            assert_eq!(
+                b.topology.neuron_count(),
+                b.paper.neurons,
+                "{} neuron count",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn layer_counts_match_paper_exactly() {
+        for b in all_benchmarks() {
+            assert_eq!(
+                b.topology.layer_count(),
+                b.paper.layers,
+                "{} layer count",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_synapse_counts_within_one_percent() {
+        for b in mlp_benchmarks() {
+            let delta = b.synapse_delta().abs();
+            assert!(delta < 0.01, "{}: delta {delta}", b.name);
+        }
+    }
+
+    #[test]
+    fn cnn_synapse_counts_same_order_as_paper() {
+        for b in cnn_benchmarks() {
+            let ratio = b.topology.synapse_count() as f64 / b.paper.synapses as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: connection ratio {ratio}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_scale_matches_paper_range() {
+        // "SNNs ranging in complexity from 2k–230k neurons and 1.2M–5.5M
+        // synapses" (abstract).
+        let all = all_benchmarks();
+        let min_n = all.iter().map(|b| b.topology.neuron_count()).min().unwrap();
+        let max_n = all.iter().map(|b| b.topology.neuron_count()).max().unwrap();
+        assert!(min_n >= 2_000 && max_n <= 240_000);
+    }
+
+    #[test]
+    fn profiles_have_matching_shapes() {
+        let b = mnist_mlp();
+        let p = b.activity_profile(&[32, 64], 1);
+        assert_eq!(p.boundary_count(), b.topology.layer_count() + 1);
+        assert!(p.rate(0) > 0.0 && p.rate(0) < 0.5);
+    }
+
+    #[test]
+    fn mnist_inputs_have_more_zero_packets_than_cifar() {
+        // The §5.3 mechanism: black MNIST background ⇒ long zero
+        // run-lengths; CIFAR textures ⇒ few.
+        let pm = mnist_mlp().activity_profile(&[32], 2);
+        let pc = cifar10_mlp().activity_profile(&[32], 2);
+        assert!(
+            pm.zero_packet_prob(0, 32) > pc.zero_packet_prob(0, 32) + 0.1,
+            "mnist {} vs cifar {}",
+            pm.zero_packet_prob(0, 32),
+            pc.zero_packet_prob(0, 32)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmark workloads for the RESPARC reproduction.
+//!
+//! Provides the paper's evaluation inputs:
+//!
+//! * [`dataset`] — deterministic synthetic stand-ins for MNIST, SVHN and
+//!   CIFAR-10 with matched sparsity statistics (the real datasets are not
+//!   available offline; see DESIGN.md §4),
+//! * [`benchmarks`] — the six Fig. 10 SNNs (MLP + CNN per dataset) with
+//!   neuron/layer counts matching the paper exactly, plus measured-input
+//!   activity profiles for the architectural simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use resparc_workloads::benchmarks::all_benchmarks;
+//!
+//! let suite = all_benchmarks();
+//! assert_eq!(suite.len(), 6);
+//! let mnist_mlp = suite.iter().find(|b| b.name == "MNIST-MLP").unwrap();
+//! assert_eq!(mnist_mlp.topology.neuron_count(), 2_378);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmarks;
+pub mod dataset;
+
+pub use benchmarks::{
+    all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn,
+    mnist_mlp, svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
+};
+pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::benchmarks::{
+        all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn,
+        mnist_mlp, svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
+    };
+    pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
+}

@@ -1,0 +1,53 @@
+//! CNN mapping deep-dive: how sparse convolutional connectivity maps
+//! onto crossbars, what input-sharing buys, and why utilization falls
+//! with array size (the §3.1.1 story).
+//!
+//! Run with: `cargo run --release --example cnn_mapping`
+
+use resparc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = resparc_workloads::mnist_cnn();
+    println!(
+        "{}: {} layers, {} neurons, {} connections\n",
+        bench.name,
+        bench.topology.layer_count(),
+        bench.topology.neuron_count(),
+        bench.topology.synapse_count()
+    );
+
+    for mca in [32usize, 64, 128] {
+        let mapping = Mapper::new(ResparcConfig::with_mca_size(mca)).map(&bench.topology)?;
+        let report = mapping.report();
+        println!("MCA {mca}x{mca}: {} crossbars, {} mPEs, {} NCs", report.mcas_used, report.mpes_used, report.ncs_used);
+        for l in &report.layers {
+            println!(
+                "  layer {}: {:>5} tiles, degree {:>2}, util {:>5.1}%, rows {:>5.1}%, cols {:>5.1}%",
+                l.layer,
+                l.tiles,
+                l.max_degree,
+                100.0 * l.mean_utilization,
+                100.0 * l.mean_row_occupancy,
+                100.0 * l.mean_col_occupancy
+            );
+        }
+    }
+
+    // The input-sharing ablation.
+    println!("\nInput-sharing ablation at MCA 64:");
+    let with = Mapper::new(ResparcConfig::resparc_64()).map(&bench.topology)?;
+    let without = Mapper::new(ResparcConfig::resparc_64())
+        .without_input_sharing()
+        .map(&bench.topology)?;
+    println!(
+        "  with sharing:    {:>6} crossbars (util {:.1}%)",
+        with.placement.mcas_used,
+        100.0 * with.overall_utilization()
+    );
+    println!(
+        "  without sharing: {:>6} crossbars (util {:.1}%)",
+        without.placement.mcas_used,
+        100.0 * without.overall_utilization()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! End-to-end digit-recognition pipeline: train an ANN offline, convert
+//! it to a spiking network (Diehl-style balancing), quantize to the
+//! paper's 4-bit devices, check spiking accuracy, then map and cost it
+//! on RESPARC.
+//!
+//! Run with: `cargo run --release --example mnist_pipeline`
+
+use resparc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthetic MNIST-like data (16x16 for a fast demo).
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 16, 42);
+    let train = gen.labelled_set(400, 0);
+    let test = gen.labelled_set(80, 9_000);
+
+    // 2. Offline supervised training (no biases — crossbar-compatible).
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 30;
+    let mut net = train_mlp(256, &[64, 10], &train, &cfg);
+    let ann_acc = test
+        .iter()
+        .filter(|(x, y)| net.classify_analog(x) == *y)
+        .count() as f64
+        / test.len() as f64;
+    println!("ANN accuracy: {:.1}%", 100.0 * ann_acc);
+
+    // 3. ANN -> SNN conversion + 4-bit weight discretization.
+    let calib: Vec<Vec<f32>> = train.iter().take(32).map(|(x, _)| x.clone()).collect();
+    normalize_for_snn(&mut net, &calib, 0.99);
+    let (snn, rms) = quantize_network(&net, Precision::paper_default());
+    println!("quantized to 4 bits (per-layer RMS error {rms:?})");
+
+    // 4. Spiking accuracy over 80 timesteps of Poisson input.
+    let mut correct = 0;
+    for (i, (x, y)) in test.iter().enumerate() {
+        let mut enc = PoissonEncoder::new(0.8, i as u64);
+        let raster = enc.encode(x, 80);
+        if snn.spiking().run(&raster).predicted == *y {
+            correct += 1;
+        }
+    }
+    println!(
+        "SNN accuracy (4-bit, 80 steps): {:.1}%",
+        100.0 * correct as f64 / test.len() as f64
+    );
+
+    // 5. Map the trained network and report hardware cost.
+    let mapping = Mapper::new(ResparcConfig::resparc_64()).map_network(&snn)?;
+    let profile = ActivityProfile::uniform(&[256, 64, 10], 0.2, 0.1);
+    let report = Simulator::new(&mapping).run(&profile);
+    println!(
+        "on RESPARC-64: {} MCAs, {:.3} per classification, {:.2} us",
+        mapping.report().mcas_used,
+        report.total_energy(),
+        report.latency.microseconds()
+    );
+    Ok(())
+}

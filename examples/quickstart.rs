@@ -1,0 +1,54 @@
+//! Quickstart: map a small SNN onto RESPARC, simulate one classification
+//! and compare against the digital CMOS baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use resparc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small MLP (like a scaled-down digit classifier).
+    let topology = Topology::mlp(256, &[128, 64, 10]);
+    println!(
+        "network: {} layers, {} neurons, {} synapses",
+        topology.layer_count(),
+        topology.neuron_count(),
+        topology.synapse_count()
+    );
+
+    // Map it onto the paper's RESPARC-64 machine.
+    let mapping = Mapper::new(ResparcConfig::resparc_64()).map(&topology)?;
+    let report = mapping.report();
+    println!(
+        "mapped onto {} MCAs across {} mPEs in {} NeuroCell(s); overall utilization {:.0}%",
+        report.mcas_used,
+        report.mpes_used,
+        report.ncs_used,
+        100.0 * mapping.overall_utilization()
+    );
+
+    // Simulate a classification under a typical activity profile.
+    let mut counts = vec![topology.input_count()];
+    counts.extend(topology.layers().iter().map(|l| l.output_count()));
+    let profile = ActivityProfile::uniform(&counts, 0.2, 0.1);
+    let resparc = Simulator::new(&mapping).run(&profile);
+    println!(
+        "RESPARC:  {:>10.3} per classification, {:>8.1} us  ({} cycles/timestep)",
+        resparc.total_energy(),
+        resparc.latency.microseconds(),
+        resparc.timestep_cycles
+    );
+
+    // Same workload on the CMOS baseline.
+    let cmos = CmosSimulator::new(CmosConfig::paper_baseline()).run(&topology, &profile);
+    println!(
+        "CMOS:     {:>10.3} per classification, {:>8.1} us",
+        cmos.total_energy(),
+        cmos.latency.microseconds()
+    );
+    println!(
+        "RESPARC wins: {:.0}x energy, {:.0}x speed",
+        cmos.total_energy() / resparc.total_energy(),
+        cmos.latency.nanoseconds() / resparc.latency.nanoseconds()
+    );
+    Ok(())
+}

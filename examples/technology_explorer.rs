@@ -1,0 +1,46 @@
+//! Technology-aware crossbar sizing: which MCA sizes does each device
+//! technology support, and which size maps a given SNN most efficiently?
+//!
+//! Run with: `cargo run --release --example technology_explorer`
+
+use resparc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = 0.15; // acceptable combined non-ideality error
+
+    println!("Feasible MCA sizes per technology (error budget {budget}):");
+    for dev in [
+        MemristorSpec::ag_si(),
+        MemristorSpec::pcm(),
+        MemristorSpec::spintronic(),
+    ] {
+        let report = sizing_report(&dev, budget);
+        print!("  {:<11}", report.technology);
+        for (size, err) in &report.errors {
+            print!(" {size}:{:.3}", err);
+        }
+        println!("  -> max feasible: {:?}", report.max_feasible);
+    }
+
+    // Sweep the MNIST benchmarks across MCA sizes and report energy.
+    for bench in [resparc_workloads::mnist_mlp(), resparc_workloads::mnist_cnn()] {
+        println!("\n{} energy vs MCA size:", bench.name);
+        let profile = bench.activity_profile(&[16, 32, 64, 128], 7);
+        for mca in [32usize, 64, 128] {
+            let mapping = Mapper::new(ResparcConfig::with_mca_size(mca)).map(&bench.topology)?;
+            let report = Simulator::new(&mapping).run(&profile);
+            let warn = mapping
+                .technology_warning
+                .as_deref()
+                .map(|_| "  [exceeds reliable size!]")
+                .unwrap_or("");
+            println!(
+                "  MCA {mca:>3}: {:>12.3}  ({} crossbars, util {:.0}%){warn}",
+                report.total_energy(),
+                mapping.report().mcas_used,
+                100.0 * mapping.overall_utilization()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! # RESPARC reproduction suite
+//!
+//! A from-scratch Rust reproduction of *RESPARC: A Reconfigurable and
+//! Energy-Efficient Architecture with Memristive Crossbars for Deep
+//! Spiking Neural Networks* (Ankit et al., DAC 2017).
+//!
+//! This facade crate re-exports the whole system and adds the high-level
+//! [`compare`] API that evaluates a benchmark on both machines — RESPARC
+//! and the paper's optimized digital CMOS baseline — exactly the way the
+//! paper's Figs. 11–14 do.
+//!
+//! The member crates:
+//!
+//! * [`resparc_energy`] — units, 45 nm component energies, CACTI-mini
+//!   SRAM, energy accounting,
+//! * [`resparc_neuro`] — the SNN substrate (neurons, spikes, topologies,
+//!   training, conversion, quantization, activity statistics),
+//! * [`resparc_device`] — memristor devices, crossbars, non-idealities,
+//!   technology-aware sizing,
+//! * [`resparc_core`] — the RESPARC architecture, mapper and simulators,
+//! * [`resparc_cmos`] — the digital baseline accelerator,
+//! * [`resparc_workloads`] — the six Fig. 10 benchmarks and synthetic
+//!   datasets.
+//!
+//! # Examples
+//!
+//! Reproduce one Fig. 11 data point (MNIST MLP on RESPARC-64 vs CMOS):
+//!
+//! ```
+//! use resparc_suite::compare::compare_benchmark;
+//! use resparc_suite::prelude::*;
+//!
+//! let bench = resparc_workloads::mnist_mlp();
+//! let cmp = compare_benchmark(
+//!     &bench,
+//!     &ResparcConfig::resparc_64().with_timesteps(20),
+//!     &CmosConfig::paper_baseline().with_timesteps(20),
+//!     7,
+//! )?;
+//! assert!(cmp.energy_gain > 1.0);
+//! assert!(cmp.speedup > 1.0);
+//! # Ok::<(), resparc_core::map::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use resparc_cmos;
+pub use resparc_core;
+pub use resparc_device;
+pub use resparc_energy;
+pub use resparc_neuro;
+pub use resparc_workloads;
+
+pub mod compare {
+    //! Side-by-side evaluation of a benchmark on RESPARC and the CMOS
+    //! baseline (the methodology behind Figs. 11–14).
+
+    use resparc_cmos::{CmosConfig, CmosReport, CmosSimulator};
+    use resparc_core::map::{MapError, Mapper, Mapping};
+    use resparc_core::sim::{ExecutionReport, Simulator};
+    use resparc_core::ResparcConfig;
+    use resparc_neuro::stats::ActivityProfile;
+    use resparc_workloads::Benchmark;
+
+    /// Results of running one benchmark on both machines.
+    #[derive(Debug, Clone)]
+    pub struct Comparison {
+        /// Benchmark display name.
+        pub name: String,
+        /// RESPARC mapping (utilization, mPE/NC footprint).
+        pub mapping: Mapping,
+        /// RESPARC per-classification report.
+        pub resparc: ExecutionReport,
+        /// CMOS baseline per-classification report.
+        pub cmos: CmosReport,
+        /// CMOS energy / RESPARC energy (the paper's "energy benefit").
+        pub energy_gain: f64,
+        /// CMOS latency / RESPARC latency (the paper's "speedup").
+        pub speedup: f64,
+    }
+
+    /// Runs `benchmark` on both machines under its measured activity
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the RESPARC configuration is invalid.
+    pub fn compare_benchmark(
+        benchmark: &Benchmark,
+        resparc_cfg: &ResparcConfig,
+        cmos_cfg: &CmosConfig,
+        seed: u64,
+    ) -> Result<Comparison, MapError> {
+        let widths = [16u32, 32, 64, 128];
+        let profile = benchmark.activity_profile(&widths, seed);
+        compare_with_profile(benchmark, &profile, resparc_cfg, cmos_cfg)
+    }
+
+    /// Runs `benchmark` on both machines under an explicit profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the RESPARC configuration is invalid.
+    pub fn compare_with_profile(
+        benchmark: &Benchmark,
+        profile: &ActivityProfile,
+        resparc_cfg: &ResparcConfig,
+        cmos_cfg: &CmosConfig,
+    ) -> Result<Comparison, MapError> {
+        let mapping = Mapper::new(resparc_cfg.clone()).map(&benchmark.topology)?;
+        let resparc = Simulator::new(&mapping).run(profile);
+        let cmos = CmosSimulator::new(cmos_cfg.clone()).run(&benchmark.topology, profile);
+        let energy_gain =
+            cmos.total_energy().picojoules() / resparc.total_energy().picojoules();
+        let speedup = cmos.latency.nanoseconds() / resparc.latency.nanoseconds();
+        Ok(Comparison {
+            name: benchmark.name.clone(),
+            mapping,
+            resparc,
+            cmos,
+            energy_gain,
+            speedup,
+        })
+    }
+}
+
+/// Convenient glob import: the main types from every member crate.
+pub mod prelude {
+    pub use crate::compare::{compare_benchmark, compare_with_profile, Comparison};
+    pub use resparc_cmos::prelude::*;
+    pub use resparc_core::prelude::*;
+    pub use resparc_device::prelude::*;
+    pub use resparc_energy::prelude::*;
+    pub use resparc_neuro::prelude::*;
+    pub use resparc_workloads::prelude::*;
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the full pipeline from training through
+//! mapping to both simulators.
+
+use resparc_suite::compare::compare_benchmark;
+use resparc_suite::prelude::*;
+
+#[test]
+fn trained_network_maps_and_simulates() {
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+    let train = gen.labelled_set(120, 0);
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 10;
+    let mut net = train_mlp(144, &[32, 10], &train, &cfg);
+    let calib: Vec<Vec<f32>> = train.iter().take(16).map(|(x, _)| x.clone()).collect();
+    normalize_for_snn(&mut net, &calib, 0.99);
+    let (snn, _) = quantize_network(&net, Precision::paper_default());
+
+    let mapping = Mapper::new(ResparcConfig::resparc_64())
+        .map_network(&snn)
+        .unwrap();
+    let profile = ActivityProfile::uniform(&[144, 32, 10], 0.2, 0.1);
+    let report = Simulator::new(&mapping).run(&profile);
+    assert!(report.total_energy().picojoules() > 0.0);
+    assert!(report.latency.nanoseconds() > 0.0);
+}
+
+#[test]
+fn hardware_cosim_agrees_with_functional_sim_through_mapper() {
+    // The strongest cross-crate invariant: mapper + explicit crossbars +
+    // IF neurons reproduce the algorithm-level simulator spike-for-spike.
+    let net = Network::random(Topology::mlp(30, &[20, 8]), 21, 1.0);
+    let mut cfg = ResparcConfig::with_mca_size(16);
+    cfg.mca_levels = 1 << 14;
+    let mapping = Mapper::new(cfg).with_details().map_network(&net).unwrap();
+    let mut hw = HwCore::build(&net, &mapping).unwrap();
+    let mut runner = net.spiking();
+
+    let enc = RegularEncoder::new(1.0);
+    let stimulus: Vec<f32> = (0..30).map(|i| (i % 7) as f32 / 7.0).collect();
+    let raster = enc.encode(&stimulus, 40);
+    for (t, step) in raster.iter().enumerate() {
+        let sw = runner.step(step).clone();
+        let hws = hw.step(step);
+        assert_eq!(sw, hws, "diverged at step {t}");
+    }
+}
+
+#[test]
+fn paper_headline_shapes_hold_end_to_end() {
+    let mlp = compare_benchmark(
+        &resparc_workloads::mnist_mlp(),
+        &ResparcConfig::resparc_64(),
+        &CmosConfig::paper_baseline(),
+        7,
+    )
+    .unwrap();
+    let cnn = compare_benchmark(
+        &resparc_workloads::mnist_cnn(),
+        &ResparcConfig::resparc_64(),
+        &CmosConfig::paper_baseline(),
+        7,
+    )
+    .unwrap();
+    // Headline: RESPARC wins on both axes for both net styles, MLPs win
+    // far more than CNNs.
+    assert!(mlp.energy_gain > 100.0);
+    assert!(mlp.speedup > 100.0);
+    assert!(cnn.energy_gain > 3.0);
+    assert!(cnn.speedup > 10.0);
+    assert!(mlp.energy_gain > 5.0 * cnn.energy_gain);
+    assert!(mlp.speedup > cnn.speedup);
+}
+
+#[test]
+fn event_driven_never_costs_energy() {
+    for bench in [resparc_workloads::mnist_mlp(), resparc_workloads::mnist_cnn()] {
+        let profile = bench.activity_profile(&[16, 32, 64, 128], 9);
+        for mca in [32usize, 64, 128] {
+            let on = Mapper::new(ResparcConfig::with_mca_size(mca))
+                .map(&bench.topology)
+                .unwrap();
+            let on = Simulator::new(&on).run(&profile).total_energy();
+            let off = Mapper::new(
+                ResparcConfig::with_mca_size(mca).with_event_driven(false),
+            )
+            .map(&bench.topology)
+            .unwrap();
+            let off = Simulator::new(&off).run(&profile).total_energy();
+            assert!(
+                on.picojoules() <= off.picojoules() * 1.001,
+                "{} @ {mca}: {on} vs {off}",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_six_benchmarks_map_on_every_mca_size() {
+    for bench in all_benchmarks() {
+        for mca in [32usize, 64, 128] {
+            let mapping = Mapper::new(ResparcConfig::with_mca_size(mca))
+                .map(&bench.topology)
+                .unwrap();
+            let mapped: u64 = mapping.partitions.iter().map(|p| p.total_synapses).sum();
+            assert_eq!(
+                mapped,
+                bench.topology.synapse_count() as u64,
+                "{} @ {mca}: synapse coverage",
+                bench.name
+            );
+        }
+    }
+}

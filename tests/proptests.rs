@@ -1,0 +1,125 @@
+//! Property-based tests over the core cross-crate invariants.
+
+use proptest::prelude::*;
+use resparc_suite::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The crossbar's analog read equals the dense matrix-vector product
+    /// of its programmed (quantized) weights.
+    #[test]
+    fn crossbar_read_is_inner_product(
+        weights in proptest::collection::vec(-1.0f64..1.0, 16),
+        spikes in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let mut xbar = Crossbar::new(4, MemristorSpec::paper_default(), 1 << 12);
+        let synapses: Vec<(usize, usize, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i / 4, i % 4, w))
+            .collect();
+        xbar.program(&synapses).unwrap();
+        let out = xbar.read(&spikes);
+        for c in 0..4 {
+            let expected: f64 = (0..4)
+                .filter(|&r| spikes[r])
+                .map(|r| weights[r * 4 + c])
+                .sum();
+            prop_assert!((out[c] - expected).abs() < 2e-3, "col {c}: {} vs {expected}", out[c]);
+        }
+    }
+
+    /// Partitioning covers every synapse exactly once and never overflows
+    /// a tile, for arbitrary dense layer shapes and MCA sizes.
+    #[test]
+    fn partition_covers_dense_layers(
+        inputs in 1usize..300,
+        outputs in 1usize..300,
+        mca in prop_oneof![Just(16usize), Just(32), Just(64), Just(128)],
+    ) {
+        let conn = ConnectivityMatrix::from_layer(&LayerSpec::Dense { inputs, outputs });
+        let part = resparc_core::map::partition::partition_layer(
+            &conn,
+            0,
+            &resparc_core::map::PartitionOptions::new(mca),
+        );
+        prop_assert_eq!(part.total_synapses, (inputs * outputs) as u64);
+        prop_assert!(part.tiles.iter().all(|t| t.rows as usize <= mca && t.cols as usize <= mca));
+        prop_assert_eq!(part.max_degree as usize, inputs.div_ceil(mca));
+    }
+
+    /// Quantization error is bounded by half a step at every precision.
+    #[test]
+    fn quantization_error_bounded(
+        weights in proptest::collection::vec(-5.0f32..5.0, 1..64),
+        bits in 1u8..9,
+    ) {
+        let p = Precision::new(bits);
+        let (q, _) = p.quantize_values(&weights);
+        let max = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        if max > 0.0 {
+            let step = 2.0 * max / (p.levels() as f32 - 1.0);
+            for (&w, &d) in weights.iter().zip(&q) {
+                prop_assert!((w - d).abs() <= step / 2.0 + 1e-5);
+            }
+        }
+    }
+
+    /// Energy breakdowns always partition their total, whatever was
+    /// charged.
+    #[test]
+    fn breakdown_groups_partition_total(
+        charges in proptest::collection::vec((0usize..9, 0.0f64..1e6), 1..40),
+    ) {
+        let mut bd = EnergyBreakdown::new();
+        for (idx, pj) in charges {
+            bd.charge(Category::ALL[idx], Energy::from_picojoules(pj));
+        }
+        let total = bd.total();
+        let rsum: Energy = bd.resparc_groups().iter().map(|(_, e)| *e).sum();
+        let csum: Energy = bd.cmos_groups().iter().map(|(_, e)| *e).sum();
+        prop_assert!((rsum.picojoules() - total.picojoules()).abs() <= 1e-6 * total.picojoules().max(1.0));
+        prop_assert!((csum.picojoules() - total.picojoules()).abs() <= 1e-6 * total.picojoules().max(1.0));
+    }
+
+    /// The zero-packet statistic matches a naive per-window scan.
+    #[test]
+    fn zero_packet_fraction_matches_naive(
+        steps in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 50), 1..6),
+        width in 1usize..16,
+    ) {
+        let mut raster = SpikeRaster::new(50);
+        for s in &steps {
+            raster.push(SpikeVector::from_bools(s));
+        }
+        let fast = raster.zero_packet_fraction(width);
+        let mut zero = 0u64;
+        let mut total = 0u64;
+        for s in &steps {
+            for start in (0..50).step_by(width) {
+                total += 1;
+                if s[start..(start + width).min(50)].iter().all(|&b| !b) {
+                    zero += 1;
+                }
+            }
+        }
+        prop_assert!((fast - zero as f64 / total as f64).abs() < 1e-12);
+    }
+
+    /// Spiking IF rate tracks drive/threshold for constant input.
+    #[test]
+    fn if_rate_tracks_drive(drive in 0.01f32..0.99) {
+        let cfg = NeuronConfig::integrate_and_fire(1.0);
+        let mut m = Membrane::new();
+        let steps = 4000u32;
+        let mut fired = 0u32;
+        for _ in 0..steps {
+            if m.step(drive, &cfg) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / steps as f64;
+        prop_assert!((rate - drive as f64).abs() < 0.02, "rate {rate} vs drive {drive}");
+    }
+}

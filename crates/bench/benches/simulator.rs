@@ -1,11 +1,16 @@
 //! Criterion benches over the hot paths of the reproduction: crossbar
 //! analog reads, mapping, both architecture simulators, the functional
-//! SNN and the spike-accurate hardware cosim.
+//! SNN and the spike-accurate hardware cosim — plus the compiled-kernel
+//! vs closure-walk groups (`snn_step`, `forward_batch`, `accuracy_sweep`)
+//! that track the batched-inference speedup. See the repository's
+//! `BENCHMARKS.md` for how to run them and read the emitted
+//! `BENCH_*.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use resparc_suite::prelude::*;
+use resparc_suite::resparc_neuro::network::reference;
 
 fn bench_crossbar_mvm(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar_mvm");
@@ -96,9 +101,101 @@ fn bench_hw_cosim(c: &mut Criterion) {
     });
 }
 
+/// The paper's MNIST MLP (784-800-800-768-10) with random weights: the
+/// workload of the compiled-kernel vs closure-walk groups below.
+fn mnist_mlp_net() -> Network {
+    Network::random(
+        resparc_suite::resparc_workloads::mnist_mlp().topology,
+        3,
+        1.0,
+    )
+}
+
+/// One spiking timestep on the full MNIST MLP: compiled kernels (dense
+/// transposed weight rows) vs the seed's closure-walk CSR with weight-id
+/// indirection.
+fn bench_snn_step(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let stimulus: Vec<f32> = (0..784).map(|i| (i % 9) as f32 / 9.0).collect();
+    let mut enc = PoissonEncoder::new(0.3, 5);
+    let raster = enc.encode(&stimulus, 1);
+    let step = raster.step(0);
+
+    let mut group = c.benchmark_group("snn_step");
+    group.sample_size(10);
+    let mut compiled = net.spiking();
+    group.bench_function("compiled", |b| {
+        b.iter(|| black_box(compiled.step(black_box(step)).count_ones()))
+    });
+    let mut oracle = reference::RefSnnRunner::new(&net);
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(oracle.step(black_box(step)).count_ones()))
+    });
+    group.finish();
+}
+
+/// 64-stimulus analog forward on the MNIST MLP: one batched call on the
+/// shared compiled kernels vs looping the closure-walk single-stimulus
+/// path.
+fn bench_forward_batch(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let stimuli: Vec<Vec<f32>> = (0..64)
+        .map(|s| {
+            (0..784)
+                .map(|i| ((s * 13 + i) % 11) as f32 / 11.0)
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("forward_batch");
+    group.sample_size(10);
+    group.bench_function("batched_compiled_64", |b| {
+        b.iter(|| black_box(net.forward_analog_batch(black_box(&stimuli))))
+    });
+    group.bench_function("looped_reference_64", |b| {
+        b.iter(|| {
+            for x in &stimuli {
+                black_box(reference::forward_analog(&net, black_box(x)));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The acceptance workload: a 64-stimulus MNIST-MLP spiking accuracy
+/// sweep. `batched_compiled` runs `Network::spiking_batch` (one synapse
+/// enumeration shared by every stimulus); `looped_reference` re-creates
+/// the seed's runner — re-enumerating the whole synapse structure — per
+/// stimulus, exactly as the pre-compiled-kernel code had to.
+fn bench_accuracy_sweep(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mut enc = PoissonEncoder::new(0.4, 11);
+    let rasters: Vec<SpikeRaster> = (0..64)
+        .map(|s| {
+            let x: Vec<f32> = (0..784).map(|i| ((s * 7 + i) % 13) as f32 / 13.0).collect();
+            enc.encode(&x, 20)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("accuracy_sweep");
+    group.sample_size(10);
+    group.bench_function("batched_compiled_64x20", |b| {
+        b.iter(|| black_box(net.spiking_batch(black_box(&rasters))))
+    });
+    group.bench_function("looped_reference_64x20", |b| {
+        b.iter(|| {
+            for raster in &rasters {
+                let mut runner = reference::RefSnnRunner::new(&net);
+                black_box(runner.run(black_box(raster)));
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crossbar_mvm, bench_mapper, bench_resparc_sim, bench_cmos_sim, bench_functional_snn, bench_hw_cosim
+    targets = bench_crossbar_mvm, bench_mapper, bench_resparc_sim, bench_cmos_sim, bench_functional_snn, bench_hw_cosim, bench_snn_step, bench_forward_batch, bench_accuracy_sweep
 }
 criterion_main!(benches);

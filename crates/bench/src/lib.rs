@@ -9,10 +9,17 @@
 //! reproduction targets the *shape* of each result (who wins, by what
 //! order, where the crossovers fall). EXPERIMENTS.md records
 //! paper-vs-measured for every figure.
+//!
+//! Wall-clock performance of the simulators themselves is tracked by the
+//! criterion benches in `benches/simulator.rs` (`cargo bench -p
+//! resparc-bench`), including the compiled-kernel vs closure-walk
+//! `snn_step` / `forward_batch` / `accuracy_sweep` groups; see the
+//! repository's `BENCHMARKS.md` for how to run them and read the emitted
+//! `BENCH_*.json`.
 
 use std::fmt::Write as _;
 
-use resparc_suite::compare::{compare_benchmark, Comparison};
+use resparc_suite::compare::{compare_benchmark, compare_many, Comparison};
 use resparc_suite::prelude::*;
 use resparc_suite::resparc_workloads::{all_benchmarks, cnn_benchmarks, mlp_benchmarks};
 
@@ -187,8 +194,14 @@ pub fn fig11() -> String {
         ),
     ] {
         let mut rows = Vec::new();
-        for (i, b) in group.iter().enumerate() {
-            let cmp = run_pair(b, 64, true);
+        let cmps = compare_many(
+            &group,
+            &ResparcConfig::with_mca_size(64).with_event_driven(true),
+            &CmosConfig::paper_baseline(),
+            SEED,
+        )
+        .expect("benchmark configs are valid");
+        for (i, (b, cmp)) in group.iter().zip(&cmps).enumerate() {
             rows.push(vec![
                 b.name.clone(),
                 format!("{:.1}x", cmp.energy_gain),
@@ -246,7 +259,13 @@ pub fn fig12() -> String {
             out,
             "RESPARC breakdown — {tag}\n{}\n",
             fmt_table(
-                &["Benchmark @ MCA", "Total", "Neuron", "Crossbar", "Peripherals"],
+                &[
+                    "Benchmark @ MCA",
+                    "Total",
+                    "Neuron",
+                    "Crossbar",
+                    "Peripherals"
+                ],
                 &rows
             )
         );
@@ -326,17 +345,11 @@ pub fn fig14a() -> String {
         let mut cells = vec![kind.name().to_string()];
         for bits in [1u8, 2, 4, 8] {
             let (qnet, _) = quantize_network(&net, Precision::new(bits));
-            let mut correct = 0usize;
-            for (i, (x, y)) in test.iter().enumerate() {
-                let mut enc = PoissonEncoder::new(0.8, SEED ^ i as u64);
-                let raster = enc.encode(x, 80);
-                let mut runner = qnet.spiking();
-                if runner.run(&raster).predicted == *y {
-                    correct += 1;
-                }
-            }
-            let acc = correct as f64 / test.len() as f64;
-            cells.push(format!("{:.1}%", 100.0 * acc));
+            // Batched sweep on the quantized net's compiled kernels:
+            // identical per-sample seeds/steps to the original serial
+            // loop (SweepConfig::fig14a() == 80 steps, 0.8 peak, seed 7).
+            let report = spiking_accuracy_sweep(&qnet, &test, &SweepConfig::fig14a());
+            cells.push(format!("{:.1}%", 100.0 * report.accuracy()));
         }
         rows.push(cells);
     }
@@ -489,7 +502,10 @@ mod tests {
         let s32 = saving(&mlp, 32);
         let s128 = saving(&mlp, 128);
         assert!(s32 > s128, "MLP: 32 saves {s32}, 128 saves {s128}");
-        assert!(saving(&mlp, 64) > saving(&cnn, 64), "MLP should save more than CNN");
+        assert!(
+            saving(&mlp, 64) > saving(&cnn, 64),
+            "MLP should save more than CNN"
+        );
         assert!(s32 > 0.0);
     }
 
@@ -513,6 +529,9 @@ mod tests {
         };
         let r1 = resparc(1);
         let r8 = resparc(8);
-        assert!((r1 / r8 - 1.0).abs() < 0.01, "RESPARC not flat: {r1} vs {r8}");
+        assert!(
+            (r1 / r8 - 1.0).abs() < 0.01,
+            "RESPARC not flat: {r1} vs {r8}"
+        );
     }
 }

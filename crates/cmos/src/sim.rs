@@ -96,8 +96,9 @@ impl CmosSimulator {
             .map(|l| l.output_count())
             .sum::<usize>()
             + topology.input_count();
-        let state_bytes =
-            (state_words as u64 * cfg.accumulator_bits as u64).div_ceil(8).max(1024) as usize;
+        let state_bytes = (state_words as u64 * cfg.accumulator_bits as u64)
+            .div_ceil(8)
+            .max(1024) as usize;
         let state_sram = SramSpec::new(state_bytes, cfg.accumulator_bits).build();
 
         let mut per_step = EnergyBreakdown::new();
@@ -149,7 +150,10 @@ impl CmosSimulator {
                 state_sram.read_energy() * (packets_in * active_packet_frac),
             );
             if cfg.event_driven {
-                per_step.charge(Category::Control, cat.zero_check(cfg.packet_bits) * packets_in);
+                per_step.charge(
+                    Category::Control,
+                    cat.zero_check(cfg.packet_bits) * packets_in,
+                );
             }
             // Input FIFO write + read per synop.
             per_step.charge(
@@ -159,10 +163,7 @@ impl CmosSimulator {
 
             // --- Compute -------------------------------------------------
             // Accumulate into the membrane register per synop.
-            per_step.charge(
-                Category::Compute,
-                cat.add(cfg.accumulator_bits) * synops,
-            );
+            per_step.charge(Category::Compute, cat.add(cfg.accumulator_bits) * synops);
             // Membrane read-modify-write per neuron: accumulators live in
             // NU-local buffers (the FALCON dataflow keeps the working set
             // on-chip), not the weight SRAM.
@@ -237,7 +238,8 @@ mod tests {
     #[test]
     fn report_is_positive_and_complete() {
         let t = mlp();
-        let r = CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.1));
+        let r =
+            CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.1));
         assert!(r.total_energy() > Energy::ZERO);
         assert!(r.latency.nanoseconds() > 0.0);
         assert_eq!(r.layer_synops.len(), 2);
@@ -248,7 +250,8 @@ mod tests {
     fn mlp_is_memory_dominated() {
         // Fig. 12(b): MLP energy dominated by memory access + leakage.
         let t = mlp();
-        let r = CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.1));
+        let r =
+            CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.1));
         let groups = r.energy.cmos_groups();
         let core = groups
             .iter()
@@ -268,7 +271,8 @@ mod tests {
         // Fig. 12(d): conv kernels fit the reuse buffer, so the core
         // (buffers + compute) dominates.
         let t = cnn();
-        let r = CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.15));
+        let r =
+            CmosSimulator::new(CmosConfig::paper_baseline()).run(&t, &profile_for(&t, 0.2, 0.15));
         let groups = r.energy.cmos_groups();
         let core = groups
             .iter()

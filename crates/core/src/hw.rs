@@ -41,10 +41,9 @@ impl std::fmt::Display for HwBuildError {
             HwBuildError::MissingDetails => {
                 write!(f, "mapping lacks tile details; use Mapper::with_details()")
             }
-            HwBuildError::LayerMismatch { mapping, network } => write!(
-                f,
-                "mapping has {mapping} layers but network has {network}"
-            ),
+            HwBuildError::LayerMismatch { mapping, network } => {
+                write!(f, "mapping has {mapping} layers but network has {network}")
+            }
         }
     }
 }
@@ -255,10 +254,7 @@ mod tests {
         for (t, step) in raster.iter().enumerate() {
             let sw = runner.step(step).clone();
             let hwout = hw.step(step);
-            assert_eq!(
-                sw, hwout,
-                "output spikes diverged at timestep {t}"
-            );
+            assert_eq!(sw, hwout, "output spikes diverged at timestep {t}");
         }
     }
 
@@ -284,9 +280,7 @@ mod tests {
     #[test]
     fn build_requires_details() {
         let net = Network::random(Topology::mlp(8, &[4]), 0, 1.0);
-        let mapping = Mapper::new(high_precision_cfg())
-            .map_network(&net)
-            .unwrap();
+        let mapping = Mapper::new(high_precision_cfg()).map_network(&net).unwrap();
         assert_eq!(
             HwCore::build(&net, &mapping).unwrap_err(),
             HwBuildError::MissingDetails

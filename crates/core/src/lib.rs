@@ -54,11 +54,11 @@ pub mod switch;
 pub use bus::{BroadcastOutcome, GlobalBus, NcTag};
 pub use config::ResparcConfig;
 pub use hw::{HwBuildError, HwCore};
-pub use mpe::{CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule};
 pub use map::{
     LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,
     Placement, Tile,
 };
+pub use mpe::{CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule};
 pub use sim::{ExecutionReport, LayerExecStats, Simulator};
 pub use switch::{PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, SwitchOutput};
 
@@ -67,12 +67,12 @@ pub mod prelude {
     pub use crate::bus::{BroadcastOutcome, GlobalBus, NcTag};
     pub use crate::config::ResparcConfig;
     pub use crate::hw::{HwBuildError, HwCore};
+    pub use crate::map::{
+        LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,
+        Placement, Tile,
+    };
     pub use crate::mpe::{
         CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule,
-    };
-    pub use crate::map::{
-        LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport,
-        PartitionOptions, Placement, Tile,
     };
     pub use crate::sim::{ExecutionReport, LayerExecStats, Simulator};
     pub use crate::switch::{

@@ -111,12 +111,11 @@ impl Mapper {
                     let max = ws.iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
                     // Mean magnitude of the *normalized* weights, which is
                     // what the crossbar stores.
-                    (ws.iter().map(|&w| (w.abs() / max) as f64).sum::<f64>())
-                        / ws.len() as f64
+                    (ws.iter().map(|&w| (w.abs() / max) as f64).sum::<f64>()) / ws.len() as f64
                 }
             })
             .collect();
-        self.map_with_weights(&topology, &mags)
+        self.map_with_weights(topology, &mags)
     }
 
     /// Maps a topology with explicit per-layer mean normalized-|weight|
@@ -135,9 +134,7 @@ impl Mapper {
         topology: &Topology,
         mean_weight_mags: &[f64],
     ) -> Result<Mapping, MapError> {
-        self.config
-            .validate()
-            .map_err(MapError::InvalidConfig)?;
+        self.config.validate().map_err(MapError::InvalidConfig)?;
         assert_eq!(
             mean_weight_mags.len(),
             topology.layer_count(),
@@ -161,8 +158,7 @@ impl Mapper {
             .collect();
         let placement = place(&partitions, &self.config);
 
-        let technology_warning = match max_feasible_size(&self.config.device, self.error_budget)
-        {
+        let technology_warning = match max_feasible_size(&self.config.device, self.error_budget) {
             Some(max) if self.config.mca_size <= max => None,
             Some(max) => Some(format!(
                 "MCA size {} exceeds the technology's reliable maximum of {max} \
@@ -189,7 +185,11 @@ impl Mapper {
     /// pairs, smallest-footprint first. The full energy ranking lives in
     /// the simulator; this structural ranking is the mapper-level proxy
     /// (fewer, fuller crossbars).
-    pub fn recommend_mca_size(&self, topology: &Topology, candidates: &[usize]) -> Vec<(usize, usize)> {
+    pub fn recommend_mca_size(
+        &self,
+        topology: &Topology,
+        candidates: &[usize],
+    ) -> Vec<(usize, usize)> {
         let mut out: Vec<(usize, usize)> = candidates
             .iter()
             .map(|&size| {

@@ -296,12 +296,7 @@ pub fn partition_layer(
     // is what makes input sharing effective for convolutions. Dense
     // layers are unaffected (every output starts at input 0).
     let mut order: Vec<u32> = (0..outputs as u32).collect();
-    order.sort_by_key(|&o| {
-        (
-            conn.inputs_of(o as usize).first().copied().unwrap_or(0),
-            o,
-        )
-    });
+    order.sort_by_key(|&o| (conn.inputs_of(o as usize).first().copied().unwrap_or(0), o));
 
     // Chunk-major sweep: phase k packs the k-th fan-in chunk of every
     // output that has one. Dense layers degenerate to grid tiling because
@@ -322,7 +317,7 @@ pub fn partition_layer(
 
             let fits_rows = open.rows_after(chunk_inputs, options.input_sharing) <= n as u32;
             let fits_cols = (open.columns.len() as u32) < n as u32;
-            if !(fits_rows && fits_cols) && !open.is_empty() {
+            if !(open.is_empty() || (fits_rows && fits_cols)) {
                 let (tile, detail) = std::mem::replace(&mut open, OpenTile::new()).close(
                     layer,
                     k as u32,
@@ -435,11 +430,7 @@ mod tests {
         };
         let c = conn(&spec);
         let shared = partition_layer(&c, 0, &PartitionOptions::new(64));
-        let unshared = partition_layer(
-            &c,
-            0,
-            &PartitionOptions::new(64).without_input_sharing(),
-        );
+        let unshared = partition_layer(&c, 0, &PartitionOptions::new(64).without_input_sharing());
         assert!(shared.tile_count() < unshared.tile_count());
         assert!(shared.mean_utilization(64) > unshared.mean_utilization(64));
         assert_eq!(shared.total_synapses, unshared.total_synapses);
@@ -538,7 +529,10 @@ mod tests {
         let c = conn(&spec);
         for n in [16usize, 32, 64] {
             let p = partition_layer(&c, 0, &PartitionOptions::new(n));
-            assert!(p.tiles.iter().all(|t| t.rows <= n as u32 && t.cols <= n as u32));
+            assert!(p
+                .tiles
+                .iter()
+                .all(|t| t.rows <= n as u32 && t.cols <= n as u32));
         }
     }
 }

@@ -137,7 +137,7 @@ impl CurrentControlUnit {
         if self.links[neighbour] != CcuLink::Idle {
             return self.links[neighbour];
         }
-        let busy = self.links.iter().any(|&l| l == CcuLink::Granted);
+        let busy = self.links.contains(&CcuLink::Granted);
         self.links[neighbour] = if busy {
             CcuLink::Requested
         } else {

@@ -188,8 +188,8 @@ impl<'m> Simulator<'m> {
             // (§3.1.2) — consumer tiles are co-resident with their
             // producer region. Global-fan-in boundaries (dense layers)
             // and the stimulus itself go through the SRAM-backed bus.
-            let crosses = self.mapping.placement.boundary_crosses_nc(l)
-                && (l == 0 || part.max_degree > 1);
+            let crosses =
+                self.mapping.placement.boundary_crosses_nc(l) && (l == 0 || part.max_degree > 1);
             let bus_packets = if crosses {
                 packets_in * active_packet_frac
             } else {
@@ -230,8 +230,7 @@ impl<'m> Simulator<'m> {
                 // array on every read — the fixed cost under-utilized
                 // tiles cannot amortise (the Fig. 12c penalty at 128).
                 let base = mca.read_energy(0, util, mag);
-                let per_row_device =
-                    (mca.read_energy(1, util, mag) - base) - mca.row_driver_energy;
+                let per_row_device = (mca.read_energy(1, util, mag) - base) - mca.row_driver_energy;
                 let fixed = base + mca.row_driver_energy * n as f64;
                 let p_read = if cfg.event_driven {
                     1.0 - zero_prob(t.rows)
@@ -288,11 +287,9 @@ impl<'m> Simulator<'m> {
             );
 
             // --- Latency contributions -----------------------------------
-            let layer_compute = part.max_degree as u64
-                + u64::from(span.ccu_transfers_per_step > 0);
+            let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
             compute_cycles = compute_cycles.max(layer_compute);
-            let switch_capacity =
-                (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
+            let switch_capacity = (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
             comm_cycles = comm_cycles.max((deliveries_active / switch_capacity).ceil() as u64);
 
             layer_stats.push(LayerExecStats {
@@ -328,8 +325,8 @@ impl<'m> Simulator<'m> {
         // Leakage accrues on the *physical* chip, not the (possibly
         // larger) mapped footprint.
         let mut energy = per_step.scaled(cfg.timesteps as f64);
-        let physical_mpes = (cfg.physical_ncs * cfg.mpes_per_nc())
-            .min(self.mapping.placement.mpes_used.max(1));
+        let physical_mpes =
+            (cfg.physical_ncs * cfg.mpes_per_nc()).min(self.mapping.placement.mpes_used.max(1));
         let physical_switch_ncs = cfg.physical_ncs.min(self.mapping.placement.ncs_used.max(1));
         let logic_leak = cat.mpe_leakage * physical_mpes as f64
             + cat.switch_leakage * (physical_switch_ncs * cfg.switches_per_nc()) as f64;

@@ -204,8 +204,8 @@ impl Crossbar {
                 continue;
             }
             let row = r * self.size;
-            for c in 0..self.size {
-                out[c] += (self.g_pos[row + c] - self.g_neg[row + c]) * scale;
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += (self.g_pos[row + c] - self.g_neg[row + c]) * scale;
             }
         }
         out
@@ -225,8 +225,8 @@ impl Crossbar {
                 continue;
             }
             let row = r * self.size;
-            for c in 0..self.size {
-                out[c] += v * (self.g_pos[row + c] - self.g_neg[row + c]);
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += v * (self.g_pos[row + c] - self.g_neg[row + c]);
             }
         }
         out
@@ -397,8 +397,7 @@ mod tests {
         let x = xbar_with(&[(0, 0, 0.5)]);
         let norm = x.read(&[true, false, false, false, false, false, false, false]);
         let amps = x.read_currents_amps(&[true, false, false, false, false, false, false, false]);
-        let expected =
-            norm[0] * x.device().read_voltage * x.device().g_range_siemens();
+        let expected = norm[0] * x.device().read_voltage * x.device().g_range_siemens();
         assert!((amps[0] - expected).abs() < 1e-15);
     }
 }

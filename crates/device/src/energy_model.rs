@@ -100,9 +100,7 @@ impl McaEnergyModel {
             + (1.0 - u) * self.pair_conductance(false, 0.0);
         let watts = v2 * per_pair * self.size as f64 * active;
         let device_e = Energy::from_picojoules(watts * 1e12 * self.read_pulse.seconds());
-        device_e
-            + self.row_driver_energy * active
-            + self.column_sense_energy * self.size as f64
+        device_e + self.row_driver_energy * active + self.column_sense_energy * self.size as f64
     }
 
     /// Area of the array (4F² differential cells) plus a fixed periphery
@@ -173,8 +171,7 @@ mod tests {
         // Fig. 12a).
         let m32 = McaEnergyModel::new(MemristorSpec::paper_default(), 32);
         let m128 = McaEnergyModel::new(MemristorSpec::paper_default(), 128);
-        let periph32 = (m32.row_driver_energy * 32.0 + m32.column_sense_energy * 32.0)
-            .picojoules()
+        let periph32 = (m32.row_driver_energy * 32.0 + m32.column_sense_energy * 32.0).picojoules()
             / (32.0 * 32.0);
         let periph128 = (m128.row_driver_energy * 128.0 + m128.column_sense_energy * 128.0)
             .picojoules()

@@ -241,7 +241,10 @@ impl EnergyBreakdown {
         let mut out = ResparcGroup::ALL.map(|g| (g, Energy::ZERO));
         for (cat, e) in self.iter() {
             let g = ResparcGroup::from_category(cat);
-            let slot = out.iter_mut().find(|(og, _)| *og == g).expect("group present");
+            let slot = out
+                .iter_mut()
+                .find(|(og, _)| *og == g)
+                .expect("group present");
             slot.1 += e;
         }
         out
@@ -252,7 +255,10 @@ impl EnergyBreakdown {
         let mut out = CmosGroup::ALL.map(|g| (g, Energy::ZERO));
         for (cat, e) in self.iter() {
             let g = CmosGroup::from_category(cat);
-            let slot = out.iter_mut().find(|(og, _)| *og == g).expect("group present");
+            let slot = out
+                .iter_mut()
+                .find(|(og, _)| *og == g)
+                .expect("group present");
             slot.1 += e;
         }
         out
@@ -336,8 +342,14 @@ mod tests {
         let groups = bd.resparc_groups();
         let sum: Energy = groups.iter().map(|(_, e)| *e).sum();
         assert_eq!(sum, bd.total());
-        assert_eq!(groups[0], (ResparcGroup::Neuron, Energy::from_picojoules(1.0)));
-        assert_eq!(groups[1], (ResparcGroup::Crossbar, Energy::from_picojoules(2.0)));
+        assert_eq!(
+            groups[0],
+            (ResparcGroup::Neuron, Energy::from_picojoules(1.0))
+        );
+        assert_eq!(
+            groups[1],
+            (ResparcGroup::Crossbar, Energy::from_picojoules(2.0))
+        );
         assert_eq!(
             groups[2],
             (ResparcGroup::Peripherals, Energy::from_picojoules(42.0))
@@ -350,7 +362,10 @@ mod tests {
         let groups = bd.cmos_groups();
         let sum: Energy = groups.iter().map(|(_, e)| *e).sum();
         assert_eq!(sum, bd.total());
-        assert_eq!(groups[1], (CmosGroup::MemoryAccess, Energy::from_picojoules(7.0)));
+        assert_eq!(
+            groups[1],
+            (CmosGroup::MemoryAccess, Energy::from_picojoules(7.0))
+        );
         assert_eq!(
             groups[2],
             (CmosGroup::MemoryLeakage, Energy::from_picojoules(8.0))

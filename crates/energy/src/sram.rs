@@ -109,9 +109,7 @@ impl SramSpec {
             read_energy: Energy::from_picojoules(read_pj),
             write_energy: Energy::from_picojoules(read_pj * WRITE_FACTOR),
             leakage: Power::from_milliwatts(LEAKAGE_MW_PER_KB * kb),
-            area: Area::from_square_microns(
-                self.capacity_bytes as f64 * 8.0 * AREA_UM2_PER_BIT,
-            ),
+            area: Area::from_square_microns(self.capacity_bytes as f64 * 8.0 * AREA_UM2_PER_BIT),
         }
     }
 }
@@ -214,7 +212,10 @@ mod tests {
         // and 1-3 mW leakage.
         let m = SramSpec::new(64 * 1024, 32).build();
         let pj = m.read_energy().picojoules();
-        assert!((5.0..30.0).contains(&pj), "read energy {pj} pJ out of range");
+        assert!(
+            (5.0..30.0).contains(&pj),
+            "read energy {pj} pJ out of range"
+        );
         let mw = m.leakage().milliwatts();
         assert!((0.5..4.0).contains(&mw), "leakage {mw} mW out of range");
     }

@@ -55,12 +55,19 @@ pub fn normalize_for_snn(
     );
 
     let n_layers = net.layers().len();
-    // Gather all activations per layer across the calibration set.
+    // Gather all activations per layer across the calibration set. The
+    // batched forward runs every stimulus on the shared compiled kernels
+    // (one synapse enumeration for the whole pass), in parallel across the
+    // batch; per-stimulus results are identical to the serial loop.
+    // Chunking bounds transient memory: only one chunk's full per-layer
+    // activations are live at a time, whatever the calibration size.
+    const CALIBRATION_CHUNK: usize = 64;
     let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
-    for x in calibration {
-        let acts = net.forward_analog_all(x);
-        for (li, a) in acts.into_iter().enumerate() {
-            per_layer[li].extend(a.into_iter().filter(|v| *v > 0.0));
+    for chunk in calibration.chunks(CALIBRATION_CHUNK) {
+        for acts in net.forward_analog_all_batch(chunk) {
+            for (li, a) in acts.into_iter().enumerate() {
+                per_layer[li].extend(a.into_iter().filter(|v| *v > 0.0));
+            }
         }
     }
 
@@ -120,7 +127,11 @@ mod tests {
     fn normalization_caps_activations_near_one() {
         let mut net = Network::random(Topology::mlp(16, &[12, 4]), 11, 3.0);
         let calib: Vec<Vec<f32>> = (0..32)
-            .map(|i| (0..16).map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0).collect())
+            .map(|i| {
+                (0..16)
+                    .map(|j| ((i * 7 + j * 3) % 10) as f32 / 10.0)
+                    .collect()
+            })
             .collect();
         normalize_for_snn(&mut net, &calib, 1.0);
         // After normalisation, re-measured max activations are ≤ ~1.
@@ -167,7 +178,10 @@ mod tests {
         let report = normalize_for_snn(&mut net, &[vec![0.5; 4]], 0.99);
         assert_eq!(report.scale_factors.len(), 2);
         assert_eq!(report.activation_percentiles.len(), 2);
-        assert!(report.scale_factors.iter().all(|f| f.is_finite() && *f > 0.0));
+        assert!(report
+            .scale_factors
+            .iter()
+            .all(|f| f.is_finite() && *f > 0.0));
     }
 
     #[test]

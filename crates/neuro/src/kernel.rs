@@ -1,0 +1,471 @@
+//! Compiled synapse kernels: per-layer execution planes with resolved
+//! `f32` weights.
+//!
+//! [`LayerSpec::for_each_synapse`] is the structural source of truth, but
+//! walking it is expensive: convolution layers re-derive their 2-D
+//! receptive-field geometry on every call and every synapse pays a
+//! closure call plus a `weight_ids` indirection into the unique-weight
+//! array (for dense layers that gather strides the whole weight matrix and
+//! misses cache on nearly every event). A [`CompiledNetwork`] walks the
+//! enumeration **once** per network and materializes, per layer, two
+//! planes with weights resolved to flat `f32`:
+//!
+//! * an **output-major** plane — contiguous weight rows per output neuron,
+//!   driving the dense analog forward pass,
+//! * an **input-major** plane — the transposed view, driving the
+//!   event-driven spiking simulator (active input → contiguous fan-out
+//!   row).
+//!
+//! Dense (MLP) layers skip index arrays entirely and store the weight
+//! matrix plus its transpose, so a spiking event is a straight-line
+//! vectorizable row addition. Conv/pool layers store CSR planes.
+//!
+//! The compiled form is cached on the [`Network`] (`OnceLock<Arc<..>>`),
+//! so the spiking runner, the analog forward pass, conversion
+//! normalisation and activity sweeps all share one enumeration;
+//! [`Network::layers_mut`] invalidates the cache. Numerical contract:
+//! every kernel accumulates in exactly the enumeration order of
+//! [`LayerSpec::for_each_synapse`], so results are **bit-identical** to
+//! the closure-walk reference path (see
+//! [`crate::network::reference`]).
+
+use rayon::prelude::*;
+
+use crate::network::{Layer, Network};
+use crate::spike::SpikeVector;
+use crate::topology::LayerSpec;
+
+/// Past this many weights, a dense layer's analog forward pass fans out
+/// across threads (per-output parallelism is safe: outputs are
+/// independent, so chunking cannot change results).
+const PAR_DENSE_WEIGHTS: usize = 1 << 20;
+
+/// The resolved weight planes of one layer.
+#[derive(Debug, Clone, PartialEq)]
+enum Plane {
+    /// Fully-connected layer: no index arrays at all.
+    Dense {
+        /// `fwd[o * inputs + i]` — output-major weight matrix.
+        fwd: Vec<f32>,
+        /// `bwd[i * outputs + o]` — input-major (transposed) matrix.
+        bwd: Vec<f32>,
+    },
+    /// Conv/pool layer: CSR planes with resolved weights.
+    Sparse {
+        /// Output-major row pointers (`outputs + 1` entries).
+        out_indptr: Vec<u32>,
+        /// Input index of each synapse, grouped by output.
+        out_inputs: Vec<u32>,
+        /// Resolved weight of each synapse, parallel to `out_inputs`.
+        out_weights: Vec<f32>,
+        /// Input-major row pointers (`inputs + 1` entries).
+        in_indptr: Vec<u32>,
+        /// Target output of each synapse, grouped by input.
+        in_targets: Vec<u32>,
+        /// Resolved weight of each synapse, parallel to `in_targets`.
+        in_weights: Vec<f32>,
+    },
+}
+
+/// One layer compiled to resolved-weight execution planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledLayer {
+    inputs: usize,
+    outputs: usize,
+    threshold: f32,
+    is_pool: bool,
+    plane: Plane,
+}
+
+impl CompiledLayer {
+    /// Compiles a weighted layer by walking its synapse enumeration once
+    /// (twice for sparse layers: a counting and a filling pass).
+    pub fn compile(layer: &Layer) -> Self {
+        let spec = *layer.spec();
+        let w = layer.weights();
+        let plane = match spec {
+            LayerSpec::Dense { inputs, outputs } => {
+                let fwd = w.to_vec();
+                let mut bwd = vec![0.0f32; inputs * outputs];
+                for o in 0..outputs {
+                    for (i, &wv) in w[o * inputs..(o + 1) * inputs].iter().enumerate() {
+                        bwd[i * outputs + o] = wv;
+                    }
+                }
+                Plane::Dense { fwd, bwd }
+            }
+            _ => compile_sparse(&spec, w),
+        };
+        Self {
+            inputs: spec.input_count(),
+            outputs: spec.output_count(),
+            threshold: layer.threshold(),
+            is_pool: matches!(spec, LayerSpec::AvgPool { .. }),
+            plane,
+        }
+    }
+
+    /// Number of input neurons.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output neurons.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The layer's spiking threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Whether this is an average-pooling layer (stays linear in analog
+    /// mode).
+    pub fn is_pool(&self) -> bool {
+        self.is_pool
+    }
+
+    /// Number of materialized synapses (dense layers count every matrix
+    /// cell).
+    pub fn synapse_count(&self) -> usize {
+        match &self.plane {
+            Plane::Dense { fwd, .. } => fwd.len(),
+            Plane::Sparse { out_inputs, .. } => out_inputs.len(),
+        }
+    }
+
+    /// Analog accumulation: writes `out[o] = Σ_i w[o][i] · input[i]` (no
+    /// activation function applied). Accumulates in synapse-enumeration
+    /// order, so results are bit-identical to the closure-walk reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`/`out` lengths disagree with the layer shape.
+    pub fn forward_into(&self, input: &[f32], out: &mut [f32]) {
+        assert_eq!(input.len(), self.inputs, "input size mismatch");
+        assert_eq!(out.len(), self.outputs, "output size mismatch");
+        match &self.plane {
+            Plane::Dense { fwd, .. } => {
+                if fwd.len() >= PAR_DENSE_WEIGHTS && rayon::current_num_threads() > 1 {
+                    self.forward_dense_parallel(fwd, input, out);
+                } else {
+                    for (row, out_v) in fwd.chunks_exact(self.inputs).zip(out.iter_mut()) {
+                        *out_v = dot(row, input);
+                    }
+                }
+            }
+            Plane::Sparse {
+                out_indptr,
+                out_inputs,
+                out_weights,
+                ..
+            } => {
+                for (o, out_v) in out.iter_mut().enumerate() {
+                    let s = out_indptr[o] as usize;
+                    let e = out_indptr[o + 1] as usize;
+                    let mut acc = 0.0f32;
+                    for (&i, &wv) in out_inputs[s..e].iter().zip(&out_weights[s..e]) {
+                        acc += wv * input[i as usize];
+                    }
+                    *out_v = acc;
+                }
+            }
+        }
+    }
+
+    /// Per-output-chunk parallel dense forward, writing each chunk's dot
+    /// products directly into `out` (values identical to the serial path:
+    /// each output's dot product is unchanged).
+    fn forward_dense_parallel(&self, fwd: &[f32], input: &[f32], out: &mut [f32]) {
+        let threads = rayon::current_num_threads();
+        let chunk = self.outputs.div_ceil(threads).max(1);
+        let inputs = self.inputs;
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, part)| {
+                let base = ci * chunk;
+                for (k, out_v) in part.iter_mut().enumerate() {
+                    let row = &fwd[(base + k) * inputs..(base + k + 1) * inputs];
+                    *out_v = dot(row, input);
+                }
+            });
+    }
+
+    /// Event-driven accumulation: adds every active input's fan-out into
+    /// `currents` and returns the number of synaptic events. Accumulation
+    /// order equals the reference input-major walk, so sums are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes`/`currents` lengths disagree with the layer
+    /// shape.
+    pub fn accumulate_spikes(&self, spikes: &SpikeVector, currents: &mut [f32]) -> u64 {
+        assert_eq!(spikes.len(), self.inputs, "input size mismatch");
+        assert_eq!(currents.len(), self.outputs, "output size mismatch");
+        let mut events = 0u64;
+        match &self.plane {
+            Plane::Dense { bwd, .. } => {
+                let n = self.outputs;
+                for i in spikes.iter_ones() {
+                    let row = &bwd[i * n..(i + 1) * n];
+                    for (c, &wv) in currents.iter_mut().zip(row) {
+                        *c += wv;
+                    }
+                    events += n as u64;
+                }
+            }
+            Plane::Sparse {
+                in_indptr,
+                in_targets,
+                in_weights,
+                ..
+            } => {
+                for i in spikes.iter_ones() {
+                    let s = in_indptr[i] as usize;
+                    let e = in_indptr[i + 1] as usize;
+                    events += (e - s) as u64;
+                    for (&t, &wv) in in_targets[s..e].iter().zip(&in_weights[s..e]) {
+                        currents[t as usize] += wv;
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+/// Sequential dot product (deliberately not reassociated: float order must
+/// match the reference accumulation exactly).
+#[inline]
+fn dot(row: &[f32], input: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&a, &b) in row.iter().zip(input) {
+        acc += a * b;
+    }
+    acc
+}
+
+fn compile_sparse(spec: &LayerSpec, w: &[f32]) -> Plane {
+    let inputs = spec.input_count();
+    let outputs = spec.output_count();
+    // Counting pass.
+    let mut out_counts = vec![0u32; outputs];
+    let mut in_counts = vec![0u32; inputs];
+    spec.for_each_synapse(|o, i, _| {
+        out_counts[o] += 1;
+        in_counts[i] += 1;
+    });
+    let out_indptr = prefix_sum(&out_counts);
+    let in_indptr = prefix_sum(&in_counts);
+    let total = *out_indptr.last().expect("non-empty indptr") as usize;
+    // Filling pass, preserving enumeration order within each row of both
+    // planes (the numerical-equivalence contract depends on this).
+    let mut out_inputs = vec![0u32; total];
+    let mut out_weights = vec![0.0f32; total];
+    let mut in_targets = vec![0u32; total];
+    let mut in_weights = vec![0.0f32; total];
+    let mut out_cursor: Vec<u32> = out_indptr[..outputs].to_vec();
+    let mut in_cursor: Vec<u32> = in_indptr[..inputs].to_vec();
+    spec.for_each_synapse(|o, i, wid| {
+        let wv = w[wid];
+        let ko = out_cursor[o] as usize;
+        out_inputs[ko] = i as u32;
+        out_weights[ko] = wv;
+        out_cursor[o] += 1;
+        let ki = in_cursor[i] as usize;
+        in_targets[ki] = o as u32;
+        in_weights[ki] = wv;
+        in_cursor[i] += 1;
+    });
+    Plane::Sparse {
+        out_indptr,
+        out_inputs,
+        out_weights,
+        in_indptr,
+        in_targets,
+        in_weights,
+    }
+}
+
+fn prefix_sum(counts: &[u32]) -> Vec<u32> {
+    let mut indptr = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    indptr.push(0);
+    for &c in counts {
+        acc += c;
+        indptr.push(acc);
+    }
+    indptr
+}
+
+/// A whole network compiled to execution planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNetwork {
+    input_count: usize,
+    layers: Vec<CompiledLayer>,
+}
+
+impl CompiledNetwork {
+    /// Compiles every layer of `net`.
+    pub fn compile(net: &Network) -> Self {
+        Self {
+            input_count: net.input_count(),
+            layers: net.layers().iter().map(CompiledLayer::compile).collect(),
+        }
+    }
+
+    /// Number of input neurons.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The compiled layers.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// The compiled layer at `li`.
+    pub fn layer(&self, li: usize) -> &CompiledLayer {
+        &self.layers[li]
+    }
+
+    /// Output neuron count of the final layer.
+    pub fn output_count(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// ANN-mode forward pass returning every layer's post-activation
+    /// output (ReLU after every layer except the last; pooling layers stay
+    /// linear) — the compiled equivalent of
+    /// [`Network::forward_analog_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_count()`.
+    pub fn forward_all(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(input.len(), self.input_count, "input size mismatch");
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut current: &[f32] = input;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0f32; layer.outputs()];
+            layer.forward_into(current, &mut out);
+            if li + 1 != self.layers.len() && !layer.is_pool() {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+            current = acts.last().expect("just pushed");
+        }
+        acts
+    }
+
+    /// ANN-mode forward pass returning only the final layer's activations.
+    /// Double-buffered: two ping-pong scratch buffers are reused across
+    /// layers, so a call performs O(1) allocations regardless of depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_count()`.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_count, "input size mismatch");
+        let mut current: Vec<f32> = Vec::new();
+        let mut next: Vec<f32> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            next.clear();
+            next.resize(layer.outputs(), 0.0);
+            layer.forward_into(if li == 0 { input } else { &current }, &mut next);
+            if li + 1 != self.layers.len() && !layer.is_pool() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// Argmax classification over [`Self::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_count()`.
+    pub fn classify(&self, input: &[f32]) -> usize {
+        crate::network::argmax(&self.forward(input))
+    }
+
+    /// Total materialized synapses across layers.
+    pub fn synapse_count(&self) -> usize {
+        self.layers.iter().map(|l| l.synapse_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::topology::{ChannelTable, Padding, Shape, Topology};
+
+    fn conv_net(seed: u64) -> Network {
+        let t = Topology::builder(Shape::new(10, 10, 1))
+            .conv(4, 3, Padding::Same, ChannelTable::Full)
+            .pool(2)
+            .conv(6, 3, Padding::Valid, ChannelTable::Banded { fan: 2 })
+            .dense(5)
+            .build()
+            .expect("consistent");
+        Network::random(t, seed, 1.0)
+    }
+
+    #[test]
+    fn compiled_shapes_match_network() {
+        let net = conv_net(3);
+        let k = CompiledNetwork::compile(&net);
+        assert_eq!(k.layer_count(), 4);
+        assert_eq!(k.input_count(), 100);
+        assert_eq!(k.output_count(), 5);
+        for (cl, l) in k.layers().iter().zip(net.layers()) {
+            assert_eq!(cl.inputs(), l.spec().input_count());
+            assert_eq!(cl.outputs(), l.spec().output_count());
+            assert_eq!(cl.synapse_count(), l.spec().synapse_count());
+            assert_eq!(cl.threshold(), l.threshold());
+        }
+    }
+
+    #[test]
+    fn dense_planes_are_transposes() {
+        let net = Network::random(Topology::mlp(7, &[5]), 1, 1.0);
+        let k = CompiledNetwork::compile(&net);
+        let Plane::Dense { fwd, bwd } = &k.layer(0).plane else {
+            panic!("dense layer must compile to a dense plane");
+        };
+        for o in 0..5 {
+            for i in 0..7 {
+                assert_eq!(fwd[o * 7 + i], bwd[i * 5 + o]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rows_cover_all_synapses() {
+        let net = conv_net(5);
+        let k = CompiledNetwork::compile(&net);
+        assert_eq!(k.synapse_count(), net.topology().synapse_count());
+    }
+
+    #[test]
+    fn forward_and_forward_all_agree() {
+        let net = conv_net(7);
+        let k = CompiledNetwork::compile(&net);
+        let x: Vec<f32> = (0..100).map(|i| (i % 9) as f32 / 9.0).collect();
+        let all = k.forward_all(&x);
+        assert_eq!(all.last().expect("layers"), &k.forward(&x));
+    }
+}

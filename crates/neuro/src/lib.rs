@@ -11,7 +11,9 @@
 //!   enumeration shared by simulator and hardware mapper,
 //! * [`connectivity`] — per-layer sparse connectivity matrices,
 //! * [`network`] — weighted networks, analog (ANN) forward pass and the
-//!   event-driven functional SNN simulator,
+//!   event-driven functional SNN simulator (single-stimulus and batched),
+//! * [`kernel`] — compiled synapse kernels: resolved-weight execution
+//!   planes materialized once per network and shared by every path,
 //! * [`train`] — offline SGD training (MLPs; random-feature frontends for
 //!   CNNs),
 //! * [`convert`] — Diehl-style ANN→SNN weight/threshold balancing,
@@ -53,6 +55,7 @@
 pub mod connectivity;
 pub mod convert;
 pub mod encoding;
+pub mod kernel;
 pub mod network;
 pub mod neuron;
 pub mod quantize;
@@ -64,6 +67,7 @@ pub mod train;
 pub use connectivity::ConnectivityMatrix;
 pub use convert::{normalize_for_snn, NormalizationReport};
 pub use encoding::{PoissonEncoder, RegularEncoder};
+pub use kernel::{CompiledLayer, CompiledNetwork};
 pub use network::{Classification, Layer, Network, SnnRunner};
 pub use neuron::{Membrane, NeuronConfig, NeuronPool, ResetMode};
 pub use quantize::{quantize_network, Precision};
@@ -77,15 +81,12 @@ pub mod prelude {
     pub use crate::connectivity::ConnectivityMatrix;
     pub use crate::convert::{normalize_for_snn, NormalizationReport};
     pub use crate::encoding::{PoissonEncoder, RegularEncoder};
+    pub use crate::kernel::{CompiledLayer, CompiledNetwork};
     pub use crate::network::{Classification, Layer, Network, SnnRunner};
     pub use crate::neuron::{Membrane, NeuronConfig, NeuronPool, ResetMode};
     pub use crate::quantize::{quantize_network, Precision};
     pub use crate::spike::{SpikeRaster, SpikeVector};
     pub use crate::stats::{ActivityProfile, BoundaryStats};
-    pub use crate::topology::{
-        ChannelTable, LayerSpec, Padding, Shape, Topology, TopologyError,
-    };
-    pub use crate::train::{
-        train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainConfig,
-    };
+    pub use crate::topology::{ChannelTable, LayerSpec, Padding, Shape, Topology, TopologyError};
+    pub use crate::train::{train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainConfig};
 }

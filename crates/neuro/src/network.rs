@@ -11,6 +11,19 @@
 //!   extract the spike-activity statistics that drive the architectural
 //!   simulators.
 //!
+//! Both modes execute on [compiled synapse kernels](crate::kernel):
+//! resolved-weight planes materialized once per network, cached on the
+//! [`Network`] and shared by every runner, batch call and sweep.
+//! Mutating weights or thresholds through [`Network::layers_mut`]
+//! invalidates the cache; the next execution recompiles. The original
+//! closure-walk implementation is preserved in [`reference`] as the
+//! equivalence oracle and benchmark baseline — compiled results are
+//! bit-identical to it.
+//!
+//! Batched entry points ([`Network::forward_analog_batch`],
+//! [`Network::spiking_batch`], ..) evaluate many stimuli per call with
+//! data-parallelism across the batch.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,11 +33,22 @@
 //! let net = Network::random(Topology::mlp(16, &[8, 4]), 42, 0.5);
 //! let out = net.forward_analog(&vec![0.5; 16]);
 //! assert_eq!(out.len(), 4);
+//!
+//! // Batched: one call, shared compiled kernels, parallel across stimuli.
+//! let batch: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32 / 8.0; 16]).collect();
+//! let outs = net.forward_analog_batch(&batch);
+//! assert_eq!(outs.len(), 8);
+//! assert_eq!(outs[3], net.forward_analog(&batch[3]));
 //! ```
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
+use crate::kernel::CompiledNetwork;
 use crate::neuron::{Membrane, NeuronConfig};
 use crate::spike::{SpikeRaster, SpikeVector};
 use crate::topology::{LayerSpec, Topology};
@@ -94,10 +118,35 @@ impl Layer {
 }
 
 /// A complete weighted network.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Holds its validated [`Topology`] (built once at construction) and
+/// lazily caches its [`CompiledNetwork`] execution kernels; cloning a
+/// network shares the cached kernels, and [`Network::layers_mut`]
+/// invalidates them.
+#[derive(Clone)]
 pub struct Network {
     input_count: usize,
     layers: Vec<Layer>,
+    topology: Topology,
+    kernels: OnceLock<Arc<CompiledNetwork>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("input_count", &self.input_count)
+            .field("layers", &self.layers)
+            .field("kernels_cached", &self.kernels.get().is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        // The topology is derived from the layers and the kernel cache is
+        // derived state; neither participates in equality.
+        self.input_count == other.input_count && self.layers == other.layers
+    }
 }
 
 impl Network {
@@ -108,10 +157,13 @@ impl Network {
     /// Panics if the layer stack fails [`Topology`] validation.
     pub fn new(input_count: usize, layers: Vec<Layer>) -> Self {
         let specs: Vec<LayerSpec> = layers.iter().map(|l| *l.spec()).collect();
-        Topology::new(input_count, specs).expect("layer stack must be size-consistent");
+        let topology =
+            Topology::new(input_count, specs).expect("layer stack must be size-consistent");
         Self {
             input_count,
             layers,
+            topology,
+            kernels: OnceLock::new(),
         }
     }
 
@@ -140,6 +192,8 @@ impl Network {
         Self {
             input_count: topology.input_count(),
             layers,
+            topology,
+            kernels: OnceLock::new(),
         }
     }
 
@@ -153,18 +207,30 @@ impl Network {
         &self.layers
     }
 
-    /// Mutable access to the layers.
+    /// Mutable access to the layers. Invalidates the compiled-kernel
+    /// cache: the next execution recompiles against the new weights /
+    /// thresholds.
     pub fn layers_mut(&mut self) -> &mut [Layer] {
+        self.kernels.take();
         &mut self.layers
     }
 
-    /// The structural topology of this network.
-    pub fn topology(&self) -> Topology {
-        Topology::new(
-            self.input_count,
-            self.layers.iter().map(|l| *l.spec()).collect(),
-        )
-        .expect("validated at construction")
+    /// The structural topology of this network (validated once at
+    /// construction; borrowing it is free).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The compiled execution kernels, materializing them on first use.
+    /// The `Arc` is shared: runners and batch calls all execute the same
+    /// planes.
+    pub fn compiled(&self) -> Arc<CompiledNetwork> {
+        Arc::clone(self.kernels_ref())
+    }
+
+    fn kernels_ref(&self) -> &Arc<CompiledNetwork> {
+        self.kernels
+            .get_or_init(|| Arc::new(CompiledNetwork::compile(self)))
     }
 
     /// Output class count (size of the last layer).
@@ -179,33 +245,28 @@ impl Network {
     ///
     /// Panics if `input.len() != input_count()`.
     pub fn forward_analog(&self, input: &[f32]) -> Vec<f32> {
-        self.forward_analog_all(input)
-            .pop()
-            .expect("at least one layer")
+        self.kernels_ref().forward(input)
     }
 
     /// ANN-mode forward pass returning every layer's post-activation
     /// output (used by the conversion normaliser).
     pub fn forward_analog_all(&self, input: &[f32]) -> Vec<Vec<f32>> {
-        assert_eq!(input.len(), self.input_count, "input size mismatch");
-        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
-        let mut current: &[f32] = input;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut out = vec![0.0f32; layer.spec().output_count()];
-            let w = layer.weights();
-            layer.spec().for_each_synapse(|o, i, wid| {
-                out[o] += w[wid] * current[i];
-            });
-            let last = li + 1 == self.layers.len();
-            if !last && !matches!(layer.spec(), LayerSpec::AvgPool { .. }) {
-                for v in &mut out {
-                    *v = v.max(0.0);
-                }
-            }
-            acts.push(out);
-            current = acts.last().expect("just pushed");
-        }
-        acts
+        self.kernels_ref().forward_all(input)
+    }
+
+    /// Batched ANN-mode forward pass: evaluates every stimulus on the
+    /// shared compiled kernels, in parallel across the batch. Results are
+    /// identical to calling [`Self::forward_analog`] per stimulus.
+    pub fn forward_analog_batch(&self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let kernels = self.kernels_ref();
+        inputs.par_iter().map(|x| kernels.forward(x)).collect()
+    }
+
+    /// Batched variant of [`Self::forward_analog_all`]: per-stimulus,
+    /// per-layer post-activation outputs.
+    pub fn forward_analog_all_batch(&self, inputs: &[Vec<f32>]) -> Vec<Vec<Vec<f32>>> {
+        let kernels = self.kernels_ref();
+        inputs.par_iter().map(|x| kernels.forward_all(x)).collect()
     }
 
     /// Argmax classification in ANN mode.
@@ -213,13 +274,40 @@ impl Network {
         argmax(&self.forward_analog(input))
     }
 
-    /// Creates a spiking runner with fresh membranes.
-    pub fn spiking(&self) -> SnnRunner<'_> {
+    /// Batched argmax classification in ANN mode.
+    pub fn classify_analog_batch(&self, inputs: &[Vec<f32>]) -> Vec<usize> {
+        let kernels = self.kernels_ref();
+        inputs
+            .par_iter()
+            .map(|x| argmax(&kernels.forward(x)))
+            .collect()
+    }
+
+    /// Creates a spiking runner with fresh membranes (sharing the compiled
+    /// kernels).
+    pub fn spiking(&self) -> SnnRunner {
         SnnRunner::new(self)
+    }
+
+    /// Runs one spiking classification per raster, in parallel across the
+    /// batch. Every runner shares the compiled kernels, so the synapse
+    /// structure is enumerated once for the whole sweep. Results are
+    /// identical to running each raster on a fresh [`SnnRunner`].
+    pub fn spiking_batch(&self, rasters: &[SpikeRaster]) -> Vec<Classification> {
+        let kernels = self.kernels_ref();
+        rasters
+            .par_iter()
+            .map(|raster| {
+                let mut runner = SnnRunner::from_compiled(Arc::clone(kernels));
+                runner.run(raster)
+            })
+            .collect()
     }
 }
 
-fn argmax(xs: &[f32]) -> usize {
+/// Index of the maximum activation (shared by every classification path
+/// so tie-breaking and NaN semantics cannot diverge between them).
+pub(crate) fn argmax(xs: &[f32]) -> usize {
     xs.iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite activations"))
@@ -234,55 +322,24 @@ fn gaussian(rng: &mut StdRng) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
 }
 
-/// Input-major adjacency used by the event-driven spiking simulator: for
-/// each input neuron, the `(output, weight_id)` pairs it drives.
-#[derive(Debug, Clone)]
-struct InputMajor {
-    indptr: Vec<u32>,
-    targets: Vec<u32>,
-    weight_ids: Vec<u32>,
-}
-
-impl InputMajor {
-    fn from_spec(spec: &LayerSpec) -> Self {
-        let inputs = spec.input_count();
-        let mut counts = vec![0u32; inputs];
-        spec.for_each_synapse(|_, i, _| counts[i] += 1);
-        let mut indptr = Vec::with_capacity(inputs + 1);
-        indptr.push(0u32);
-        for &c in &counts {
-            indptr.push(indptr.last().unwrap() + c);
-        }
-        let total = *indptr.last().unwrap() as usize;
-        let mut targets = vec![0u32; total];
-        let mut weight_ids = vec![0u32; total];
-        let mut cursor: Vec<u32> = indptr[..inputs].to_vec();
-        spec.for_each_synapse(|o, i, w| {
-            let at = cursor[i] as usize;
-            targets[at] = o as u32;
-            weight_ids[at] = w as u32;
-            cursor[i] += 1;
-        });
-        Self {
-            indptr,
-            targets,
-            weight_ids,
-        }
-    }
-}
-
-/// Event-driven functional SNN simulator over a [`Network`].
+/// Event-driven functional SNN simulator over a [`Network`]'s compiled
+/// kernels.
 ///
 /// Each [`SnnRunner::step`] consumes one timestep of input spikes,
 /// propagates them through every layer (all layers update concurrently on
 /// the previous step's spikes is *not* assumed — the standard feed-forward
 /// per-step sweep of the Diehl conversion flow is used) and returns the
 /// output layer's spikes.
+///
+/// The runner owns an `Arc` of the compiled planes, so constructing one is
+/// cheap (no synapse enumeration) and runners are freely movable across
+/// threads — [`Network::spiking_batch`] builds one per stimulus.
 #[derive(Debug, Clone)]
-pub struct SnnRunner<'net> {
-    net: &'net Network,
-    adjacency: Vec<InputMajor>,
+pub struct SnnRunner {
+    kernels: Arc<CompiledNetwork>,
     membranes: Vec<Vec<Membrane>>,
+    /// Per-layer input-current scratch, reused across steps.
+    currents: Vec<Vec<f32>>,
     spikes: Vec<SpikeVector>,
     /// Cumulative spike counts per layer (for activity statistics).
     layer_spikes: Vec<u64>,
@@ -292,34 +349,41 @@ pub struct SnnRunner<'net> {
     output_counts: Vec<u32>,
 }
 
-impl<'net> SnnRunner<'net> {
-    /// Creates a runner with silent membranes.
-    pub fn new(net: &'net Network) -> Self {
-        let adjacency = net
+impl SnnRunner {
+    /// Creates a runner with silent membranes, compiling (or reusing) the
+    /// network's kernels.
+    pub fn new(net: &Network) -> Self {
+        Self::from_compiled(net.compiled())
+    }
+
+    /// Creates a runner directly over compiled kernels.
+    pub fn from_compiled(kernels: Arc<CompiledNetwork>) -> Self {
+        let membranes = kernels
             .layers()
             .iter()
-            .map(|l| InputMajor::from_spec(l.spec()))
+            .map(|l| vec![Membrane::new(); l.outputs()])
             .collect();
-        let membranes = net
+        let currents = kernels
             .layers()
             .iter()
-            .map(|l| vec![Membrane::new(); l.spec().output_count()])
+            .map(|l| vec![0.0f32; l.outputs()])
             .collect();
-        let spikes = net
+        let spikes = kernels
             .layers()
             .iter()
-            .map(|l| SpikeVector::new(l.spec().output_count()))
+            .map(|l| SpikeVector::new(l.outputs()))
             .collect();
-        let n_layers = net.layers().len();
+        let n_layers = kernels.layer_count();
+        let output_counts = vec![0; kernels.output_count()];
         Self {
-            net,
-            adjacency,
+            kernels,
             membranes,
+            currents,
             spikes,
             layer_spikes: vec![0; n_layers],
             synaptic_events: vec![0; n_layers],
             steps_run: 0,
-            output_counts: vec![0; net.output_count()],
+            output_counts,
         }
     }
 
@@ -329,29 +393,26 @@ impl<'net> SnnRunner<'net> {
     ///
     /// Panics if `input.len() != network.input_count()`.
     pub fn step(&mut self, input: &SpikeVector) -> &SpikeVector {
-        assert_eq!(input.len(), self.net.input_count(), "input size mismatch");
-        let n_layers = self.net.layers().len();
+        assert_eq!(
+            input.len(),
+            self.kernels.input_count(),
+            "input size mismatch"
+        );
+        let n_layers = self.kernels.layer_count();
         for li in 0..n_layers {
-            let layer = &self.net.layers()[li];
-            let adj = &self.adjacency[li];
-            let w = layer.weights();
-            let mut currents = vec![0.0f32; layer.spec().output_count()];
-            {
+            let layer = self.kernels.layer(li);
+            let events = {
                 let in_spikes = if li == 0 { input } else { &self.spikes[li - 1] };
-                for i in in_spikes.iter_ones() {
-                    let s = adj.indptr[i] as usize;
-                    let e = adj.indptr[i + 1] as usize;
-                    self.synaptic_events[li] += (e - s) as u64;
-                    for k in s..e {
-                        currents[adj.targets[k] as usize] += w[adj.weight_ids[k] as usize];
-                    }
-                }
-            }
+                let currents = &mut self.currents[li];
+                currents.fill(0.0);
+                layer.accumulate_spikes(in_spikes, currents)
+            };
+            self.synaptic_events[li] += events;
             let cfg = NeuronConfig::integrate_and_fire(layer.threshold());
             let out = &mut self.spikes[li];
             out.clear();
             for (o, m) in self.membranes[li].iter_mut().enumerate() {
-                if m.step(currents[o], &cfg) {
+                if m.step(self.currents[li][o], &cfg) {
                     out.set(o, true);
                     self.layer_spikes[li] += 1;
                 }
@@ -377,10 +438,10 @@ impl<'net> SnnRunner<'net> {
     /// profiling. Returns the outcome and one raster per layer.
     pub fn run_recording(&mut self, input: &SpikeRaster) -> (Classification, Vec<SpikeRaster>) {
         let mut rasters: Vec<SpikeRaster> = self
-            .net
+            .kernels
             .layers()
             .iter()
-            .map(|l| SpikeRaster::new(l.spec().output_count()))
+            .map(|l| SpikeRaster::new(l.outputs()))
             .collect();
         for step in input.iter() {
             self.step(step);
@@ -403,7 +464,7 @@ impl<'net> SnnRunner<'net> {
                 .unwrap_or(0),
             output_counts: self.output_counts.clone(),
             layer_rates: self
-                .net
+                .kernels
                 .layers()
                 .iter()
                 .enumerate()
@@ -411,8 +472,7 @@ impl<'net> SnnRunner<'net> {
                     if self.steps_run == 0 {
                         0.0
                     } else {
-                        self.layer_spikes[li] as f64
-                            / (self.steps_run as f64 * l.spec().output_count() as f64)
+                        self.layer_spikes[li] as f64 / (self.steps_run as f64 * l.outputs() as f64)
                     }
                 })
                 .collect(),
@@ -451,6 +511,230 @@ pub struct Classification {
     pub synaptic_events: Vec<u64>,
     /// Timesteps executed.
     pub steps: u64,
+}
+
+pub mod reference {
+    //! The original closure-walk execution path.
+    //!
+    //! Every call re-enumerates the synapse structure through
+    //! [`LayerSpec::for_each_synapse`] and resolves weights through the
+    //! `weight_ids` indirection — exactly the seed implementation this
+    //! crate's compiled kernels replaced. It is kept as
+    //!
+    //! * the **equivalence oracle**: compiled kernels must reproduce these
+    //!   results bit-for-bit (see `tests/compiled_equivalence.rs` and the
+    //!   property tests), and
+    //! * the **benchmark baseline**: the `snn_step` / `forward_batch` /
+    //!   `accuracy_sweep` criterion groups in `resparc-bench` measure the
+    //!   compiled speedup against this path.
+
+    use super::{argmax, Classification, Membrane, Network, NeuronConfig};
+    use crate::spike::{SpikeRaster, SpikeVector};
+    use crate::topology::LayerSpec;
+
+    /// ANN-mode forward pass over the closure walk, returning every
+    /// layer's post-activation output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != net.input_count()`.
+    pub fn forward_analog_all(net: &Network, input: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(input.len(), net.input_count(), "input size mismatch");
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(net.layers().len());
+        let mut current: &[f32] = input;
+        for (li, layer) in net.layers().iter().enumerate() {
+            let mut out = vec![0.0f32; layer.spec().output_count()];
+            let w = layer.weights();
+            layer.spec().for_each_synapse(|o, i, wid| {
+                out[o] += w[wid] * current[i];
+            });
+            let last = li + 1 == net.layers().len();
+            if !last && !matches!(layer.spec(), LayerSpec::AvgPool { .. }) {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+            current = acts.last().expect("just pushed");
+        }
+        acts
+    }
+
+    /// ANN-mode forward pass over the closure walk (final layer only).
+    pub fn forward_analog(net: &Network, input: &[f32]) -> Vec<f32> {
+        forward_analog_all(net, input)
+            .pop()
+            .expect("at least one layer")
+    }
+
+    /// Argmax classification over [`forward_analog`].
+    pub fn classify_analog(net: &Network, input: &[f32]) -> usize {
+        argmax(&forward_analog(net, input))
+    }
+
+    /// Input-major adjacency with `weight_ids` indirection (the seed
+    /// representation).
+    #[derive(Debug, Clone)]
+    struct InputMajor {
+        indptr: Vec<u32>,
+        targets: Vec<u32>,
+        weight_ids: Vec<u32>,
+    }
+
+    impl InputMajor {
+        fn from_spec(spec: &LayerSpec) -> Self {
+            let inputs = spec.input_count();
+            let mut counts = vec![0u32; inputs];
+            spec.for_each_synapse(|_, i, _| counts[i] += 1);
+            let mut indptr = Vec::with_capacity(inputs + 1);
+            indptr.push(0u32);
+            for &c in &counts {
+                indptr.push(indptr.last().expect("non-empty") + c);
+            }
+            let total = *indptr.last().expect("non-empty") as usize;
+            let mut targets = vec![0u32; total];
+            let mut weight_ids = vec![0u32; total];
+            let mut cursor: Vec<u32> = indptr[..inputs].to_vec();
+            spec.for_each_synapse(|o, i, w| {
+                let at = cursor[i] as usize;
+                targets[at] = o as u32;
+                weight_ids[at] = w as u32;
+                cursor[i] += 1;
+            });
+            Self {
+                indptr,
+                targets,
+                weight_ids,
+            }
+        }
+    }
+
+    /// The seed's event-driven spiking simulator: per-runner adjacency
+    /// rebuilt from the closure walk, weight lookups through
+    /// `weight_ids`.
+    #[derive(Debug, Clone)]
+    pub struct RefSnnRunner<'net> {
+        net: &'net Network,
+        adjacency: Vec<InputMajor>,
+        membranes: Vec<Vec<Membrane>>,
+        spikes: Vec<SpikeVector>,
+        layer_spikes: Vec<u64>,
+        synaptic_events: Vec<u64>,
+        steps_run: u64,
+        output_counts: Vec<u32>,
+    }
+
+    impl<'net> RefSnnRunner<'net> {
+        /// Creates a runner, re-enumerating the whole synapse structure.
+        pub fn new(net: &'net Network) -> Self {
+            let adjacency = net
+                .layers()
+                .iter()
+                .map(|l| InputMajor::from_spec(l.spec()))
+                .collect();
+            let membranes = net
+                .layers()
+                .iter()
+                .map(|l| vec![Membrane::new(); l.spec().output_count()])
+                .collect();
+            let spikes = net
+                .layers()
+                .iter()
+                .map(|l| SpikeVector::new(l.spec().output_count()))
+                .collect();
+            let n_layers = net.layers().len();
+            Self {
+                net,
+                adjacency,
+                membranes,
+                spikes,
+                layer_spikes: vec![0; n_layers],
+                synaptic_events: vec![0; n_layers],
+                steps_run: 0,
+                output_counts: vec![0; net.output_count()],
+            }
+        }
+
+        /// Advances one timestep; returns the output layer's spikes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `input.len() != network.input_count()`.
+        pub fn step(&mut self, input: &SpikeVector) -> &SpikeVector {
+            assert_eq!(input.len(), self.net.input_count(), "input size mismatch");
+            let n_layers = self.net.layers().len();
+            for li in 0..n_layers {
+                let layer = &self.net.layers()[li];
+                let adj = &self.adjacency[li];
+                let w = layer.weights();
+                let mut currents = vec![0.0f32; layer.spec().output_count()];
+                {
+                    let in_spikes = if li == 0 { input } else { &self.spikes[li - 1] };
+                    for i in in_spikes.iter_ones() {
+                        let s = adj.indptr[i] as usize;
+                        let e = adj.indptr[i + 1] as usize;
+                        self.synaptic_events[li] += (e - s) as u64;
+                        for k in s..e {
+                            currents[adj.targets[k] as usize] += w[adj.weight_ids[k] as usize];
+                        }
+                    }
+                }
+                let cfg = NeuronConfig::integrate_and_fire(layer.threshold());
+                let out = &mut self.spikes[li];
+                out.clear();
+                for (o, m) in self.membranes[li].iter_mut().enumerate() {
+                    if m.step(currents[o], &cfg) {
+                        out.set(o, true);
+                        self.layer_spikes[li] += 1;
+                    }
+                }
+            }
+            self.steps_run += 1;
+            let out = &self.spikes[n_layers - 1];
+            for o in out.iter_ones() {
+                self.output_counts[o] += 1;
+            }
+            out
+        }
+
+        /// Runs an entire raster; returns the classification outcome.
+        pub fn run(&mut self, input: &SpikeRaster) -> Classification {
+            for step in input.iter() {
+                self.step(step);
+            }
+            self.outcome()
+        }
+
+        /// The outcome accumulated so far.
+        pub fn outcome(&self) -> Classification {
+            Classification {
+                predicted: self
+                    .output_counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                output_counts: self.output_counts.clone(),
+                layer_rates: self
+                    .net
+                    .layers()
+                    .iter()
+                    .enumerate()
+                    .map(|(li, l)| {
+                        if self.steps_run == 0 {
+                            0.0
+                        } else {
+                            self.layer_spikes[li] as f64
+                                / (self.steps_run as f64 * l.spec().output_count() as f64)
+                        }
+                    })
+                    .collect(),
+                synaptic_events: self.synaptic_events.clone(),
+                steps: self.steps_run,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -563,6 +847,45 @@ mod tests {
         let outcome = runner.run(&raster);
         // Layer 0: 2 active inputs × fan-out 2 × 4 steps = 16 events.
         assert_eq!(outcome.synaptic_events[0], 16);
+    }
+
+    #[test]
+    fn kernel_cache_is_shared_and_invalidated() {
+        let mut net = Network::random(Topology::mlp(6, &[4, 2]), 2, 1.0);
+        let a = net.compiled();
+        let b = net.compiled();
+        assert!(Arc::ptr_eq(&a, &b), "cache must be shared");
+        let before = net.forward_analog(&[0.5; 6]);
+        for w in net.layers_mut()[0].weights_mut() {
+            *w = 0.0;
+        }
+        let c = net.compiled();
+        assert!(!Arc::ptr_eq(&a, &c), "layers_mut must invalidate the cache");
+        let after = net.forward_analog(&[0.5; 6]);
+        assert_ne!(before, after, "stale kernels would keep old weights");
+        assert!(after.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batch_apis_match_single_calls() {
+        let net = Network::random(Topology::mlp(12, &[9, 4]), 8, 1.0);
+        let batch: Vec<Vec<f32>> = (0..10)
+            .map(|s| (0..12).map(|i| ((s * 5 + i) % 7) as f32 / 7.0).collect())
+            .collect();
+        let batched = net.forward_analog_batch(&batch);
+        let classes = net.classify_analog_batch(&batch);
+        for (k, x) in batch.iter().enumerate() {
+            assert_eq!(batched[k], net.forward_analog(x));
+            assert_eq!(classes[k], net.classify_analog(x));
+        }
+
+        let enc = RegularEncoder::new(0.9);
+        let rasters: Vec<SpikeRaster> = batch.iter().map(|x| enc.encode(x, 12)).collect();
+        let outcomes = net.spiking_batch(&rasters);
+        for (k, raster) in rasters.iter().enumerate() {
+            let mut runner = net.spiking();
+            assert_eq!(outcomes[k], runner.run(raster));
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Precision {
     ///
     /// Panics unless `1 ≤ bits ≤ 16`.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "bits must be in 1..=16, got {bits}"
+        );
         Self { bits }
     }
 
@@ -86,10 +89,7 @@ pub fn quantize_network(net: &Network, precision: Precision) -> (Network, Vec<f3
     let mut out = net.clone();
     let mut errs = Vec::with_capacity(net.layers().len());
     for layer in out.layers_mut() {
-        if matches!(
-            layer.spec(),
-            crate::topology::LayerSpec::AvgPool { .. }
-        ) {
+        if matches!(layer.spec(), crate::topology::LayerSpec::AvgPool { .. }) {
             errs.push(0.0);
             continue;
         }
@@ -159,7 +159,10 @@ mod tests {
         let net = Network::random(Topology::mlp(8, &[6, 3]), 3, 1.0);
         let (qnet, errs) = quantize_network(&net, Precision::new(4));
         assert_eq!(errs.len(), 2);
-        assert_eq!(qnet.layers()[0].weights().len(), net.layers()[0].weights().len());
+        assert_eq!(
+            qnet.layers()[0].weights().len(),
+            net.layers()[0].weights().len()
+        );
         // 8-bit quantization barely moves outputs.
         let (q8, _) = quantize_network(&net, Precision::new(8));
         let x = vec![0.5; 8];

@@ -81,24 +81,24 @@ impl ActivityProfile {
     /// Panics if `boundaries` is empty (a profile needs at least the input
     /// boundary).
     pub fn new(boundaries: Vec<BoundaryStats>) -> Self {
-        assert!(!boundaries.is_empty(), "profile needs at least one boundary");
+        assert!(
+            !boundaries.is_empty(),
+            "profile needs at least one boundary"
+        );
         Self { boundaries }
     }
 
     /// Builds an analytic profile: the input boundary at `input_rate`,
     /// every layer boundary at `layer_rate`.
-    pub fn uniform(
-        neuron_counts: &[usize],
-        input_rate: f64,
-        layer_rate: f64,
-    ) -> Self {
-        assert!(!neuron_counts.is_empty(), "need at least the input boundary");
+    pub fn uniform(neuron_counts: &[usize], input_rate: f64, layer_rate: f64) -> Self {
+        assert!(
+            !neuron_counts.is_empty(),
+            "need at least the input boundary"
+        );
         let boundaries = neuron_counts
             .iter()
             .enumerate()
-            .map(|(i, &n)| {
-                BoundaryStats::analytic(n, if i == 0 { input_rate } else { layer_rate })
-            })
+            .map(|(i, &n)| BoundaryStats::analytic(n, if i == 0 { input_rate } else { layer_rate }))
             .collect();
         Self { boundaries }
     }

@@ -38,6 +38,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
 use crate::network::{Layer, Network};
 use crate::topology::{ChannelTable, LayerSpec, Padding, Shape, Topology};
@@ -128,8 +129,7 @@ pub fn train_mlp(
     for _epoch in 0..cfg.epochs {
         shuffle(&mut order, &mut rng);
         for batch in order.chunks(cfg.batch_size) {
-            let mut grads: Vec<Vec<f32>> =
-                weights.iter().map(|w| vec![0.0f32; w.len()]).collect();
+            let mut grads: Vec<Vec<f32>> = weights.iter().map(|w| vec![0.0f32; w.len()]).collect();
             for &si in batch {
                 let (x, y) = &samples[si];
                 // Forward, keeping activations.
@@ -273,12 +273,20 @@ pub fn train_cnn_with_random_frontend(
         1.2,
     );
 
-    // Extract features for every sample, then train the dense head.
-    let feat_dim = front_net.layers().last().expect("frontend").spec().output_count();
+    // Extract features for every sample on the frontend's compiled
+    // kernels (one enumeration of the conv geometry for the whole set),
+    // in parallel across samples.
+    let feat_dim = front_net
+        .layers()
+        .last()
+        .expect("frontend")
+        .spec()
+        .output_count();
+    let kernels = front_net.compiled();
     let feats: Vec<(Vec<f32>, usize)> = samples
-        .iter()
+        .par_iter()
         .map(|(x, y)| {
-            let f = front_net.forward_analog_all(x).pop().expect("features");
+            let f = kernels.forward(x);
             // Frontend outputs feed the head post-ReLU.
             (f.iter().map(|v| v.max(0.0)).collect(), *y)
         })

@@ -97,10 +97,7 @@ impl Benchmark {
         let mut boundaries = vec![input_stats];
         let mut rate = 0.15f64;
         for layer in self.topology.layers() {
-            let is_pool = matches!(
-                layer,
-                resparc_neuro::topology::LayerSpec::AvgPool { .. }
-            );
+            let is_pool = matches!(layer, resparc_neuro::topology::LayerSpec::AvgPool { .. });
             if !is_pool {
                 rate *= 0.85;
             }

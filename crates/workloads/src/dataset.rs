@@ -80,7 +80,7 @@ impl SyntheticImages {
     /// Panics if `side < 8` (too small to carry class structure).
     pub fn new(kind: DatasetKind, side: usize, seed: u64) -> Self {
         assert!(side >= 8, "image side must be at least 8, got {side}");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_5E7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
         let templates = (0..CLASSES)
             .map(|_| {
                 let segments = 3 + (rng.random_range(0..3u32) as usize);

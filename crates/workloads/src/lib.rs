@@ -7,7 +7,9 @@
 //!   available offline; see DESIGN.md §4),
 //! * [`benchmarks`] — the six Fig. 10 SNNs (MLP + CNN per dataset) with
 //!   neuron/layer counts matching the paper exactly, plus measured-input
-//!   activity profiles for the architectural simulators.
+//!   activity profiles for the architectural simulators,
+//! * [`sweep`] — batched accuracy sweeps running whole test sets on a
+//!   network's compiled kernels, parallel across stimuli.
 //!
 //! # Examples
 //!
@@ -25,12 +27,14 @@
 
 pub mod benchmarks;
 pub mod dataset;
+pub mod sweep;
 
 pub use benchmarks::{
-    all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn,
-    mnist_mlp, svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
+    all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn, mnist_mlp,
+    svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
 };
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
+pub use sweep::{analog_accuracy_sweep, spiking_accuracy_sweep, SweepConfig, SweepReport};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -39,4 +43,7 @@ pub mod prelude {
         mnist_mlp, svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
     };
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
+    pub use crate::sweep::{
+        analog_accuracy_sweep, spiking_accuracy_sweep, SweepConfig, SweepReport,
+    };
 }

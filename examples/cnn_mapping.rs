@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mca in [32usize, 64, 128] {
         let mapping = Mapper::new(ResparcConfig::with_mca_size(mca)).map(&bench.topology)?;
         let report = mapping.report();
-        println!("MCA {mca}x{mca}: {} crossbars, {} mPEs, {} NCs", report.mcas_used, report.mpes_used, report.ncs_used);
+        println!(
+            "MCA {mca}x{mca}: {} crossbars, {} mPEs, {} NCs",
+            report.mcas_used, report.mpes_used, report.ncs_used
+        );
         for l in &report.layers {
             println!(
                 "  layer {}: {:>5} tiles, degree {:>2}, util {:>5.1}%, rows {:>5.1}%, cols {:>5.1}%",

@@ -8,14 +8,20 @@ use resparc_suite::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topology = Topology::mlp(784, &[800, 10]);
     println!("MLP 784-800-10 on RESPARC-64, sweeping input activity:\n");
-    println!("{:<10} {:>14} {:>14} {:>9}", "activity", "w/o zero-check", "w/ zero-check", "saving");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "activity", "w/o zero-check", "w/ zero-check", "saving"
+    );
 
     for rate in [0.02f64, 0.05, 0.1, 0.2, 0.4] {
         let profile = ActivityProfile::uniform(&[784, 800, 10], rate, rate / 2.0);
         let run = |event_driven: bool| -> Result<f64, MapError> {
             let cfg = ResparcConfig::resparc_64().with_event_driven(event_driven);
             let mapping = Mapper::new(cfg).map(&topology)?;
-            Ok(Simulator::new(&mapping).run(&profile).total_energy().microjoules())
+            Ok(Simulator::new(&mapping)
+                .run(&profile)
+                .total_energy()
+                .microjoules())
         };
         let without = run(false)?;
         let with = run(true)?;

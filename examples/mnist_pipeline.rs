@@ -17,12 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = TrainConfig::quick_test();
     cfg.epochs = 30;
     let mut net = train_mlp(256, &[64, 10], &train, &cfg);
-    let ann_acc = test
-        .iter()
-        .filter(|(x, y)| net.classify_analog(x) == *y)
-        .count() as f64
-        / test.len() as f64;
-    println!("ANN accuracy: {:.1}%", 100.0 * ann_acc);
+    let ann = analog_accuracy_sweep(&net, &test);
+    println!("ANN accuracy: {:.1}%", 100.0 * ann.accuracy());
 
     // 3. ANN -> SNN conversion + 4-bit weight discretization.
     let calib: Vec<Vec<f32>> = train.iter().take(32).map(|(x, _)| x.clone()).collect();
@@ -30,18 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (snn, rms) = quantize_network(&net, Precision::paper_default());
     println!("quantized to 4 bits (per-layer RMS error {rms:?})");
 
-    // 4. Spiking accuracy over 80 timesteps of Poisson input.
-    let mut correct = 0;
-    for (i, (x, y)) in test.iter().enumerate() {
-        let mut enc = PoissonEncoder::new(0.8, i as u64);
-        let raster = enc.encode(x, 80);
-        if snn.spiking().run(&raster).predicted == *y {
-            correct += 1;
-        }
-    }
+    // 4. Spiking accuracy over 80 timesteps of Poisson input — a batched
+    // sweep on the network's compiled kernels, parallel across stimuli.
+    let sweep = SweepConfig {
+        steps: 80,
+        peak_rate: 0.8,
+        seed: 0,
+    };
+    let snn_report = spiking_accuracy_sweep(&snn, &test, &sweep);
     println!(
         "SNN accuracy (4-bit, 80 steps): {:.1}%",
-        100.0 * correct as f64 / test.len() as f64
+        100.0 * snn_report.accuracy()
     );
 
     // 5. Map the trained network and report hardware cost.

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Sweep the MNIST benchmarks across MCA sizes and report energy.
-    for bench in [resparc_workloads::mnist_mlp(), resparc_workloads::mnist_cnn()] {
+    for bench in [
+        resparc_workloads::mnist_mlp(),
+        resparc_workloads::mnist_cnn(),
+    ] {
         println!("\n{} energy vs MCA size:", bench.name);
         let profile = bench.activity_profile(&[16, 32, 64, 128], 7);
         for mca in [32usize, 64, 128] {

@@ -97,6 +97,26 @@ pub mod compare {
         compare_with_profile(benchmark, &profile, resparc_cfg, cmos_cfg)
     }
 
+    /// Runs every benchmark on both machines, in parallel across the
+    /// group, and returns the comparisons in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MapError`] if any RESPARC configuration is
+    /// invalid.
+    pub fn compare_many(
+        benchmarks: &[Benchmark],
+        resparc_cfg: &ResparcConfig,
+        cmos_cfg: &CmosConfig,
+        seed: u64,
+    ) -> Result<Vec<Comparison>, MapError> {
+        use rayon::prelude::*;
+        benchmarks
+            .par_iter()
+            .map(|b| compare_benchmark(b, resparc_cfg, cmos_cfg, seed))
+            .collect()
+    }
+
     /// Runs `benchmark` on both machines under an explicit profile.
     ///
     /// # Errors
@@ -111,8 +131,7 @@ pub mod compare {
         let mapping = Mapper::new(resparc_cfg.clone()).map(&benchmark.topology)?;
         let resparc = Simulator::new(&mapping).run(profile);
         let cmos = CmosSimulator::new(cmos_cfg.clone()).run(&benchmark.topology, profile);
-        let energy_gain =
-            cmos.total_energy().picojoules() / resparc.total_energy().picojoules();
+        let energy_gain = cmos.total_energy().picojoules() / resparc.total_energy().picojoules();
         let speedup = cmos.latency.nanoseconds() / resparc.latency.nanoseconds();
         Ok(Comparison {
             name: benchmark.name.clone(),
@@ -127,7 +146,7 @@ pub mod compare {
 
 /// Convenient glob import: the main types from every member crate.
 pub mod prelude {
-    pub use crate::compare::{compare_benchmark, compare_with_profile, Comparison};
+    pub use crate::compare::{compare_benchmark, compare_many, compare_with_profile, Comparison};
     pub use resparc_cmos::prelude::*;
     pub use resparc_core::prelude::*;
     pub use resparc_device::prelude::*;

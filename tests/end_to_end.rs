@@ -73,18 +73,19 @@ fn paper_headline_shapes_hold_end_to_end() {
 
 #[test]
 fn event_driven_never_costs_energy() {
-    for bench in [resparc_workloads::mnist_mlp(), resparc_workloads::mnist_cnn()] {
+    for bench in [
+        resparc_workloads::mnist_mlp(),
+        resparc_workloads::mnist_cnn(),
+    ] {
         let profile = bench.activity_profile(&[16, 32, 64, 128], 9);
         for mca in [32usize, 64, 128] {
             let on = Mapper::new(ResparcConfig::with_mca_size(mca))
                 .map(&bench.topology)
                 .unwrap();
             let on = Simulator::new(&on).run(&profile).total_energy();
-            let off = Mapper::new(
-                ResparcConfig::with_mca_size(mca).with_event_driven(false),
-            )
-            .map(&bench.topology)
-            .unwrap();
+            let off = Mapper::new(ResparcConfig::with_mca_size(mca).with_event_driven(false))
+                .map(&bench.topology)
+                .unwrap();
             let off = Simulator::new(&off).run(&profile).total_energy();
             assert!(
                 on.picojoules() <= off.picojoules() * 1.001,

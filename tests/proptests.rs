@@ -107,6 +107,50 @@ proptest! {
         prop_assert!((fast - zero as f64 / total as f64).abs() < 1e-12);
     }
 
+    /// Compiled kernels reproduce the closure-walk reference path exactly
+    /// (bit-identical activations, spike-identical outputs) on random MLP
+    /// and CNN topologies with random weights.
+    #[test]
+    fn compiled_kernels_match_reference_on_random_topologies(
+        sizes in proptest::collection::vec(1usize..9, 1..4),
+        seed in 0u64..1_000_000,
+        side in 8usize..12,
+        kind in prop_oneof![Just(0usize), Just(1)],
+    ) {
+        use resparc_suite::resparc_neuro::network::reference;
+
+        let topology = if kind == 0 {
+            Topology::mlp(sizes[0] + 4, &sizes)
+        } else {
+            let maps = sizes[0].min(4);
+            Topology::builder(Shape::new(side, side, 1))
+                .conv(maps, 3, Padding::Same, ChannelTable::Full)
+                .pool(2)
+                .dense(*sizes.last().unwrap())
+                .build()
+                .expect("consistent")
+        };
+        let inputs = topology.input_count();
+        let net = Network::random(topology, seed, 1.0);
+        let x: Vec<f32> = (0..inputs)
+            .map(|i| ((i as u64 * 13 + seed) % 17) as f32 / 17.0)
+            .collect();
+        prop_assert_eq!(
+            net.forward_analog_all(&x),
+            reference::forward_analog_all(&net, &x)
+        );
+
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&x, 8);
+        let mut compiled = net.spiking();
+        let mut oracle = reference::RefSnnRunner::new(&net);
+        for step in raster.iter() {
+            let c = compiled.step(step).clone();
+            prop_assert_eq!(&c, oracle.step(step));
+        }
+        prop_assert_eq!(compiled.outcome(), oracle.outcome());
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

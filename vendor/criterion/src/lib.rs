@@ -1,0 +1,426 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion API `crates/bench/benches/*.rs` uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is
+//! real (monotonic-clock timing, warm-up, multiple samples, median-of-
+//! samples reporting) but deliberately simple — no outlier analysis or
+//! HTML reports.
+//!
+//! In addition to the human-readable stdout lines, every group writes a
+//! machine-readable `BENCH_<group>.json` (into `$BENCH_JSON_DIR`, default
+//! the working directory — the workspace root under `cargo bench`) so perf
+//! trajectories can be tracked across commits. See the repository's
+//! `BENCHMARKS.md` for the schema.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness: configuration plus collected results.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    group_name: String,
+    results: Vec<BenchRecord>,
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id, e.g. `"crossbar_mvm/64"`.
+    pub id: String,
+    /// Median nanoseconds per iteration over all samples.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Total iterations across all samples.
+    pub iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            group_name: "benches".to_string(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Names the group (used for the `BENCH_<group>.json` file); called by
+    /// [`criterion_group!`].
+    pub fn set_group_name(&mut self, name: &str) {
+        self.group_name = name.to_string();
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function under `id` (skipped when a
+    /// command-line filter excludes it).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !filter_matches(id) {
+            return self;
+        }
+        let record = run_bench(
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self.results.push(record);
+        self
+    }
+
+    /// Writes the group's JSON report; called by [`criterion_group!`] after
+    /// all targets ran.
+    pub fn finalize(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n  \"group\": ");
+        push_json_string(&mut json, &self.group_name);
+        json.push_str(",\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            json.push_str("    {\"id\": ");
+            push_json_string(&mut json, &r.id);
+            let _ = write!(
+                json,
+                ", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                 \"samples\": {}, \"iterations\": {}}}{}",
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iterations,
+                if i + 1 < self.results.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        json.push_str("  ]\n}\n");
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.group_name);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks a function under `group/id` (skipped when a
+    /// command-line filter excludes it).
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if !filter_matches(&full) {
+            return self;
+        }
+        let record = run_bench(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self.criterion.results.push(record);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (results are reported as they complete).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Whether `id` matches the command-line filter (`cargo bench -- <filter>`
+/// passes plain substring filters; flags like `--bench` are cargo
+/// plumbing and are ignored). No filter → everything matches.
+fn filter_matches(id: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) -> BenchRecord {
+    // Warm-up: also estimates the per-iteration cost.
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut per_iter = Duration::from_nanos(1);
+    while spent < warm_up {
+        let d = time_once(&mut f, iters);
+        spent += d;
+        per_iter = d / iters.max(1) as u32;
+        if per_iter >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Choose iterations per sample so all samples fit the measurement
+    // budget.
+    let per_iter_ns = per_iter.as_nanos().max(1) as u64;
+    let budget_ns = (measurement.as_nanos() as u64 / sample_size as u64).max(1);
+    let iters_per_sample = (budget_ns / per_iter_ns).clamp(1, 1 << 24);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let d = time_once(&mut f, iters_per_sample);
+        samples_ns.push(d.as_nanos() as f64 / iters_per_sample as f64);
+        total_iters += iters_per_sample;
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let record = BenchRecord {
+        id: id.to_string(),
+        median_ns: median,
+        min_ns: samples_ns[0],
+        max_ns: *samples_ns.last().expect("non-empty"),
+        samples: sample_size,
+        iterations: total_iters,
+    };
+    println!(
+        "bench {id:<48} median {:>12} min {:>12} ({} samples x {} iters)",
+        format_ns(record.median_ns),
+        format_ns(record.min_ns),
+        sample_size,
+        iters_per_sample,
+    );
+    record
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Defines a benchmark group function (`name`) that runs every target with
+/// the given configuration, then writes `BENCH_<name>.json`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            criterion.set_group_name(stringify!($name));
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (an alias of the std one).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns >= 0.0);
+        assert!(c.results[0].iterations > 0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].id, "g/64");
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c");
+        assert_eq!(s, "\"a\\\"b\\\\c\"");
+    }
+}

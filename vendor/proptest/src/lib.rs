@@ -1,0 +1,172 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the proptest API `tests/proptests.rs` uses: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range / `any::<bool>()` / tuple / [`collection::vec`] / [`prop_oneof!`]
+//! / [`strategy::Just`] strategies, and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] result macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs via the panic message but is not minimised) and generation
+//! is deterministic per test-function name, so failures reproduce exactly
+//! on re-run.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property-test functions: each `fn name(arg in strategy, ..)
+/// { body }` entry becomes a `#[test]` that runs `body` over `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err,
+                            rendered_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with
+/// its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Picks uniformly between alternative strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 1usize..10,
+            y in -1.0f64..1.0,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+            prop_assert!((flag as usize) < 2);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            xs in collection::vec((0usize..4, 0.0f32..1.0), 1..6),
+            n in prop_oneof![Just(16usize), Just(32)],
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&(i, f)| i < 4 && (0.0..1.0).contains(&f)));
+            prop_assert!(n == 16 || n == 32);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0usize..1000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,282 @@
+//! Parallel iteration over slices.
+
+use std::thread;
+
+use crate::current_num_threads;
+
+/// Conversion into a borrowing parallel iterator (rayon's
+/// `IntoParallelRefIterator`, restricted to slice-backed collections).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: Sync + 'data;
+
+    /// Starts a parallel iterator over the collection's elements.
+    fn par_iter(&'data self) -> ParallelSliceIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParallelSliceIter<'data, T> {
+        ParallelSliceIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParallelSliceIter<'data, T> {
+        ParallelSliceIter { items: self }
+    }
+}
+
+/// Parallel mutable chunking (rayon's `ParallelSliceMut::par_chunks_mut`,
+/// restricted to the `enumerate().for_each(..)` shape).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into mutable chunks of at most `chunk_size`
+    /// elements, processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParallelChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParallelChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParallelChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Mutable chunks awaiting [`ParallelChunksMutEnumerate::for_each`].
+#[derive(Debug)]
+pub struct ParallelChunksMut<'data, T> {
+    chunks: Vec<&'data mut [T]>,
+}
+
+impl<'data, T: Send> ParallelChunksMut<'data, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParallelChunksMutEnumerate<'data, T> {
+        ParallelChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+}
+
+/// Enumerated mutable chunks.
+#[derive(Debug)]
+pub struct ParallelChunksMutEnumerate<'data, T> {
+    chunks: Vec<&'data mut [T]>,
+}
+
+impl<'data, T: Send> ParallelChunksMutEnumerate<'data, T> {
+    /// Runs `op` over every `(chunk_index, chunk)` pair, one scoped thread
+    /// per chunk (callers size chunks to the thread count).
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &'data mut [T])) + Sync,
+    {
+        let mut chunks = self.chunks;
+        if current_num_threads() <= 1 || chunks.len() <= 1 {
+            for (ci, chunk) in chunks.into_iter().enumerate() {
+                op((ci, chunk));
+            }
+            return;
+        }
+        thread::scope(|s| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (ci, chunk) in chunks.drain(..).enumerate() {
+                let op = &op;
+                handles.push(s.spawn(move || op((ci, chunk))));
+            }
+            for h in handles {
+                h.join().expect("parallel chunk worker panicked");
+            }
+        });
+    }
+}
+
+/// A parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParallelSliceIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelSliceIter<'data, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps each element through `op` in parallel.
+    pub fn map<R, F>(self, op: F) -> ParallelMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParallelMap {
+            items: self.items,
+            op,
+        }
+    }
+
+    /// Pairs each element with its index (yields `(usize, &T)` tuples).
+    pub fn enumerate(self) -> ParallelEnumerate<'data, T> {
+        ParallelEnumerate { items: self.items }
+    }
+}
+
+/// A mapped parallel iterator; terminate with [`ParallelMap::collect`].
+#[derive(Debug)]
+pub struct ParallelMap<'data, T, F> {
+    items: &'data [T],
+    op: F,
+}
+
+impl<'data, T, R, F> ParallelMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_indexed(self.items, |_, item| (self.op)(item))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// An enumerated parallel iterator.
+#[derive(Debug)]
+pub struct ParallelEnumerate<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelEnumerate<'data, T> {
+    /// Maps each `(index, &element)` pair through `op` in parallel.
+    pub fn map<R, F>(self, op: F) -> ParallelEnumerateMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        ParallelEnumerateMap {
+            items: self.items,
+            op,
+        }
+    }
+}
+
+/// A mapped enumerated parallel iterator.
+#[derive(Debug)]
+pub struct ParallelEnumerateMap<'data, T, F> {
+    items: &'data [T],
+    op: F,
+}
+
+impl<'data, T, R, F> ParallelEnumerateMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'data T)) -> R + Sync,
+{
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_indexed(self.items, |i, item| (self.op)((i, item)))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Maps `op` over the slice on scoped threads, one contiguous chunk per
+/// thread, and concatenates chunk results in order.
+fn par_map_indexed<'data, T, R>(
+    items: &'data [T],
+    op: impl Fn(usize, &'data T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| op(i, x)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for (ci, slice) in items.chunks(chunk).enumerate() {
+            let op = &op;
+            let base = ci * chunk;
+            handles.push(s.spawn(move || {
+                slice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| op(base + i, x))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn enumerate_passes_true_indices() {
+        let xs = vec![10u32; 257];
+        let idx: Vec<usize> = xs.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, (0..257).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_type() {
+        let xs = vec![1i32, 2, 3];
+        let ok: Result<Vec<i32>, String> = xs.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 2 {
+                    Err("two".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_in_place() {
+        let mut xs = vec![0usize; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + k;
+            }
+        });
+        assert_eq!(xs, (0..103).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

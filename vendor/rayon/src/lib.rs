@@ -1,0 +1,56 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the rayon API the suite uses: `par_iter().map(..).collect()`
+//! over slices (optionally `enumerate()`d) plus [`join`]. Parallelism is
+//! real — work is split into contiguous chunks executed on scoped OS
+//! threads (`std::thread::scope`), one per available core — but there is no
+//! work-stealing pool; for the coarse-grained batch fan-outs in this suite
+//! that is indistinguishable from the real thing.
+//!
+//! Ordering contract: `collect()` preserves input order exactly, so results
+//! are independent of the thread count (determinism matters to every
+//! experiment here).
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod iter;
+
+/// Everything needed for `par_iter().map(..).collect()` call sites.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelRefIterator, ParallelChunksMut, ParallelEnumerate, ParallelMap,
+        ParallelSliceIter, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}

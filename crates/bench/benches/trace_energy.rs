@@ -1,0 +1,109 @@
+//! Criterion benches of the trace-driven energy path: capturing a
+//! [`SpikeTrace`] from the functional SNN, replaying it through the
+//! mapped fabric's event simulator, and the combined
+//! accuracy-plus-energy sweep — with the stationary analytic simulator
+//! alongside as the fast-path reference. Emits `BENCH_trace_energy.json`
+//! (see `BENCHMARKS.md`), which the `bench_gate` binary compares against
+//! `bench/baseline.json` in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use resparc_suite::prelude::*;
+
+const STEPS: usize = 20;
+
+/// The paper's MNIST MLP (784-800-800-768-10) with random weights — the
+/// same workload as the `snn_step`/`accuracy_sweep` groups.
+fn mnist_mlp_net() -> Network {
+    Network::random(
+        resparc_suite::resparc_workloads::mnist_mlp().topology,
+        3,
+        1.0,
+    )
+}
+
+fn mnist_stimulus() -> Vec<f32> {
+    (0..784).map(|i| (i % 9) as f32 / 9.0).collect()
+}
+
+/// Capturing a 20-step trace on the compiled kernels (the recorder's
+/// overhead on top of a plain spiking run).
+fn bench_capture_trace(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mut enc = PoissonEncoder::new(0.4, 5);
+    let raster = enc.encode(&mnist_stimulus(), STEPS);
+    let mut group = c.benchmark_group("trace_capture");
+    group.sample_size(10);
+    group.bench_function("mnist_mlp_20steps", |b| {
+        b.iter(|| {
+            let mut runner = net.spiking();
+            black_box(runner.run_traced(black_box(&raster)))
+        })
+    });
+    group.finish();
+}
+
+/// Replaying a captured trace through the event simulator vs one
+/// stationary analytic run on the same mapping — the cost of per-packet
+/// fidelity over the closed-form expectation.
+fn bench_event_replay(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mut enc = PoissonEncoder::new(0.4, 5);
+    let raster = enc.encode(&mnist_stimulus(), STEPS);
+    let (_, trace) = net.spiking().run_traced(&raster);
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .unwrap();
+    let profile = trace.to_profile(&[16, 32, 64, 128]);
+
+    let mut group = c.benchmark_group("event_replay");
+    group.sample_size(10);
+    group.bench_function("event_mnist_mlp_20steps", |b| {
+        b.iter(|| black_box(EventSimulator::new(black_box(&mapping)).run(black_box(&trace))))
+    });
+    group.bench_function("stationary_mnist_mlp", |b| {
+        b.iter(|| black_box(Simulator::new(black_box(&mapping)).run(black_box(&profile))))
+    });
+    group.finish();
+}
+
+/// The full workloads-API sweep: 8 stimuli encoded, traced and replayed
+/// in one batched rayon-parallel call (accuracy + energy per inference).
+fn bench_trace_energy_sweep(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .unwrap();
+    let samples: Vec<(Vec<f32>, usize)> = (0..8)
+        .map(|s| {
+            let x: Vec<f32> = (0..784).map(|i| ((s * 7 + i) % 13) as f32 / 13.0).collect();
+            (x, s % 10)
+        })
+        .collect();
+    let cfg = SweepConfig {
+        steps: STEPS,
+        peak_rate: 0.4,
+        seed: 11,
+    };
+    let mut group = c.benchmark_group("energy_sweep");
+    group.sample_size(10);
+    group.bench_function("mnist_mlp_8x20", |b| {
+        b.iter(|| {
+            black_box(trace_energy_sweep(
+                black_box(&net),
+                black_box(&mapping),
+                black_box(&samples),
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = trace_energy;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep
+}
+criterion_main!(trace_energy);

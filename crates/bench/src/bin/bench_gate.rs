@@ -1,0 +1,405 @@
+//! CI perf-regression gate over the criterion `BENCH_*.json` reports.
+//!
+//! Compares every fresh `BENCH_*.json` in a directory against the
+//! checked-in `bench/baseline.json` and exits non-zero when any benchmark
+//! id regressed by more than the threshold (median ns/iter, default
+//! +25 %) — throughput regressions fail the `perf-smoke` job. The
+//! baseline is only rewritten on an explicit `--update` (wired to a
+//! manual workflow input in CI, never on ordinary pushes).
+//!
+//! ```text
+//! bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT]
+//!            [--min-ns NS] [--update]
+//! ```
+//!
+//! * `--fresh-dir`  directory scanned for `BENCH_*.json` (default `.`)
+//! * `--baseline`   baseline path (default `bench/baseline.json`)
+//! * `--threshold`  allowed slowdown in percent (default `25`)
+//! * `--min-ns`     ids whose baseline median is below this are reported
+//!   but never gated (default `10000` — sub-10 µs medians jitter beyond
+//!   the threshold on shared CI runners without any code change)
+//! * `--update`     rewrite the baseline from the fresh results and exit
+//!
+//! Exit codes: `0` pass / baseline updated, `1` regression, `2` usage or
+//! I/O error. Benchmarks present in the baseline but missing from the
+//! fresh run are reported as warnings (a partial `cargo bench` run must
+//! not look like a pass for the missing ids — CI always runs the full
+//! suite); fresh ids not yet in the baseline are listed as candidates for
+//! `--update`.
+//!
+//! The JSON involved is the vendored criterion harness's flat schema
+//! (`{"group": .., "results": [{"id": .., "median_ns": ..}, ..]}`), so
+//! parsing is a self-contained scanner — no serde in the dependency tree.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GateConfig {
+    threshold_pct: f64,
+    /// Baseline medians below this many nanoseconds are informational
+    /// only: micro-benchmarks in the sub-10 µs range move more than any
+    /// sane threshold under shared-runner jitter.
+    min_ns: f64,
+}
+
+/// One benchmark's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// Within threshold; ratio = fresh / baseline.
+    Ok(f64),
+    /// Slower than baseline by more than the threshold.
+    Regressed(f64),
+    /// Below the gate floor — reported, never failed.
+    BelowFloor(f64),
+}
+
+impl Verdict {
+    fn ratio(&self) -> f64 {
+        match *self {
+            Verdict::Ok(r) | Verdict::Regressed(r) | Verdict::BelowFloor(r) => r,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fresh_dir = PathBuf::from(".");
+    let mut baseline_path = PathBuf::from("bench/baseline.json");
+    let mut threshold_pct = 25.0f64;
+    let mut min_ns = 10_000.0f64;
+    let mut update = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fresh-dir" => match it.next() {
+                Some(v) => fresh_dir = PathBuf::from(v),
+                None => return usage("--fresh-dir needs a value"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = PathBuf::from(v),
+                None => return usage("--baseline needs a value"),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold_pct = v,
+                _ => return usage("--threshold needs a positive number"),
+            },
+            "--min-ns" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => min_ns = v,
+                _ => return usage("--min-ns needs a non-negative number"),
+            },
+            "--update" => update = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT] [--update]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let fresh = match collect_fresh(&fresh_dir) {
+        Ok(map) => map,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if fresh.is_empty() {
+        eprintln!(
+            "bench_gate: no BENCH_*.json found in {} — run `cargo bench -p resparc-bench` first",
+            fresh_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_gate: {} fresh benchmark ids from {}",
+        fresh.len(),
+        fresh_dir.display()
+    );
+
+    if update {
+        return match std::fs::create_dir_all(baseline_path.parent().unwrap_or(Path::new(".")))
+            .and_then(|()| std::fs::write(&baseline_path, render_baseline(&fresh)))
+        {
+            Ok(()) => {
+                println!(
+                    "bench_gate: baseline updated ({} ids -> {})",
+                    fresh.len(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: cannot write {}: {e}", baseline_path.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_results(&text),
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {e} (run with --update to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_gate: baseline {} holds no results",
+            baseline_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let cfg = GateConfig {
+        threshold_pct,
+        min_ns,
+    };
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for (id, &base_ns) in &baseline {
+        match fresh.get(id) {
+            None => missing.push(id.clone()),
+            Some(&fresh_ns) => {
+                let verdict = judge(base_ns, fresh_ns, &cfg);
+                println!(
+                    "  {:<48} base {:>12.0} ns  fresh {:>12.0} ns  x{:.2}{}",
+                    id,
+                    base_ns,
+                    fresh_ns,
+                    verdict.ratio(),
+                    match verdict {
+                        Verdict::Regressed(_) => "  REGRESSED",
+                        Verdict::BelowFloor(_) => "  (below gate floor, not gated)",
+                        Verdict::Ok(_) => "",
+                    }
+                );
+                if let Verdict::Regressed(r) = verdict {
+                    regressions.push((id.clone(), r));
+                }
+            }
+        }
+    }
+    for id in &missing {
+        eprintln!("bench_gate: WARNING: baseline id `{id}` missing from the fresh run");
+    }
+    let new_ids: Vec<&String> = fresh
+        .keys()
+        .filter(|id| !baseline.contains_key(*id))
+        .collect();
+    if !new_ids.is_empty() {
+        println!(
+            "bench_gate: {} new id(s) not in the baseline (add via --update): {}",
+            new_ids.len(),
+            new_ids
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: PASS — no id slower than baseline x{:.2}",
+            1.0 + cfg.threshold_pct / 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} id(s) regressed beyond +{}%:",
+            regressions.len(),
+            cfg.threshold_pct
+        );
+        for (id, ratio) in &regressions {
+            eprintln!("  {id}: x{ratio:.2}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    eprintln!(
+        "usage: bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT] \
+         [--min-ns NS] [--update]"
+    );
+    ExitCode::from(2)
+}
+
+/// Compares one benchmark's fresh median against the baseline.
+fn judge(base_ns: f64, fresh_ns: f64, cfg: &GateConfig) -> Verdict {
+    let ratio = if base_ns > 0.0 {
+        fresh_ns / base_ns
+    } else {
+        1.0
+    };
+    if base_ns < cfg.min_ns {
+        Verdict::BelowFloor(ratio)
+    } else if ratio > 1.0 + cfg.threshold_pct / 100.0 {
+        Verdict::Regressed(ratio)
+    } else {
+        Verdict::Ok(ratio)
+    }
+}
+
+/// Reads every `BENCH_*.json` in `dir` into one id → median_ns map.
+fn collect_fresh(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let mut merged = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        let results = parse_results(&text);
+        println!("  {} -> {} ids", name, results.len());
+        merged.extend(results);
+    }
+    Ok(merged)
+}
+
+/// Extracts `(id, median_ns)` pairs from the criterion harness's flat
+/// JSON (tolerant scanner: any `"id": "..."` followed by a
+/// `"median_ns": <number>`).
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\":") {
+        rest = &rest[pos + 5..];
+        let Some((id, after_id)) = parse_json_string(rest) else {
+            break;
+        };
+        rest = after_id;
+        let Some(mpos) = rest.find("\"median_ns\":") else {
+            break;
+        };
+        // The median must belong to this record — bail if another id
+        // starts first (malformed record).
+        if let Some(next_id) = rest.find("\"id\":") {
+            if next_id < mpos {
+                continue;
+            }
+        }
+        let num_text = rest[mpos + 12..].trim_start();
+        let end = num_text
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(num_text.len());
+        if let Ok(v) = num_text[..end].parse::<f64>() {
+            out.insert(id, v);
+        }
+        rest = &rest[mpos + 12..];
+    }
+    out
+}
+
+/// Parses a JSON string literal starting at the first `"` of `text`;
+/// returns the unescaped string and the remaining input.
+fn parse_json_string(text: &str) -> Option<(String, &str)> {
+    let start = text.find('"')?;
+    let mut out = String::new();
+    let mut chars = text[start + 1..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &text[start + 1 + i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => out.push(other),
+                None => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Renders the merged fresh results as the checked-in baseline file.
+fn render_baseline(results: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n  \"group\": \"baseline\",\n  \"results\": [\n");
+    let last = results.len().saturating_sub(1);
+    for (i, (id, ns)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {ns:.1}}}{}\n",
+            id.replace('\\', "\\\\").replace('"', "\\\""),
+            if i < last { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "group": "trace_energy",
+  "results": [
+    {"id": "event_replay/event_mnist_mlp_20steps", "median_ns": 1234567.0, "min_ns": 1.0, "max_ns": 2.0, "samples": 10, "iterations": 10},
+    {"id": "event_replay/stationary_mnist_mlp", "median_ns": 89.5, "min_ns": 1.0, "max_ns": 2.0, "samples": 10, "iterations": 10}
+  ]
+}"#;
+
+    #[test]
+    fn parses_criterion_json() {
+        let r = parse_results(SAMPLE);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r["event_replay/event_mnist_mlp_20steps"], 1234567.0);
+        assert_eq!(r["event_replay/stationary_mnist_mlp"], 89.5);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_parser() {
+        let r = parse_results(SAMPLE);
+        let rendered = render_baseline(&r);
+        assert_eq!(parse_results(&rendered), r);
+    }
+
+    #[test]
+    fn judge_applies_threshold() {
+        let cfg = GateConfig {
+            threshold_pct: 25.0,
+            min_ns: 0.0,
+        };
+        assert!(matches!(judge(100.0, 124.0, &cfg), Verdict::Ok(_)));
+        assert!(matches!(judge(100.0, 50.0, &cfg), Verdict::Ok(_)));
+        assert!(matches!(judge(100.0, 126.0, &cfg), Verdict::Regressed(_)));
+        // Zero baseline never divides by zero.
+        assert!(matches!(judge(0.0, 10.0, &cfg), Verdict::Ok(_)));
+    }
+
+    #[test]
+    fn judge_skips_ids_below_floor() {
+        let cfg = GateConfig {
+            threshold_pct: 25.0,
+            min_ns: 10_000.0,
+        };
+        // A 3x slowdown on a 150 ns bench is runner noise, not a
+        // regression — below the floor it never fails the gate.
+        assert!(matches!(judge(150.0, 450.0, &cfg), Verdict::BelowFloor(_)));
+        assert!(matches!(
+            judge(20_000.0, 30_000.0, &cfg),
+            Verdict::Regressed(_)
+        ));
+    }
+
+    #[test]
+    fn string_parser_handles_escapes() {
+        let (s, rest) = parse_json_string(r#""a\"b\\c" tail"#).unwrap();
+        assert_eq!(s, "a\"b\\c");
+        assert_eq!(rest, " tail");
+    }
+}

@@ -12,7 +12,9 @@
 //!   input-sharing column packing (§3.1.1), and placement over
 //!   mPEs / NeuroCells (§3.1.2–3.1.3),
 //! * [`sim`] — the activity-driven energy/latency simulator whose
-//!   breakdowns reproduce Fig. 11–13,
+//!   breakdowns reproduce Fig. 11–13, plus the trace-driven event
+//!   simulator ([`sim::event`]) that replays measured spike traces
+//!   through the fabric packet-by-packet,
 //! * [`mpe`] — the macro Processing Engine's digital shell: per-MCA
 //!   buffers (iBUFF/oBUFF/tBUFF), phase scheduling and the CCU
 //!   request/wait handshake (Fig. 4),
@@ -59,6 +61,7 @@ pub use map::{
     Placement, Tile,
 };
 pub use mpe::{CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule};
+pub use sim::event::{EventLayerStats, EventReport, EventSimulator};
 pub use sim::{ExecutionReport, LayerExecStats, Simulator};
 pub use switch::{PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, SwitchOutput};
 
@@ -74,6 +77,7 @@ pub mod prelude {
     pub use crate::mpe::{
         CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule,
     };
+    pub use crate::sim::event::{EventLayerStats, EventReport, EventSimulator};
     pub use crate::sim::{ExecutionReport, LayerExecStats, Simulator};
     pub use crate::switch::{
         PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, SwitchOutput,

@@ -196,8 +196,8 @@ impl Mapper {
                 let mut cfg = self.config.clone();
                 cfg.mca_size = size;
                 let m = Mapper::new(cfg).map(topology).expect("valid config");
-                // Footprint proxy: total devices = tiles × size².
-                (size, m.placement.mcas_used * size * size)
+                // Footprint proxy shared with the simulators' cost math.
+                (size, crate::sim::cost::device_footprint(&m.placement, size))
             })
             .collect();
         out.sort_by_key(|&(_, devices)| devices);

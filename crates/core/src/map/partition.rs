@@ -69,6 +69,12 @@ pub struct LayerPartition {
     pub layer: usize,
     /// Aggregate tile descriptions.
     pub tiles: Vec<Tile>,
+    /// Global input-neuron id of each occupied row, per tile (parallel to
+    /// `tiles`, `tile_rows[i].len() == tiles[i].rows`). This is what lets
+    /// the trace-driven event simulator decide, per timestep, which tiles
+    /// actually receive spikes — without paying for full
+    /// per-synapse [`TileDetail`]s.
+    pub tile_rows: Vec<Vec<u32>>,
     /// Full assignments, present only when requested.
     pub details: Option<Vec<TileDetail>>,
     /// Maximum multiplexing degree over the layer's outputs.
@@ -246,7 +252,12 @@ impl OpenTile {
         });
     }
 
-    fn close(self, layer: usize, chunk_phase: u32, record: bool) -> (Tile, Option<TileDetail>) {
+    fn close(
+        self,
+        layer: usize,
+        chunk_phase: u32,
+        record: bool,
+    ) -> (Tile, Vec<u32>, Option<TileDetail>) {
         let tile = Tile {
             layer,
             chunk: chunk_phase,
@@ -254,11 +265,11 @@ impl OpenTile {
             cols: self.columns.len() as u32,
             synapses: self.synapses,
         };
-        let detail = record.then_some(TileDetail {
-            row_inputs: self.row_inputs,
+        let detail = record.then(|| TileDetail {
+            row_inputs: self.row_inputs.clone(),
             columns: self.columns,
         });
-        (tile, detail)
+        (tile, self.row_inputs, detail)
     }
 }
 
@@ -288,6 +299,7 @@ pub fn partition_layer(
     }
 
     let mut tiles = Vec::new();
+    let mut tile_rows: Vec<Vec<u32>> = Vec::new();
     let mut details: Vec<TileDetail> = Vec::new();
 
     // Pack outputs whose receptive fields overlap into the same tile:
@@ -318,12 +330,13 @@ pub fn partition_layer(
             let fits_rows = open.rows_after(chunk_inputs, options.input_sharing) <= n as u32;
             let fits_cols = (open.columns.len() as u32) < n as u32;
             if !(open.is_empty() || (fits_rows && fits_cols)) {
-                let (tile, detail) = std::mem::replace(&mut open, OpenTile::new()).close(
+                let (tile, rows, detail) = std::mem::replace(&mut open, OpenTile::new()).close(
                     layer,
                     k as u32,
                     options.record_details,
                 );
                 tiles.push(tile);
+                tile_rows.push(rows);
                 if let Some(d) = detail {
                     details.push(d);
                 }
@@ -343,8 +356,9 @@ pub fn partition_layer(
             );
         }
         if !open.is_empty() {
-            let (tile, detail) = open.close(layer, k as u32, options.record_details);
+            let (tile, rows, detail) = open.close(layer, k as u32, options.record_details);
             tiles.push(tile);
+            tile_rows.push(rows);
             if let Some(d) = detail {
                 details.push(d);
             }
@@ -358,9 +372,14 @@ pub fn partition_layer(
         "partition must cover every synapse exactly once"
     );
 
+    debug_assert!(tiles
+        .iter()
+        .zip(&tile_rows)
+        .all(|(t, r)| t.rows as usize == r.len()));
     LayerPartition {
         layer,
         tiles,
+        tile_rows,
         details: options.record_details.then_some(details),
         max_degree,
         mean_degree: if outputs == 0 {
@@ -497,6 +516,41 @@ mod tests {
             }
         }
         assert_eq!(covered, c.synapse_count());
+    }
+
+    #[test]
+    fn tile_rows_recorded_for_every_tile() {
+        let spec = LayerSpec::Conv2d {
+            input: Shape::new(10, 10, 2),
+            maps: 4,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Valid,
+            table: ChannelTable::Full,
+        };
+        for (spec, inputs) in [
+            (spec, 200usize),
+            (
+                LayerSpec::Dense {
+                    inputs: 100,
+                    outputs: 40,
+                },
+                100,
+            ),
+        ] {
+            let c = conn(&spec);
+            let p = partition_layer(&c, 0, &PartitionOptions::new(32));
+            assert_eq!(p.tile_rows.len(), p.tile_count());
+            for (tile, rows) in p.tiles.iter().zip(&p.tile_rows) {
+                assert_eq!(rows.len() as u32, tile.rows);
+                assert!(rows.iter().all(|&r| (r as usize) < inputs));
+                // With input sharing on, a tile never holds duplicate rows.
+                let mut sorted = rows.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), rows.len());
+            }
+        }
     }
 
     #[test]

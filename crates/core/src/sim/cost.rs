@@ -1,0 +1,133 @@
+//! Per-tile activity/cost arithmetic shared by every consumer of a
+//! [`Mapping`](crate::map::Mapping).
+//!
+//! The stationary simulator ([`super::Simulator`]), the trace-driven event
+//! simulator ([`super::event::EventSimulator`]) and the mapper's
+//! technology ranking ([`crate::map::Mapper::recommend_mca_size`]) all
+//! need the same three pieces of math: the linearised crossbar read cost
+//! of a tile, the local phase count of a layer's time-multiplexed
+//! integration, and the mapped device footprint. Keeping them here makes
+//! the two energy paths charge *identical* per-event costs — any
+//! divergence between them is then purely a workload-statistics effect,
+//! which is exactly what the agreement/divergence tests assert.
+
+use resparc_device::energy_model::McaEnergyModel;
+use resparc_energy::units::Energy;
+
+use crate::config::ResparcConfig;
+use crate::map::partition::LayerPartition;
+use crate::map::{Placement, Tile};
+
+/// Average switch hops for an intra-NeuroCell packet delivery. The
+/// dedicated row/column switch links make most transfers one-hop (paper
+/// §3.1.2); boundary cases add a second hop.
+pub const AVG_SWITCH_HOPS: f64 = 1.5;
+
+/// Address width of a tBUFF target entry (SW_ID + mPE_ID + MCA_ID,
+/// Fig. 6).
+pub const TARGET_ADDRESS_BITS: u32 = 24;
+
+/// Analog CCU transfer: gated-wire hand-off of one partial current.
+pub const CCU_TRANSFER_BITS: u32 = 8;
+
+/// Linearised crossbar read cost of one tile at its utilization: a read
+/// with `a` spiking rows costs `fixed + per_active_row · a`.
+///
+/// Device conduction is data-dependent (only spiking rows conduct);
+/// drivers and sensing are clocked for the whole array on every read —
+/// the fixed cost under-utilized tiles cannot amortise (the Fig. 12c
+/// penalty at 128).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileReadCost {
+    /// Cost of firing the read at all: column sensing plus every row
+    /// driver clocked, regardless of activity.
+    pub fixed: Energy,
+    /// Marginal device-conduction cost of one spiking row.
+    pub per_active_row: Energy,
+}
+
+impl TileReadCost {
+    /// Energy of one read of this tile with `active_rows` spiking rows.
+    pub fn read(&self, active_rows: usize) -> Energy {
+        self.fixed + self.per_active_row * active_rows as f64
+    }
+}
+
+/// Builds the linearised read cost of `tile` on `mca` (an
+/// `mca_size`-wide array) at the layer's mean programmed |weight|.
+pub fn tile_read_cost(
+    mca: &McaEnergyModel,
+    tile: &Tile,
+    mca_size: usize,
+    mean_weight_mag: f64,
+) -> TileReadCost {
+    let util = tile.utilization(mca_size);
+    let base = mca.read_energy(0, util, mean_weight_mag);
+    let per_active_row = (mca.read_energy(1, util, mean_weight_mag) - base) - mca.row_driver_energy;
+    TileReadCost {
+        fixed: base + mca.row_driver_energy * mca_size as f64,
+        per_active_row,
+    }
+}
+
+/// Local compute phases of one layer's timestep: the time-multiplexed
+/// integration sequences `max_degree` fan-in chunks, of which one mPE
+/// hosts at most `mcas_per_mpe` locally (Fig. 5).
+pub fn local_phases(part: &LayerPartition, config: &ResparcConfig) -> usize {
+    (part.max_degree as usize).min(config.mcas_per_mpe).max(1)
+}
+
+/// Mapped device footprint: total memristor pairs consumed by a
+/// placement at the given array size (the mapper's structural
+/// energy proxy — fewer, fuller crossbars).
+pub fn device_footprint(placement: &Placement, mca_size: usize) -> usize {
+    placement.mcas_used * mca_size * mca_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+    use crate::map::Mapper;
+    use resparc_device::memristor::MemristorSpec;
+    use resparc_neuro::topology::Topology;
+
+    #[test]
+    fn read_cost_is_linear_in_active_rows() {
+        let tile = Tile {
+            layer: 0,
+            chunk: 0,
+            rows: 64,
+            cols: 64,
+            synapses: 4096,
+        };
+        let mca = McaEnergyModel::new(MemristorSpec::paper_default(), 64);
+        let cost = tile_read_cost(&mca, &tile, 64, 0.5);
+        assert!(cost.fixed > Energy::ZERO);
+        assert!(cost.per_active_row > Energy::ZERO);
+        let delta = cost.read(10) - cost.read(9);
+        assert!((delta.picojoules() - cost.per_active_row.picojoules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_capped_by_local_mca_count() {
+        let cfg = ResparcConfig::resparc_64();
+        let m = Mapper::new(cfg.clone())
+            .map(&Topology::mlp(784, &[100]))
+            .unwrap();
+        // Degree 13 on 4 MCAs/mPE → 4 local phases.
+        assert_eq!(local_phases(&m.partitions[0], &cfg), 4);
+        let small = Mapper::new(cfg.clone())
+            .map(&Topology::mlp(64, &[10]))
+            .unwrap();
+        assert_eq!(local_phases(&small.partitions[0], &cfg), 1);
+    }
+
+    #[test]
+    fn footprint_counts_devices() {
+        let m = Mapper::new(ResparcConfig::resparc_64())
+            .map(&Topology::mlp(64, &[64]))
+            .unwrap();
+        assert_eq!(device_footprint(&m.placement, 64), 64 * 64);
+    }
+}

@@ -1,0 +1,493 @@
+//! Trace-driven event simulation: replaying a measured [`SpikeTrace`]
+//! through a mapped RESPARC fabric, packet by packet.
+//!
+//! The stationary simulator ([`super::Simulator`]) charges *expected*
+//! per-timestep quantities from an activity profile — correct for
+//! rate-coded, statistically-stationary workloads, blind to everything
+//! else. This module walks the same [`Mapping`] tile-by-tile and
+//! timestep-by-timestep over the *actual* spike trains the functional SNN
+//! produced, exercising the mPE digital shell per real packet:
+//!
+//! * **spike distribution** — each tile's occupied rows are scanned per
+//!   timestep in packet windows; a window with no spike is dropped at the
+//!   zero-check (§3.2) and never pays oBUFF/switch/iBUFF costs,
+//! * **analog compute** — a tile whose entire input window is silent
+//!   skips its crossbar read (and its columns' neuron integrations); an
+//!   active tile pays the shared linearised cost of
+//!   [`cost::tile_read_cost`] at its true active-row count,
+//! * **bus transactions** — inter-NeuroCell boundaries move only the
+//!   non-zero packets of the producing boundary through the input SRAM,
+//! * **CCU handshakes** — gated-wire partial-current transfers fire only
+//!   for the phases whose tiles actually read,
+//! * **latency** — per-timestep switch serialisation and bus occupancy
+//!   follow the step's real packet counts (a silent step costs the
+//!   clocked minimum, a burst pays its true serialisation).
+//!
+//! Every charge goes to the same fine-grained
+//! [`Category`] ledger as the stationary path, so the two reports are
+//! directly comparable: on a rate-coded stationary workload they converge
+//! (see `tests/trace_event.rs` — within 15 % on MNIST-MLP), while on
+//! bursty or silent stimuli the event report is the truth the stationary
+//! model cannot represent.
+//!
+//! [`SpikeTrace`]: resparc_neuro::trace::SpikeTrace
+
+use resparc_device::energy_model::McaEnergyModel;
+use resparc_energy::accounting::{Category, EnergyBreakdown};
+use resparc_energy::sram::SramSpec;
+use resparc_energy::units::{Energy, Time};
+use resparc_neuro::spike::SpikeVector;
+use resparc_neuro::trace::SpikeTrace;
+
+use crate::map::Mapping;
+use crate::sim::cost::{self, AVG_SWITCH_HOPS, CCU_TRANSFER_BITS, TARGET_ADDRESS_BITS};
+
+/// Per-trace execution report of the event simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventReport {
+    /// Energy for the whole replayed trace, by fine-grained category.
+    pub energy: EnergyBreakdown,
+    /// Timesteps replayed.
+    pub steps: usize,
+    /// Total cycles across all timesteps.
+    pub total_cycles: u64,
+    /// Wall-clock latency of the trace.
+    pub latency: Time,
+    /// Classifications per second (one trace = one classification).
+    pub throughput: f64,
+    /// Per-layer event tallies.
+    pub layers: Vec<EventLayerStats>,
+}
+
+impl EventReport {
+    /// Total energy of the trace.
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// Energy-delay product (pJ·ns).
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.total().picojoules() * self.latency.nanoseconds()
+    }
+}
+
+/// Event tallies of one layer over the whole trace.
+///
+/// Conservation invariant (property-tested): every candidate packet
+/// belongs to exactly one tile, so
+/// `per_tile_candidates.iter().sum() == candidate_packets` and
+/// `candidate_packets == steps × Σ_tiles ceil(rows / packet_bits)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLayerStats {
+    /// Layer index.
+    pub layer: usize,
+    /// Tiles mapped.
+    pub tiles: usize,
+    /// Packet windows zero-checked (delivery opportunities).
+    pub candidate_packets: u64,
+    /// Packet windows actually delivered (non-zero, or all of them with
+    /// event-driven operation disabled).
+    pub packets_delivered: u64,
+    /// Candidate packet windows per tile (parallel to the partition's
+    /// tiles).
+    pub per_tile_candidates: Vec<u64>,
+    /// Delivered packet windows per tile.
+    pub per_tile_delivered: Vec<u64>,
+    /// Crossbar reads performed.
+    pub reads_performed: u64,
+    /// Crossbar reads skipped by the zero-check (whole input window
+    /// silent).
+    pub reads_skipped: u64,
+    /// Total spiking-row events across performed reads.
+    pub active_row_events: u64,
+    /// Bus packets moved across the inter-NeuroCell boundary.
+    pub bus_packets: u64,
+    /// Spikes emitted by the layer.
+    pub spikes_out: u64,
+}
+
+/// Trace-driven event simulator over a [`Mapping`].
+#[derive(Debug, Clone)]
+pub struct EventSimulator<'m> {
+    mapping: &'m Mapping,
+}
+
+impl<'m> EventSimulator<'m> {
+    /// Creates an event simulator for a mapped network.
+    pub fn new(mapping: &'m Mapping) -> Self {
+        Self { mapping }
+    }
+
+    /// Replays `trace` through the fabric and returns the report.
+    ///
+    /// The trace's timestep count is the classification window (the
+    /// configured `timesteps` budget is ignored — the trace *is* the
+    /// workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's boundary structure does not match the
+    /// mapping (boundary count `layers + 1`, per-boundary neuron counts
+    /// equal to the mapped layer shapes).
+    pub fn run(&self, trace: &SpikeTrace) -> EventReport {
+        let cfg = &self.mapping.config;
+        assert_eq!(
+            trace.boundary_count(),
+            self.mapping.layer_count() + 1,
+            "trace must have layers + 1 boundaries"
+        );
+        for (l, part) in self.mapping.partitions.iter().enumerate() {
+            assert_eq!(
+                trace.boundary(l).neurons(),
+                part.inputs as usize,
+                "layer {l}: trace input boundary size mismatch"
+            );
+            assert_eq!(
+                trace.boundary(l + 1).neurons(),
+                part.outputs as usize,
+                "layer {l}: trace output boundary size mismatch"
+            );
+        }
+
+        let cat = &cfg.catalog;
+        let n = cfg.mca_size;
+        let pkt = cfg.packet_bits as usize;
+        let steps = trace.steps();
+        let mca = McaEnergyModel::new(cfg.device, n);
+        let sram = SramSpec::new(cfg.input_sram_bytes, cfg.packet_bits).build();
+
+        let mut energy = EnergyBreakdown::new();
+        let mut layer_stats = Vec::with_capacity(self.mapping.layer_count());
+        // Per-step latency contributions across layers.
+        let mut comm_cycles = vec![0u64; steps];
+        let mut bus_cycles = vec![0u64; steps];
+        let mut compute_cycles = 0u64;
+
+        for (l, part) in self.mapping.partitions.iter().enumerate() {
+            let span = &self.mapping.placement.layers[l];
+            let mag = self.mapping.mean_weight_mags[l];
+            let in_raster = trace.boundary(l);
+            let out_raster = trace.boundary(l + 1);
+            let tile_costs: Vec<cost::TileReadCost> = part
+                .tiles
+                .iter()
+                .map(|t| cost::tile_read_cost(&mca, t, n, mag))
+                .collect();
+            let switch_capacity = (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
+            let crosses =
+                self.mapping.placement.boundary_crosses_nc(l) && (l == 0 || part.max_degree > 1);
+
+            let tiles = part.tile_count();
+            let mut per_tile_candidates = vec![0u64; tiles];
+            let mut per_tile_delivered = vec![0u64; tiles];
+            let mut per_tile_reads = vec![0u64; tiles];
+            let mut per_tile_active_rows = vec![0u64; tiles];
+            let mut reads_performed = 0u64;
+            let mut reads_skipped = 0u64;
+            let mut bus_packets_total = 0u64;
+            let mut out_packets_delivered = 0u64;
+
+            for (t, in_spikes) in in_raster.iter().enumerate() {
+                let mut deliveries_step = 0u64;
+                let mut reads_step = 0u64;
+                for (ti, rows) in part.tile_rows.iter().enumerate() {
+                    let mut active = 0u64;
+                    for window in rows.chunks(pkt) {
+                        let window_active = window
+                            .iter()
+                            .filter(|&&gi| in_spikes.get(gi as usize))
+                            .count() as u64;
+                        active += window_active;
+                        per_tile_candidates[ti] += 1;
+                        if window_active > 0 || !cfg.event_driven {
+                            per_tile_delivered[ti] += 1;
+                            deliveries_step += 1;
+                        }
+                    }
+                    if active > 0 || !cfg.event_driven {
+                        per_tile_reads[ti] += 1;
+                        per_tile_active_rows[ti] += active;
+                        reads_step += 1;
+                    } else {
+                        reads_skipped += 1;
+                    }
+                }
+                reads_performed += reads_step;
+                comm_cycles[t] =
+                    comm_cycles[t].max((deliveries_step as f64 / switch_capacity).ceil() as u64);
+
+                // --- Bus + input SRAM (inter-NC boundary) ---------------
+                if crosses {
+                    let windows = (part.inputs as usize).div_ceil(pkt) as u64;
+                    let moved = if cfg.event_driven {
+                        (0..windows as usize)
+                            .filter(|&w| !in_spikes.window_is_zero(w * pkt, pkt))
+                            .count() as u64
+                    } else {
+                        windows
+                    };
+                    let trips = if l == 0 { 1u64 } else { 2 };
+                    energy.charge(
+                        Category::Communication,
+                        cat.bus_transfer(cfg.packet_bits) * (moved * trips) as f64,
+                    );
+                    energy.charge(
+                        Category::MemoryAccess,
+                        sram.read_energy() * moved as f64
+                            + if l == 0 {
+                                Energy::ZERO
+                            } else {
+                                sram.write_energy() * moved as f64
+                            },
+                    );
+                    if cfg.event_driven {
+                        energy.charge(
+                            Category::Communication,
+                            cat.zero_check(cfg.packet_bits) * windows as f64,
+                        );
+                    }
+                    bus_packets_total += moved;
+                    bus_cycles[t] += moved * trips;
+                }
+
+                // --- tBUFF target lookups for emitted spike packets -----
+                out_packets_delivered += delivered_windows(out_raster.step(t), pkt);
+            }
+
+            // --- Spike distribution (switch network + buffers) ----------
+            let candidates: u64 = per_tile_candidates.iter().sum();
+            let delivered: u64 = per_tile_delivered.iter().sum();
+            energy.charge(
+                Category::Communication,
+                cat.switch_hop(cfg.packet_bits) * (delivered as f64 * AVG_SWITCH_HOPS),
+            );
+            if cfg.event_driven {
+                energy.charge(
+                    Category::Communication,
+                    cat.zero_check(cfg.packet_bits) * candidates as f64,
+                );
+            }
+            // oBUFF read at the producer, iBUFF write + read at the
+            // consuming mPE — occupancy follows delivered packets only.
+            energy.charge(
+                Category::Buffer,
+                cat.buffer_access(cfg.packet_bits) * (3.0 * delivered as f64),
+            );
+
+            // --- Crossbar reads + neuron integration --------------------
+            let mut crossbar_e = Energy::ZERO;
+            let mut integrations = 0u64;
+            for (ti, tile) in part.tiles.iter().enumerate() {
+                crossbar_e += tile_costs[ti].fixed * per_tile_reads[ti] as f64
+                    + tile_costs[ti].per_active_row * per_tile_active_rows[ti] as f64;
+                integrations += tile.cols as u64 * per_tile_reads[ti];
+            }
+            energy.charge(Category::Crossbar, crossbar_e);
+
+            let spikes_out = out_raster.total_spikes();
+            energy.charge(
+                Category::Neuron,
+                cat.neuron_integrate * integrations as f64 + cat.neuron_spike * spikes_out as f64,
+            );
+            energy.charge(
+                Category::Buffer,
+                cat.buffer_access(TARGET_ADDRESS_BITS) * out_packets_delivered as f64,
+            );
+
+            // --- CCU analog transfers -----------------------------------
+            if tiles > 0 {
+                let mean_reads = reads_performed as f64 / tiles as f64;
+                energy.charge(
+                    Category::Communication,
+                    cat.switch_hop(CCU_TRANSFER_BITS)
+                        * (span.ccu_transfers_per_step as f64 * mean_reads),
+                );
+            }
+
+            // --- Control ------------------------------------------------
+            let local_phases = cost::local_phases(part, cfg);
+            energy.charge(
+                Category::Control,
+                cat.control_cycle * (span.mpe_count() as f64 * local_phases as f64 * steps as f64)
+                    + cat.control_cycle * delivered as f64,
+            );
+
+            // --- Latency ------------------------------------------------
+            let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
+            compute_cycles = compute_cycles.max(layer_compute);
+
+            layer_stats.push(EventLayerStats {
+                layer: l,
+                tiles,
+                candidate_packets: candidates,
+                packets_delivered: delivered,
+                per_tile_candidates,
+                per_tile_delivered,
+                reads_performed,
+                reads_skipped,
+                active_row_events: per_tile_active_rows.iter().sum(),
+                bus_packets: bus_packets_total,
+                spikes_out,
+            });
+        }
+
+        // Fabric time-multiplexing fold, identical to the stationary
+        // model: mapped NeuroCells beyond the physical pool serialise
+        // every timestep.
+        let fold = self
+            .mapping
+            .placement
+            .ncs_used
+            .div_ceil(cfg.physical_ncs)
+            .max(1) as u64;
+        let total_cycles: u64 = (0..steps)
+            .map(|t| ((compute_cycles + comm_cycles[t]) * fold + bus_cycles[t]).max(1))
+            .sum();
+        let latency = cfg.frequency.cycles_to_time(total_cycles);
+
+        // Leakage accrues on the physical chip over the trace's window.
+        let physical_mpes =
+            (cfg.physical_ncs * cfg.mpes_per_nc()).min(self.mapping.placement.mpes_used.max(1));
+        let physical_switch_ncs = cfg.physical_ncs.min(self.mapping.placement.ncs_used.max(1));
+        let logic_leak = cat.mpe_leakage * physical_mpes as f64
+            + cat.switch_leakage * (physical_switch_ncs * cfg.switches_per_nc()) as f64;
+        energy.charge(Category::LogicLeakage, logic_leak * latency);
+        energy.charge(Category::MemoryLeakage, sram.leakage() * latency);
+
+        EventReport {
+            energy,
+            steps,
+            total_cycles,
+            latency,
+            throughput: if latency.seconds() > 0.0 {
+                1.0 / latency.seconds()
+            } else {
+                0.0
+            },
+            layers: layer_stats,
+        }
+    }
+}
+
+/// Number of non-zero `width`-bit windows in one spike vector — the spike
+/// packets a boundary actually emits this timestep.
+fn delivered_windows(spikes: &SpikeVector, width: usize) -> u64 {
+    let windows = spikes.len().div_ceil(width);
+    (0..windows)
+        .filter(|&w| !spikes.window_is_zero(w * width, width))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+    use crate::map::Mapper;
+    use resparc_neuro::encoding::RegularEncoder;
+    use resparc_neuro::network::Network;
+    use resparc_neuro::topology::Topology;
+
+    fn traced_net(rate: f32, steps: usize) -> (Network, SpikeTrace) {
+        let t = Topology::mlp(128, &[96, 10]);
+        let net = Network::random(t, 11, 1.0);
+        let enc = RegularEncoder::new(1.0);
+        let stimulus: Vec<f32> = (0..128).map(|i| rate * ((i % 5) as f32 / 4.0)).collect();
+        let raster = enc.encode(&stimulus, steps);
+        let (_, trace) = net.spiking().run_traced(&raster);
+        (net, trace)
+    }
+
+    fn traced_mlp(rate: f32, steps: usize) -> (Mapping, SpikeTrace) {
+        let (net, trace) = traced_net(rate, steps);
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        (mapping, trace)
+    }
+
+    use crate::map::Mapping;
+
+    #[test]
+    fn report_has_positive_energy_and_latency() {
+        let (mapping, trace) = traced_mlp(0.6, 20);
+        let r = EventSimulator::new(&mapping).run(&trace);
+        assert!(r.total_energy() > Energy::ZERO);
+        assert!(r.latency.nanoseconds() > 0.0);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.steps, 20);
+        assert_eq!(r.layers.len(), 2);
+    }
+
+    #[test]
+    fn silent_trace_charges_no_crossbar_or_neuron_energy() {
+        let (mapping, _) = traced_mlp(0.6, 4);
+        let silent = SpikeTrace::silent(&[128, 96, 10], 4);
+        let r = EventSimulator::new(&mapping).run(&silent);
+        assert_eq!(r.energy.get(Category::Crossbar), Energy::ZERO);
+        assert_eq!(r.energy.get(Category::Neuron), Energy::ZERO);
+        // Zero-checks still run, so communication is non-zero.
+        assert!(r.energy.get(Category::Communication) > Energy::ZERO);
+        for ls in &r.layers {
+            assert_eq!(ls.packets_delivered, 0);
+            assert_eq!(ls.reads_performed, 0);
+            assert_eq!(ls.reads_skipped as usize, ls.tiles * 4);
+        }
+    }
+
+    #[test]
+    fn packet_conservation_across_tiles() {
+        let (mapping, trace) = traced_mlp(0.6, 12);
+        let r = EventSimulator::new(&mapping).run(&trace);
+        let pkt = mapping.config.packet_bits as usize;
+        for (ls, part) in r.layers.iter().zip(&mapping.partitions) {
+            let expected: u64 = part
+                .tile_rows
+                .iter()
+                .map(|rows| rows.len().div_ceil(pkt) as u64)
+                .sum::<u64>()
+                * trace.steps() as u64;
+            assert_eq!(ls.per_tile_candidates.len(), part.tile_count());
+            assert_eq!(ls.per_tile_candidates.iter().sum::<u64>(), expected);
+            assert_eq!(ls.candidate_packets, expected);
+            assert!(ls.packets_delivered <= ls.candidate_packets);
+            for (d, c) in ls.per_tile_delivered.iter().zip(&ls.per_tile_candidates) {
+                assert!(d <= c);
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_never_costs_more_than_undriven_replay() {
+        let (net, trace) = traced_net(0.3, 16);
+        let with = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let without = Mapper::new(ResparcConfig::resparc_64().with_event_driven(false))
+            .map_network(&net)
+            .unwrap();
+        let with = EventSimulator::new(&with).run(&trace);
+        let without = EventSimulator::new(&without).run(&trace);
+        assert!(
+            with.total_energy().picojoules() <= without.total_energy().picojoules() * 1.001,
+            "with {} vs without {}",
+            with.total_energy(),
+            without.total_energy()
+        );
+    }
+
+    #[test]
+    fn busier_trace_costs_more() {
+        let (mapping, quiet) = traced_mlp(0.15, 16);
+        let (_, busy) = traced_mlp(0.9, 16);
+        let sim = EventSimulator::new(&mapping);
+        assert!(sim.run(&busy).total_energy() > sim.run(&quiet).total_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries")]
+    fn wrong_trace_shape_panics() {
+        let (mapping, _) = traced_mlp(0.5, 2);
+        let bad = SpikeTrace::silent(&[128, 10], 2);
+        let _ = EventSimulator::new(&mapping).run(&bad);
+    }
+}

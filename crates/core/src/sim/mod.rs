@@ -24,6 +24,17 @@
 //!   to the CCU gated wires,
 //! * **latency** — compute phases (multiplexing degree), switch
 //!   serialisation and serial bus transactions per timestep at 200 MHz.
+//!
+//! This stationary model is the fast analytic path. Its per-packet
+//! counterpart — replaying a measured [`SpikeTrace`] through the same
+//! mapping and charging the same ledger per *actual* packet — lives in
+//! [`event`]; the per-tile cost arithmetic both paths share lives in
+//! [`cost`].
+//!
+//! [`SpikeTrace`]: resparc_neuro::trace::SpikeTrace
+
+pub mod cost;
+pub mod event;
 
 use resparc_device::energy_model::McaEnergyModel;
 use resparc_energy::accounting::{Category, EnergyBreakdown};
@@ -33,15 +44,7 @@ use resparc_neuro::stats::ActivityProfile;
 
 use crate::map::Mapping;
 
-/// Average switch hops for an intra-NeuroCell packet delivery. The
-/// dedicated row/column switch links make most transfers one-hop (paper
-/// §3.1.2); boundary cases add a second hop.
-const AVG_SWITCH_HOPS: f64 = 1.5;
-/// Address width of a tBUFF target entry (SW_ID + mPE_ID + MCA_ID,
-/// Fig. 6).
-const TARGET_ADDRESS_BITS: u32 = 24;
-/// Analog CCU transfer: gated-wire hand-off of one partial current.
-const CCU_TRANSFER_BITS: u32 = 8;
+use cost::{AVG_SWITCH_HOPS, CCU_TRANSFER_BITS, TARGET_ADDRESS_BITS};
 
 /// Per-classification execution report for a RESPARC run.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,21 +227,14 @@ impl<'m> Simulator<'m> {
             let mut active_rows_sum = 0.0f64;
             let mut crossbar_e = Energy::ZERO;
             for t in &part.tiles {
-                let util = t.synapses as f64 / (n * n) as f64;
-                // Device conduction is data-dependent (only spiking rows
-                // conduct); drivers and sensing are clocked for the whole
-                // array on every read — the fixed cost under-utilized
-                // tiles cannot amortise (the Fig. 12c penalty at 128).
-                let base = mca.read_energy(0, util, mag);
-                let per_row_device = (mca.read_energy(1, util, mag) - base) - mca.row_driver_energy;
-                let fixed = base + mca.row_driver_energy * n as f64;
+                let tile_cost = cost::tile_read_cost(&mca, t, n, mag);
                 let p_read = if cfg.event_driven {
                     1.0 - zero_prob(t.rows)
                 } else {
                     1.0
                 };
                 let exp_active = t.rows as f64 * rate_in;
-                crossbar_e += per_row_device * exp_active + fixed * p_read;
+                crossbar_e += tile_cost.per_active_row * exp_active + tile_cost.fixed * p_read;
                 reads += p_read;
                 active_rows_sum += exp_active;
             }
@@ -279,7 +275,7 @@ impl<'m> Simulator<'m> {
             );
 
             // --- Control -------------------------------------------------
-            let local_phases = (part.max_degree as usize).min(cfg.mcas_per_mpe).max(1);
+            let local_phases = cost::local_phases(part, cfg);
             per_step.charge(
                 Category::Control,
                 cat.control_cycle * (span.mpe_count() as f64 * local_phases as f64)

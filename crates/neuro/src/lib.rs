@@ -62,6 +62,7 @@ pub mod quantize;
 pub mod spike;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod train;
 
 pub use connectivity::ConnectivityMatrix;
@@ -74,6 +75,7 @@ pub use quantize::{quantize_network, Precision};
 pub use spike::{SpikeRaster, SpikeVector};
 pub use stats::{ActivityProfile, BoundaryStats};
 pub use topology::{ChannelTable, LayerSpec, Padding, Shape, Topology, TopologyError};
+pub use trace::SpikeTrace;
 pub use train::{train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainConfig};
 
 /// Convenient glob import for downstream crates.
@@ -88,5 +90,6 @@ pub mod prelude {
     pub use crate::spike::{SpikeRaster, SpikeVector};
     pub use crate::stats::{ActivityProfile, BoundaryStats};
     pub use crate::topology::{ChannelTable, LayerSpec, Padding, Shape, Topology, TopologyError};
+    pub use crate::trace::SpikeTrace;
     pub use crate::train::{train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainConfig};
 }

@@ -52,6 +52,7 @@ use crate::kernel::CompiledNetwork;
 use crate::neuron::{Membrane, NeuronConfig};
 use crate::spike::{SpikeRaster, SpikeVector};
 use crate::topology::{LayerSpec, Topology};
+use crate::trace::SpikeTrace;
 
 /// One weighted layer: spec + unique weights + firing threshold.
 #[derive(Debug, Clone, PartialEq)]
@@ -303,6 +304,24 @@ impl Network {
             })
             .collect()
     }
+
+    /// Batched variant of [`SnnRunner::run_traced`]: one classification
+    /// *and* one full [`SpikeTrace`] per raster, in parallel across the
+    /// batch on the shared compiled kernels. Results are identical to
+    /// running each raster on a fresh runner.
+    pub fn spiking_batch_traced(
+        &self,
+        rasters: &[SpikeRaster],
+    ) -> Vec<(Classification, SpikeTrace)> {
+        let kernels = self.kernels_ref();
+        rasters
+            .par_iter()
+            .map(|raster| {
+                let mut runner = SnnRunner::from_compiled(Arc::clone(kernels));
+                runner.run_traced(raster)
+            })
+            .collect()
+    }
 }
 
 /// Index of the maximum activation (shared by every classification path
@@ -450,6 +469,19 @@ impl SnnRunner {
             }
         }
         (self.outcome(), rasters)
+    }
+
+    /// Runs a raster while capturing the full [`SpikeTrace`] — the input
+    /// raster plus every layer's output raster on a shared timestep axis,
+    /// the workload record the trace-driven architectural simulator
+    /// replays. Recording costs one bit-packed clone of each layer's
+    /// spike vector per step on top of [`Self::run`].
+    pub fn run_traced(&mut self, input: &SpikeRaster) -> (Classification, SpikeTrace) {
+        let (outcome, layer_rasters) = self.run_recording(input);
+        let mut boundaries = Vec::with_capacity(layer_rasters.len() + 1);
+        boundaries.push(input.clone());
+        boundaries.extend(layer_rasters);
+        (outcome, SpikeTrace::new(boundaries))
     }
 
     /// The outcome accumulated so far.
@@ -836,6 +868,28 @@ mod tests {
         assert_eq!(rasters[0].len(), 5);
         assert_eq!(rasters[0].neurons(), 2);
         assert!(rasters[1].total_spikes() > 0);
+    }
+
+    #[test]
+    fn run_traced_captures_all_boundaries() {
+        let net = tiny_net();
+        let enc = RegularEncoder::new(1.0);
+        let raster = enc.encode(&[1.0, 0.0], 6);
+        let mut runner = net.spiking();
+        let (outcome, trace) = runner.run_traced(&raster);
+        assert_eq!(trace.boundary_count(), 3);
+        assert_eq!(trace.steps(), 6);
+        assert_eq!(trace.input(), &raster);
+        // The recorded output boundary matches the outcome's counts.
+        let out_counts = trace.layer_output(1).spike_counts();
+        assert_eq!(out_counts, outcome.output_counts);
+
+        // Batched traced run matches the serial one.
+        let rasters = vec![raster.clone(), enc.encode(&[0.5, 1.0], 6)];
+        let batched = net.spiking_batch_traced(&rasters);
+        let mut serial = net.spiking();
+        assert_eq!(batched[0], (outcome, trace));
+        assert_eq!(batched[1], serial.run_traced(&rasters[1]));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Per-timestep, per-boundary spike traces captured from the functional
+//! SNN — the workload record the trace-driven architectural simulator
+//! replays.
+//!
+//! The stationary architecture simulator consumes an
+//! [`ActivityProfile`](crate::stats::ActivityProfile): *expected* rates and
+//! zero-packet probabilities, stationary across timesteps. A
+//! [`SpikeTrace`] is the exact record instead — one [`SpikeRaster`] per
+//! boundary (the network input plus every layer output), aligned on the
+//! same timestep axis. Replaying it exercises the fabric per *actual*
+//! packet: silent steps cost nothing, bursts pay their true price, and
+//! spatially-clustered zeros are dropped at the zero-check exactly as the
+//! hardware would drop them (paper §3.2).
+//!
+//! Traces are captured by [`SnnRunner::run_traced`] /
+//! [`Network::spiking_batch_traced`](crate::network::Network::spiking_batch_traced)
+//! over the compiled input-major planes — recording costs one bit-packed
+//! clone of each layer's spike vector per step.
+//!
+//! [`SnnRunner::run_traced`]: crate::network::SnnRunner::run_traced
+
+use crate::spike::{SpikeRaster, SpikeVector};
+use crate::stats::ActivityProfile;
+
+/// A complete spike record of one stimulus presentation: the input raster
+/// plus every layer's output raster, all over the same timesteps.
+///
+/// "Boundary" indexing matches [`ActivityProfile`]: boundary `0` is the
+/// network input, boundary `l` (1-based) is the output of layer `l-1`. A
+/// trace over an `L`-layer network has `L + 1` boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeTrace {
+    boundaries: Vec<SpikeRaster>,
+}
+
+impl SpikeTrace {
+    /// Assembles a trace from per-boundary rasters (input first, then one
+    /// per layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries` is empty or the rasters disagree on the
+    /// number of timesteps.
+    pub fn new(boundaries: Vec<SpikeRaster>) -> Self {
+        assert!(
+            !boundaries.is_empty(),
+            "trace needs at least the input boundary"
+        );
+        let steps = boundaries[0].len();
+        assert!(
+            boundaries.iter().all(|r| r.len() == steps),
+            "all boundaries must cover the same timesteps"
+        );
+        Self { boundaries }
+    }
+
+    /// Builds an all-silent trace over the given boundary sizes and
+    /// timestep count (useful for base-cost probes: the event simulator
+    /// must charge zero Crossbar/Neuron energy on it).
+    pub fn silent(neuron_counts: &[usize], steps: usize) -> Self {
+        let boundaries = neuron_counts
+            .iter()
+            .map(|&n| {
+                let mut r = SpikeRaster::new(n);
+                for _ in 0..steps {
+                    r.push(SpikeVector::new(n));
+                }
+                r
+            })
+            .collect();
+        Self::new(boundaries)
+    }
+
+    /// Number of boundaries (`layers + 1`).
+    pub fn boundary_count(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Number of recorded timesteps.
+    pub fn steps(&self) -> usize {
+        self.boundaries[0].len()
+    }
+
+    /// The raster at boundary `b` (0 = network input).
+    pub fn boundary(&self, b: usize) -> &SpikeRaster {
+        &self.boundaries[b]
+    }
+
+    /// The input raster (boundary 0).
+    pub fn input(&self) -> &SpikeRaster {
+        &self.boundaries[0]
+    }
+
+    /// The output raster of layer `l` (boundary `l + 1`).
+    pub fn layer_output(&self, l: usize) -> &SpikeRaster {
+        &self.boundaries[l + 1]
+    }
+
+    /// Total spikes across every boundary and timestep.
+    pub fn total_spikes(&self) -> u64 {
+        self.boundaries.iter().map(|r| r.total_spikes()).sum()
+    }
+
+    /// Returns `true` if no boundary carries any spike.
+    pub fn is_silent(&self) -> bool {
+        self.total_spikes() == 0
+    }
+
+    /// Summarises the trace into the stationary simulator's input: mean
+    /// rates plus zero-packet fractions measured at the given widths.
+    /// This is the bridge for agreement checks — a stationary run on
+    /// `self.to_profile(..)` should approximate the event-driven replay
+    /// of `self` whenever activity really is stationary.
+    pub fn to_profile(&self, widths: &[u32]) -> ActivityProfile {
+        ActivityProfile::measure(&self.boundaries[0], &self.boundaries[1..], widths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raster_with_spike(neurons: usize, steps: usize, at: Option<(usize, usize)>) -> SpikeRaster {
+        let mut r = SpikeRaster::new(neurons);
+        for t in 0..steps {
+            let mut v = SpikeVector::new(neurons);
+            if let Some((ts, i)) = at {
+                if ts == t {
+                    v.set(i, true);
+                }
+            }
+            r.push(v);
+        }
+        r
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let t = SpikeTrace::new(vec![
+            raster_with_spike(8, 3, Some((1, 2))),
+            raster_with_spike(4, 3, None),
+        ]);
+        assert_eq!(t.boundary_count(), 2);
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.input().neurons(), 8);
+        assert_eq!(t.layer_output(0).neurons(), 4);
+        assert_eq!(t.total_spikes(), 1);
+        assert!(!t.is_silent());
+    }
+
+    #[test]
+    fn silent_trace_is_silent() {
+        let t = SpikeTrace::silent(&[16, 8, 2], 5);
+        assert!(t.is_silent());
+        assert_eq!(t.boundary_count(), 3);
+        assert_eq!(t.steps(), 5);
+    }
+
+    #[test]
+    fn to_profile_measures_rates() {
+        let t = SpikeTrace::new(vec![
+            raster_with_spike(8, 4, Some((0, 0))),
+            raster_with_spike(4, 4, Some((2, 3))),
+        ]);
+        let p = t.to_profile(&[8]);
+        assert_eq!(p.boundary_count(), 2);
+        assert!((p.rate(0) - 1.0 / 32.0).abs() < 1e-12);
+        assert!((p.rate(1) - 1.0 / 16.0).abs() < 1e-12);
+        // 4 windows at width 8 on the input, 1 non-zero.
+        assert!((p.zero_packet_prob(0, 8) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same timesteps")]
+    fn mismatched_steps_panic() {
+        let _ = SpikeTrace::new(vec![
+            raster_with_spike(8, 3, None),
+            raster_with_spike(4, 2, None),
+        ]);
+    }
+}

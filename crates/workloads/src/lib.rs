@@ -9,7 +9,9 @@
 //!   neuron/layer counts matching the paper exactly, plus measured-input
 //!   activity profiles for the architectural simulators,
 //! * [`sweep`] — batched accuracy sweeps running whole test sets on a
-//!   network's compiled kernels, parallel across stimuli.
+//!   network's compiled kernels, parallel across stimuli, plus the
+//!   trace-driven energy sweep that meters the mapped fabric on each
+//!   stimulus's actual spike trace.
 //!
 //! # Examples
 //!
@@ -34,7 +36,10 @@ pub use benchmarks::{
     svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
 };
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
-pub use sweep::{analog_accuracy_sweep, spiking_accuracy_sweep, SweepConfig, SweepReport};
+pub use sweep::{
+    analog_accuracy_sweep, spiking_accuracy_sweep, trace_energy_sweep, SweepConfig, SweepReport,
+    TraceEnergyReport,
+};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -44,6 +49,7 @@ pub mod prelude {
     };
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::sweep::{
-        analog_accuracy_sweep, spiking_accuracy_sweep, SweepConfig, SweepReport,
+        analog_accuracy_sweep, spiking_accuracy_sweep, trace_energy_sweep, SweepConfig,
+        SweepReport, TraceEnergyReport,
     };
 }

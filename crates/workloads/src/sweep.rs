@@ -1,4 +1,4 @@
-//! Batched accuracy sweeps over labelled stimulus sets.
+//! Batched accuracy and energy sweeps over labelled stimulus sets.
 //!
 //! The paper's evaluation (Figs. 11–14) repeatedly classifies whole test
 //! sets on the functional SNN — the hot loop of every accuracy/activity
@@ -8,10 +8,22 @@
 //! parallel across the batch. Per-sample results are identical to the
 //! serial encode-then-run loop (same per-sample encoder seeds, same
 //! runner semantics).
+//!
+//! [`trace_energy_sweep`] additionally captures each stimulus's
+//! [`SpikeTrace`](resparc_neuro::trace::SpikeTrace) and replays it through
+//! the mapped fabric's trace-driven
+//! [`EventSimulator`](resparc_core::sim::event::EventSimulator), so one
+//! batched, rayon-parallel pass yields *accuracy and per-inference
+//! energy* from the very same spike trains.
 
 use rayon::prelude::*;
+use resparc_core::map::Mapping;
+use resparc_core::sim::event::{EventReport, EventSimulator};
+use resparc_energy::accounting::EnergyBreakdown;
+use resparc_energy::units::{Energy, Time};
 use resparc_neuro::encoding::PoissonEncoder;
 use resparc_neuro::network::{Network, SnnRunner};
+use resparc_neuro::spike::SpikeRaster;
 
 /// Configuration of a spiking accuracy sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +44,15 @@ impl SweepConfig {
             peak_rate: 0.8,
             seed: 7,
         }
+    }
+
+    /// Rate-encodes sample `i` of a sweep: Poisson encoding at
+    /// `peak_rate` for `steps` timesteps, seeded `seed ^ i`. Every sweep
+    /// flavour encodes through this one method, so the per-sample seeding
+    /// contract cannot diverge between them.
+    pub fn encode_sample(&self, i: usize, stimulus: &[f32]) -> SpikeRaster {
+        let mut enc = PoissonEncoder::new(self.peak_rate, self.seed ^ i as u64);
+        enc.encode(stimulus, self.steps)
     }
 }
 
@@ -75,8 +96,7 @@ pub fn spiking_accuracy_sweep(
         .par_iter()
         .enumerate()
         .map(|(i, (x, _))| {
-            let mut enc = PoissonEncoder::new(cfg.peak_rate, cfg.seed ^ i as u64);
-            let raster = enc.encode(x, cfg.steps);
+            let raster = cfg.encode_sample(i, x);
             let mut runner = SnnRunner::from_compiled(kernels.clone());
             runner.run(&raster).predicted
         })
@@ -98,6 +118,94 @@ pub fn analog_accuracy_sweep(net: &Network, samples: &[(Vec<f32>, usize)]) -> Sw
         .map(|(x, _)| kernels.classify(x))
         .collect();
     score(predictions, samples)
+}
+
+/// Outcome of one trace-driven energy sweep: accuracy plus per-inference
+/// energy/latency measured by replaying each stimulus's actual spike
+/// trace through the mapped fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEnergyReport {
+    /// Predicted class per sample, in input order.
+    pub predictions: Vec<usize>,
+    /// Number of correct classifications.
+    pub correct: usize,
+    /// Number of samples evaluated.
+    pub total: usize,
+    /// Per-sample total energy, in input order.
+    pub per_sample_energy: Vec<Energy>,
+    /// Mean per-inference energy ledger across the set.
+    pub mean_energy: EnergyBreakdown,
+    /// Mean per-inference latency across the set.
+    pub mean_latency: Time,
+}
+
+impl TraceEnergyReport {
+    /// Fraction of samples classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Mean per-inference total energy.
+    pub fn mean_total_energy(&self) -> Energy {
+        self.mean_energy.total()
+    }
+}
+
+/// Classifies every `(stimulus, label)` pair with the spiking simulator
+/// *and* meters the mapped fabric on each stimulus's actual spike trace:
+/// sample `i` is Poisson-encoded with seed `cfg.seed ^ i`, run for
+/// `cfg.steps` timesteps on the network's shared compiled kernels with
+/// trace recording on, and its trace is replayed through `mapping`'s
+/// [`EventSimulator`]. Parallel across samples; predictions are identical
+/// to [`spiking_accuracy_sweep`] at the same configuration.
+///
+/// # Panics
+///
+/// Panics if a stimulus length differs from `net.input_count()` or the
+/// mapping's layer shapes disagree with the network's.
+pub fn trace_energy_sweep(
+    net: &Network,
+    mapping: &Mapping,
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+) -> TraceEnergyReport {
+    let kernels = net.compiled();
+    let per_sample: Vec<(usize, EventReport)> = samples
+        .par_iter()
+        .enumerate()
+        .map(|(i, (x, _))| {
+            let raster = cfg.encode_sample(i, x);
+            let mut runner = SnnRunner::from_compiled(kernels.clone());
+            let (outcome, trace) = runner.run_traced(&raster);
+            let report = EventSimulator::new(mapping).run(&trace);
+            (outcome.predicted, report)
+        })
+        .collect();
+
+    let mut mean_energy = EnergyBreakdown::new();
+    let mut latency_ns = 0.0f64;
+    let mut per_sample_energy = Vec::with_capacity(per_sample.len());
+    let mut predictions = Vec::with_capacity(per_sample.len());
+    for (predicted, report) in &per_sample {
+        mean_energy.merge(&report.energy);
+        latency_ns += report.latency.nanoseconds();
+        per_sample_energy.push(report.total_energy());
+        predictions.push(*predicted);
+    }
+    let n = per_sample.len().max(1) as f64;
+    let scored = score(predictions, samples);
+    TraceEnergyReport {
+        predictions: scored.predictions,
+        correct: scored.correct,
+        total: scored.total,
+        per_sample_energy,
+        mean_energy: mean_energy.scaled(1.0 / n),
+        mean_latency: Time::from_nanos(latency_ns / n),
+    }
 }
 
 /// Tallies predictions against labels into a report (shared by both sweep
@@ -165,6 +273,46 @@ mod tests {
         }
         // The trained net should beat chance comfortably in analog mode.
         assert!(report.accuracy() > 0.3, "accuracy {}", report.accuracy());
+    }
+
+    #[test]
+    fn trace_energy_sweep_meters_every_sample() {
+        use resparc_core::map::Mapper;
+        use resparc_core::ResparcConfig;
+
+        let (net, test) = trained_toy_net();
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let cfg = SweepConfig {
+            steps: 20,
+            peak_rate: 0.8,
+            seed: 7,
+        };
+        let subset = &test[..8];
+        let report = trace_energy_sweep(&net, &mapping, subset, &cfg);
+        assert_eq!(report.total, 8);
+        assert_eq!(report.per_sample_energy.len(), 8);
+        assert!(report
+            .per_sample_energy
+            .iter()
+            .all(|e| e.picojoules() > 0.0));
+        assert!(report.mean_total_energy().picojoules() > 0.0);
+        assert!(report.mean_latency.nanoseconds() > 0.0);
+
+        // Predictions match the accuracy sweep at the same configuration.
+        let acc = spiking_accuracy_sweep(&net, subset, &cfg);
+        assert_eq!(report.predictions, acc.predictions);
+        assert_eq!(report.correct, acc.correct);
+
+        // The mean ledger is the category-wise mean of the samples.
+        let mean_total: f64 = report
+            .per_sample_energy
+            .iter()
+            .map(|e| e.picojoules())
+            .sum::<f64>()
+            / 8.0;
+        assert!((report.mean_total_energy().picojoules() / mean_total - 1.0).abs() < 1e-9);
     }
 
     #[test]

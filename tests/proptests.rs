@@ -151,6 +151,92 @@ proptest! {
         prop_assert_eq!(compiled.outcome(), oracle.outcome());
     }
 
+    /// Replaying an all-silent trace charges zero Crossbar and Neuron
+    /// energy, whatever the topology or MCA size — nothing spikes, so no
+    /// read fires and no membrane integrates (the event-driven contract
+    /// of paper §3.2 taken to its limit).
+    #[test]
+    fn silent_trace_charges_no_crossbar_or_neuron(
+        sizes in proptest::collection::vec(1usize..40, 1..4),
+        inputs in 8usize..200,
+        steps in 1usize..6,
+        mca in prop_oneof![Just(16usize), Just(32), Just(64)],
+    ) {
+        use resparc_suite::resparc_core::sim::event::EventSimulator;
+        use resparc_suite::resparc_neuro::trace::SpikeTrace;
+
+        let topology = Topology::mlp(inputs, &sizes);
+        let mapping = Mapper::new(ResparcConfig::with_mca_size(mca))
+            .map(&topology)
+            .unwrap();
+        let mut counts = vec![inputs];
+        counts.extend(sizes.iter().copied());
+        let trace = SpikeTrace::silent(&counts, steps);
+        let report = EventSimulator::new(&mapping).run(&trace);
+        prop_assert!(report.energy.get(Category::Crossbar).is_zero());
+        prop_assert!(report.energy.get(Category::Neuron).is_zero());
+        prop_assert!(report.layers.iter().all(|l| l.packets_delivered == 0));
+        prop_assert!(report.layers.iter().all(|l| l.reads_performed == 0));
+    }
+
+    /// Packet conservation: every packet window the event simulator
+    /// zero-checks belongs to exactly one tile of the mapping, so the
+    /// per-tile tallies partition the layer totals — and the candidate
+    /// count is exactly `steps × Σ_tiles ceil(rows / packet_bits)`
+    /// (mirroring the partitioner's every-synapse-in-exactly-one-tile
+    /// invariant at packet granularity).
+    #[test]
+    fn event_packets_map_to_exactly_one_tile(
+        inputs in 8usize..180,
+        hidden in 1usize..100,
+        steps in 1usize..5,
+        seed in 0u64..1_000,
+        rate in 0.0f64..1.0,
+        mca in prop_oneof![Just(16usize), Just(32), Just(64)],
+    ) {
+        use resparc_suite::resparc_core::sim::event::EventSimulator;
+
+        let topology = Topology::mlp(inputs, &[hidden]);
+        let net = Network::random(topology, seed, 1.0);
+        let stimulus: Vec<f32> = (0..inputs)
+            .map(|i| (((i as u64 * 31 + seed) % 10) as f32 / 10.0) * rate as f32)
+            .collect();
+        let mut enc = PoissonEncoder::new(0.9, seed);
+        let raster = enc.encode(&stimulus, steps);
+        let (_, trace) = net.spiking().run_traced(&raster);
+        let mapping = Mapper::new(ResparcConfig::with_mca_size(mca))
+            .map_network(&net)
+            .unwrap();
+        let report = EventSimulator::new(&mapping).run(&trace);
+        let pkt = mapping.config.packet_bits as usize;
+        for (ls, part) in report.layers.iter().zip(&mapping.partitions) {
+            // One tally slot per tile, no more, no fewer.
+            prop_assert_eq!(ls.per_tile_candidates.len(), part.tile_count());
+            prop_assert_eq!(ls.per_tile_delivered.len(), part.tile_count());
+            // Each tile's candidates are its own packet windows: rows are
+            // recorded per tile, so every window is attributable to
+            // exactly one tile.
+            for ((cand, rows), deliv) in ls
+                .per_tile_candidates
+                .iter()
+                .zip(&part.tile_rows)
+                .zip(&ls.per_tile_delivered)
+            {
+                prop_assert_eq!(*cand, (rows.len().div_ceil(pkt) * steps) as u64);
+                prop_assert!(deliv <= cand);
+            }
+            // The per-tile tallies partition the layer totals.
+            prop_assert_eq!(
+                ls.per_tile_candidates.iter().sum::<u64>(),
+                ls.candidate_packets
+            );
+            prop_assert_eq!(
+                ls.per_tile_delivered.iter().sum::<u64>(),
+                ls.packets_delivered
+            );
+        }
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

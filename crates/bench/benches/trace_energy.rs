@@ -81,11 +81,7 @@ fn bench_trace_energy_sweep(c: &mut Criterion) {
             (x, s % 10)
         })
         .collect();
-    let cfg = SweepConfig {
-        steps: STEPS,
-        peak_rate: 0.4,
-        seed: 11,
-    };
+    let cfg = SweepConfig::rate(STEPS, 0.4, 11);
     let mut group = c.benchmark_group("energy_sweep");
     group.sample_size(10);
     group.bench_function("mnist_mlp_8x20", |b| {
@@ -101,9 +97,49 @@ fn bench_trace_energy_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The encoding comparison sweep: the same 4 labelled stimuli encoded,
+/// traced and replayed under rate, TTFS and burst coding — one id per
+/// scheme, so the per-code event-replay cost (TTFS traces are far
+/// sparser than rate traces) is tracked individually.
+fn bench_encoding_sweep(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .unwrap();
+    let samples: Vec<(Vec<f32>, usize)> = (0..4)
+        .map(|s| {
+            let x: Vec<f32> = (0..784).map(|i| ((s * 7 + i) % 13) as f32 / 13.0).collect();
+            (x, s % 10)
+        })
+        .collect();
+    let cfg = SweepConfig::rate(STEPS, 0.4, 11);
+    let mut group = c.benchmark_group("encoding_sweep");
+    group.sample_size(10);
+    for encoding in [
+        Encoding::Rate,
+        Encoding::Ttfs,
+        Encoding::Burst {
+            max_burst: 5,
+            gap: 2,
+        },
+    ] {
+        group.bench_function(format!("{}_4x{STEPS}", encoding.label()).as_str(), |b| {
+            b.iter(|| {
+                black_box(trace_energy_sweep(
+                    black_box(&net),
+                    black_box(&mapping),
+                    black_box(&samples),
+                    &cfg.with_encoding(encoding),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = trace_energy;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep
+    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep
 }
 criterion_main!(trace_energy);

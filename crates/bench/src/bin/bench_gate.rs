@@ -7,9 +7,18 @@
 //! baseline is only rewritten on an explicit `--update` (wired to a
 //! manual workflow input in CI, never on ordinary pushes).
 //!
+//! Besides absolute medians, the gate can judge **machine-independent
+//! ratios**: `--ratio A=B` compares the fresh `A/B` median ratio against
+//! the baseline's `A/B` ratio. Because both ids are measured on the same
+//! machine in the same run, the ratio survives CI hardware changes that
+//! shift every absolute median — the compiled-vs-reference speedups stay
+//! gated even when the absolute baseline is stale (`--ratio-only` skips
+//! the absolute comparisons entirely for exactly that situation).
+//!
 //! ```text
 //! bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT]
-//!            [--min-ns NS] [--update]
+//!            [--min-ns NS] [--ratio A=B]... [--ratio-threshold PCT]
+//!            [--ratio-only] [--update]
 //! ```
 //!
 //! * `--fresh-dir`  directory scanned for `BENCH_*.json` (default `.`)
@@ -18,6 +27,12 @@
 //! * `--min-ns`     ids whose baseline median is below this are reported
 //!   but never gated (default `10000` — sub-10 µs medians jitter beyond
 //!   the threshold on shared CI runners without any code change)
+//! * `--ratio A=B`  also gate the `A/B` median ratio against the
+//!   baseline's `A/B` ratio (repeatable; ids must exist in both runs)
+//! * `--ratio-threshold`  allowed ratio worsening in percent (defaults
+//!   to `--threshold`)
+//! * `--ratio-only` skip the absolute gate (ratios still fail the run) —
+//!   for riding out a CI hardware change until the baseline is refreshed
 //! * `--update`     rewrite the baseline from the fresh results and exit
 //!
 //! Exit codes: `0` pass / baseline updated, `1` regression, `2` usage or
@@ -63,6 +78,46 @@ impl Verdict {
     }
 }
 
+/// One `--ratio A=B` specification: gate `A/B` against the baseline's
+/// `A/B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RatioSpec {
+    numerator: String,
+    denominator: String,
+}
+
+impl RatioSpec {
+    /// Parses `A=B` (ids may contain `/`, so `=` is the separator).
+    fn parse(arg: &str) -> Option<Self> {
+        let (num, den) = arg.split_once('=')?;
+        let (num, den) = (num.trim(), den.trim());
+        if num.is_empty() || den.is_empty() {
+            return None;
+        }
+        Some(Self {
+            numerator: num.to_string(),
+            denominator: den.to_string(),
+        })
+    }
+
+    fn label(&self) -> String {
+        format!("{} / {}", self.numerator, self.denominator)
+    }
+}
+
+/// Looks up both medians of a ratio spec in one run's results; `None`
+/// (with a warning from the caller) when either id or its median is
+/// missing/degenerate.
+fn lookup_ratio(spec: &RatioSpec, results: &BTreeMap<String, f64>) -> Option<f64> {
+    let num = *results.get(&spec.numerator)?;
+    let den = *results.get(&spec.denominator)?;
+    if num > 0.0 && den > 0.0 && num.is_finite() && den.is_finite() {
+        Some(num / den)
+    } else {
+        None
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fresh_dir = PathBuf::from(".");
@@ -70,6 +125,9 @@ fn main() -> ExitCode {
     let mut threshold_pct = 25.0f64;
     let mut min_ns = 10_000.0f64;
     let mut update = false;
+    let mut ratios: Vec<RatioSpec> = Vec::new();
+    let mut ratio_threshold_pct: Option<f64> = None;
+    let mut ratio_only = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,10 +148,21 @@ fn main() -> ExitCode {
                 Some(v) if v >= 0.0 => min_ns = v,
                 _ => return usage("--min-ns needs a non-negative number"),
             },
+            "--ratio" => match it.next().and_then(|v| RatioSpec::parse(v)) {
+                Some(spec) => ratios.push(spec),
+                None => return usage("--ratio needs a NUMERATOR_ID=DENOMINATOR_ID value"),
+            },
+            "--ratio-threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => ratio_threshold_pct = Some(v),
+                _ => return usage("--ratio-threshold needs a positive number"),
+            },
+            "--ratio-only" => ratio_only = true,
             "--update" => update = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT] [--update]"
+                    "bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT] \
+                     [--min-ns NS] [--ratio A=B]... [--ratio-threshold PCT] [--ratio-only] \
+                     [--update]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -176,15 +245,51 @@ fn main() -> ExitCode {
                     fresh_ns,
                     verdict.ratio(),
                     match verdict {
+                        Verdict::Regressed(_) if ratio_only => "  (slower; absolute gate off)",
                         Verdict::Regressed(_) => "  REGRESSED",
                         Verdict::BelowFloor(_) => "  (below gate floor, not gated)",
                         Verdict::Ok(_) => "",
                     }
                 );
                 if let Verdict::Regressed(r) = verdict {
-                    regressions.push((id.clone(), r));
+                    if !ratio_only {
+                        regressions.push((id.clone(), r));
+                    }
                 }
             }
+        }
+    }
+
+    // --- Machine-independent ratio gate -----------------------------
+    // An unresolvable --ratio spec (renamed id, partial bench run,
+    // degenerate median) fails the gate rather than warning: explicitly
+    // requested checks silently skipping must not look like a pass —
+    // under --ratio-only nothing else would be gated at all.
+    let rthr = ratio_threshold_pct.unwrap_or(threshold_pct);
+    for spec in &ratios {
+        let (Some(base_ratio), Some(fresh_ratio)) =
+            (lookup_ratio(spec, &baseline), lookup_ratio(spec, &fresh))
+        else {
+            eprintln!(
+                "bench_gate: ratio `{}` needs both ids with positive medians in the \
+                 baseline and the fresh run",
+                spec.label()
+            );
+            regressions.push((format!("ratio {} (unresolvable)", spec.label()), f64::NAN));
+            continue;
+        };
+        let worsening = fresh_ratio / base_ratio;
+        let regressed = worsening > 1.0 + rthr / 100.0;
+        println!(
+            "  ratio {:<60} base x{:>8.2}  fresh x{:>8.2}  drift x{:.2}{}",
+            spec.label(),
+            base_ratio,
+            fresh_ratio,
+            worsening,
+            if regressed { "  REGRESSED" } else { "" }
+        );
+        if regressed {
+            regressions.push((format!("ratio {}", spec.label()), worsening));
         }
     }
     for id in &missing {
@@ -206,17 +311,24 @@ fn main() -> ExitCode {
         );
     }
 
+    // Name the limit that actually applied in the summary: absolute ids
+    // are gated at --threshold, ratio drifts at --ratio-threshold.
+    let limits = match (ratio_only, ratios.is_empty()) {
+        (true, _) => format!("ratio drift x{:.2} (absolute gate off)", 1.0 + rthr / 100.0),
+        (false, true) => format!("baseline x{:.2}", 1.0 + cfg.threshold_pct / 100.0),
+        (false, false) => format!(
+            "baseline x{:.2} / ratio drift x{:.2}",
+            1.0 + cfg.threshold_pct / 100.0,
+            1.0 + rthr / 100.0
+        ),
+    };
     if regressions.is_empty() {
-        println!(
-            "bench_gate: PASS — no id slower than baseline x{:.2}",
-            1.0 + cfg.threshold_pct / 100.0
-        );
+        println!("bench_gate: PASS — no check beyond {limits}");
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "bench_gate: FAIL — {} id(s) regressed beyond +{}%:",
-            regressions.len(),
-            cfg.threshold_pct
+            "bench_gate: FAIL — {} check(s) beyond {limits}:",
+            regressions.len()
         );
         for (id, ratio) in &regressions {
             eprintln!("  {id}: x{ratio:.2}");
@@ -229,7 +341,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
     eprintln!(
         "usage: bench_gate [--fresh-dir DIR] [--baseline FILE] [--threshold PCT] \
-         [--min-ns NS] [--update]"
+         [--min-ns NS] [--ratio A=B]... [--ratio-threshold PCT] [--ratio-only] [--update]"
     );
     ExitCode::from(2)
 }
@@ -394,6 +506,51 @@ mod tests {
             judge(20_000.0, 30_000.0, &cfg),
             Verdict::Regressed(_)
         ));
+    }
+
+    #[test]
+    fn ratio_spec_parses_id_pairs() {
+        let spec = RatioSpec::parse("snn_step/compiled=snn_step/reference").unwrap();
+        assert_eq!(spec.numerator, "snn_step/compiled");
+        assert_eq!(spec.denominator, "snn_step/reference");
+        assert_eq!(spec.label(), "snn_step/compiled / snn_step/reference");
+        assert!(RatioSpec::parse("no-separator").is_none());
+        assert!(RatioSpec::parse("=denominator-only").is_none());
+        assert!(RatioSpec::parse("numerator-only=").is_none());
+    }
+
+    #[test]
+    fn ratio_lookup_requires_both_ids_positive() {
+        let mut results = BTreeMap::new();
+        results.insert("a".to_string(), 200.0);
+        results.insert("b".to_string(), 100.0);
+        results.insert("z".to_string(), 0.0);
+        let ab = RatioSpec::parse("a=b").unwrap();
+        assert_eq!(lookup_ratio(&ab, &results), Some(2.0));
+        // Missing id or zero denominator never divides.
+        assert_eq!(
+            lookup_ratio(&RatioSpec::parse("a=missing").unwrap(), &results),
+            None
+        );
+        assert_eq!(
+            lookup_ratio(&RatioSpec::parse("a=z").unwrap(), &results),
+            None
+        );
+    }
+
+    #[test]
+    fn ratio_drift_is_machine_independent() {
+        // A uniform 3x machine slowdown moves every absolute median but
+        // leaves the compiled/reference ratio untouched — the property
+        // the ratio gate exists for.
+        let base_num = 100.0f64;
+        let base_den = 1000.0f64;
+        let (fresh_num, fresh_den) = (base_num * 3.0, base_den * 3.0);
+        let drift = (fresh_num / fresh_den) / (base_num / base_den);
+        assert!((drift - 1.0).abs() < 1e-12);
+        // A genuine compiled-path regression shows up as drift > 1.
+        let drift = ((fresh_num * 2.0) / fresh_den) / (base_num / base_den);
+        assert!((drift - 2.0).abs() < 1e-12);
     }
 
     #[test]

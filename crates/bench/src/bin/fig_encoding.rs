@@ -1,0 +1,5 @@
+//! Prints the encoding comparison table (rate vs TTFS vs burst coding,
+//! priced by the trace-driven event simulator).
+fn main() {
+    println!("{}", resparc_bench::fig_encoding());
+}

@@ -12,7 +12,7 @@
 //! which is exactly what the agreement/divergence tests assert.
 
 use resparc_device::energy_model::McaEnergyModel;
-use resparc_energy::units::Energy;
+use resparc_energy::units::{Energy, Time};
 
 use crate::config::ResparcConfig;
 use crate::map::partition::LayerPartition;
@@ -67,6 +67,20 @@ pub fn tile_read_cost(
     TileReadCost {
         fixed: base + mca.row_driver_energy * mca_size as f64,
         per_active_row,
+    }
+}
+
+/// Classifications per second for one classification of the given
+/// latency, guarded against zero / non-finite latencies (a zero-step or
+/// fully-degenerate workload reports `0.0` rather than `inf`/NaN).
+/// Shared by the stationary and event reports so the guard cannot
+/// diverge between them.
+pub fn safe_throughput(latency: Time) -> f64 {
+    let s = latency.seconds();
+    if s.is_finite() && s > 0.0 {
+        1.0 / s
+    } else {
+        0.0
     }
 }
 

@@ -20,8 +20,11 @@
 //! * **CCU handshakes** — gated-wire partial-current transfers fire only
 //!   for the phases whose tiles actually read,
 //! * **latency** — per-timestep switch serialisation and bus occupancy
-//!   follow the step's real packet counts (a silent step costs the
-//!   clocked minimum, a burst pays its true serialisation).
+//!   follow the step's real packet counts, and a layer's compute phases
+//!   are only charged in timesteps where the layer actually fired a
+//!   crossbar read — a silent step costs the clocked minimum (one
+//!   cycle), so sparse/early-exit traces (TTFS tails, bursts) finish in
+//!   proportion to their *active* steps, not the raw window.
 //!
 //! Every charge goes to the same fine-grained
 //! [`Category`] ledger as the stationary path, so the two reports are
@@ -49,11 +52,16 @@ pub struct EventReport {
     pub energy: EnergyBreakdown,
     /// Timesteps replayed.
     pub steps: usize,
+    /// Timesteps in which at least one tile fired a crossbar read (the
+    /// steps that pay compute latency; the rest cost the clocked
+    /// minimum).
+    pub active_steps: usize,
     /// Total cycles across all timesteps.
     pub total_cycles: u64,
     /// Wall-clock latency of the trace.
     pub latency: Time,
-    /// Classifications per second (one trace = one classification).
+    /// Classifications per second (one trace = one classification);
+    /// `0.0` for a zero-latency (zero-step) trace, never `inf`/NaN.
     pub throughput: f64,
     /// Per-layer event tallies.
     pub layers: Vec<EventLayerStats>,
@@ -65,9 +73,16 @@ impl EventReport {
         self.energy.total()
     }
 
-    /// Energy-delay product (pJ·ns).
+    /// Energy-delay product (pJ·ns); `0.0` whenever the product would
+    /// not be finite (zero-latency traces cannot poison downstream
+    /// figure-of-merit aggregation with NaN/inf).
     pub fn energy_delay_product(&self) -> f64 {
-        self.energy.total().picojoules() * self.latency.nanoseconds()
+        let edp = self.energy.total().picojoules() * self.latency.nanoseconds();
+        if edp.is_finite() {
+            edp
+        } else {
+            0.0
+        }
     }
 }
 
@@ -158,10 +173,13 @@ impl<'m> EventSimulator<'m> {
 
         let mut energy = EnergyBreakdown::new();
         let mut layer_stats = Vec::with_capacity(self.mapping.layer_count());
-        // Per-step latency contributions across layers.
+        // Per-step latency contributions across layers. Compute cycles
+        // are event-driven too: a layer only pays its multiplexing
+        // phases in steps where it actually fired a read, so a trace's
+        // silent tail (TTFS, bursts) costs the clocked minimum per step.
         let mut comm_cycles = vec![0u64; steps];
         let mut bus_cycles = vec![0u64; steps];
-        let mut compute_cycles = 0u64;
+        let mut compute_cycles = vec![0u64; steps];
 
         for (l, part) in self.mapping.partitions.iter().enumerate() {
             let span = &self.mapping.placement.layers[l];
@@ -177,6 +195,7 @@ impl<'m> EventSimulator<'m> {
             let crosses =
                 self.mapping.placement.boundary_crosses_nc(l) && (l == 0 || part.max_degree > 1);
 
+            let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
             let tiles = part.tile_count();
             let mut per_tile_candidates = vec![0u64; tiles];
             let mut per_tile_delivered = vec![0u64; tiles];
@@ -215,6 +234,9 @@ impl<'m> EventSimulator<'m> {
                 reads_performed += reads_step;
                 comm_cycles[t] =
                     comm_cycles[t].max((deliveries_step as f64 / switch_capacity).ceil() as u64);
+                if reads_step > 0 {
+                    compute_cycles[t] = compute_cycles[t].max(layer_compute);
+                }
 
                 // --- Bus + input SRAM (inter-NC boundary) ---------------
                 if crosses {
@@ -312,10 +334,6 @@ impl<'m> EventSimulator<'m> {
                     + cat.control_cycle * delivered as f64,
             );
 
-            // --- Latency ------------------------------------------------
-            let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
-            compute_cycles = compute_cycles.max(layer_compute);
-
             layer_stats.push(EventLayerStats {
                 layer: l,
                 tiles,
@@ -341,8 +359,9 @@ impl<'m> EventSimulator<'m> {
             .div_ceil(cfg.physical_ncs)
             .max(1) as u64;
         let total_cycles: u64 = (0..steps)
-            .map(|t| ((compute_cycles + comm_cycles[t]) * fold + bus_cycles[t]).max(1))
+            .map(|t| ((compute_cycles[t] + comm_cycles[t]) * fold + bus_cycles[t]).max(1))
             .sum();
+        let active_steps = compute_cycles.iter().filter(|&&c| c > 0).count();
         let latency = cfg.frequency.cycles_to_time(total_cycles);
 
         // Leakage accrues on the physical chip over the trace's window.
@@ -357,13 +376,10 @@ impl<'m> EventSimulator<'m> {
         EventReport {
             energy,
             steps,
+            active_steps,
             total_cycles,
             latency,
-            throughput: if latency.seconds() > 0.0 {
-                1.0 / latency.seconds()
-            } else {
-                0.0
-            },
+            throughput: cost::safe_throughput(latency),
             layers: layer_stats,
         }
     }
@@ -472,6 +488,75 @@ mod tests {
             "with {} vs without {}",
             with.total_energy(),
             without.total_energy()
+        );
+    }
+
+    #[test]
+    fn silent_trace_is_finite_and_costs_clocked_minimum() {
+        let (mapping, _) = traced_mlp(0.6, 6);
+        let silent = SpikeTrace::silent(&[128, 96, 10], 6);
+        let r = EventSimulator::new(&mapping).run(&silent);
+        assert_eq!(r.active_steps, 0);
+        // A fully silent step costs exactly the clocked minimum cycle.
+        assert_eq!(r.total_cycles, 6);
+        assert!(r.throughput.is_finite());
+        assert!(r.energy_delay_product().is_finite());
+    }
+
+    #[test]
+    fn zero_step_trace_reports_zero_throughput_not_nan() {
+        let (mapping, _) = traced_mlp(0.6, 2);
+        let empty = SpikeTrace::silent(&[128, 96, 10], 0);
+        let r = EventSimulator::new(&mapping).run(&empty);
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.active_steps, 0);
+        assert_eq!(r.total_cycles, 0);
+        assert!(r.throughput.is_finite());
+        assert_eq!(r.throughput, 0.0);
+        assert!(r.energy_delay_product().is_finite());
+        assert_eq!(r.energy_delay_product(), 0.0);
+    }
+
+    #[test]
+    fn sparse_tail_pays_clocked_minimum_latency() {
+        use resparc_neuro::spike::{SpikeRaster, SpikeVector};
+
+        // Same network, same mean input: activity compressed into the
+        // first 4 of 16 steps vs spread uniformly. The bursty trace's
+        // silent tail must cost only the clocked minimum, making it
+        // strictly faster than the uniform presentation.
+        let t = Topology::mlp(128, &[96, 10]);
+        let net = Network::random(t, 11, 1.0);
+        let stimulus: Vec<f32> = (0..128).map(|i| (i % 5) as f32 / 4.0).collect();
+        let dense = RegularEncoder::new(1.0).encode(&stimulus, 4);
+        let mut raster = SpikeRaster::new(128);
+        for s in dense.iter() {
+            raster.push(s.clone());
+        }
+        for _ in 4..16 {
+            raster.push(SpikeVector::new(128));
+        }
+        let (_, bursty) = net.spiking().run_traced(&raster);
+        // Same expected spike count spread across the whole window.
+        let uniform_raster =
+            resparc_neuro::encoding::PoissonEncoder::new(0.25, 5).encode(&stimulus, 16);
+        let (_, uniform) = net.spiking().run_traced(&uniform_raster);
+
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let sim = EventSimulator::new(&mapping);
+        let rb = sim.run(&bursty);
+        let ru = sim.run(&uniform);
+        // Input stops at step 4; residual membrane potential lets deeper
+        // layers coast a few more steps, but well short of the window.
+        assert!(rb.active_steps < 12, "active {}", rb.active_steps);
+        assert!(ru.active_steps > rb.active_steps);
+        assert!(
+            rb.total_cycles < ru.total_cycles,
+            "bursty {} cycles vs uniform {}",
+            rb.total_cycles,
+            ru.total_cycles
         );
     }
 

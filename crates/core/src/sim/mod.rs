@@ -55,7 +55,8 @@ pub struct ExecutionReport {
     pub timestep_cycles: u64,
     /// Wall-clock latency per classification.
     pub latency: Time,
-    /// Classifications per second.
+    /// Classifications per second; `0.0` for a zero-latency (zero
+    /// timestep) configuration, never `inf`/NaN.
     pub throughput: f64,
     /// Per-layer expected statistics (per timestep).
     pub layers: Vec<LayerExecStats>,
@@ -67,9 +68,15 @@ impl ExecutionReport {
         self.energy.total()
     }
 
-    /// Energy-delay product (pJ·ns), a common figure of merit.
+    /// Energy-delay product (pJ·ns), a common figure of merit; `0.0`
+    /// whenever the product would not be finite.
     pub fn energy_delay_product(&self) -> f64 {
-        self.energy.total().picojoules() * self.latency.nanoseconds()
+        let edp = self.energy.total().picojoules() * self.latency.nanoseconds();
+        if edp.is_finite() {
+            edp
+        } else {
+            0.0
+        }
     }
 }
 
@@ -333,7 +340,7 @@ impl<'m> Simulator<'m> {
             energy,
             timestep_cycles,
             latency,
-            throughput: 1.0 / latency.seconds(),
+            throughput: cost::safe_throughput(latency),
             layers: layer_stats,
         }
     }

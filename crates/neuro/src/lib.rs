@@ -6,7 +6,9 @@
 //! * [`neuron`] — Integrate-and-Fire (and leaky) neuron dynamics,
 //! * [`spike`] — bit-packed spike vectors/rasters and the zero-packet
 //!   statistics behind the paper's event-driven optimisation,
-//! * [`encoding`] — Poisson and deterministic rate encoders,
+//! * [`encoding`] — spike coding schemes behind the [`encoding::SpikeEncoder`]
+//!   trait: Poisson/regular rate codes plus temporal TTFS and burst codes,
+//!   with matching [`encoding::Readout`] rules,
 //! * [`topology`] — MLP/CNN layer structures with a single synapse
 //!   enumeration shared by simulator and hardware mapper,
 //! * [`connectivity`] — per-layer sparse connectivity matrices,
@@ -67,7 +69,9 @@ pub mod train;
 
 pub use connectivity::ConnectivityMatrix;
 pub use convert::{normalize_for_snn, NormalizationReport};
-pub use encoding::{PoissonEncoder, RegularEncoder};
+pub use encoding::{
+    BurstEncoder, Encoding, PoissonEncoder, Readout, RegularEncoder, SpikeEncoder, TtfsEncoder,
+};
 pub use kernel::{CompiledLayer, CompiledNetwork};
 pub use network::{Classification, Layer, Network, SnnRunner};
 pub use neuron::{Membrane, NeuronConfig, NeuronPool, ResetMode};
@@ -82,7 +86,9 @@ pub use train::{train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainC
 pub mod prelude {
     pub use crate::connectivity::ConnectivityMatrix;
     pub use crate::convert::{normalize_for_snn, NormalizationReport};
-    pub use crate::encoding::{PoissonEncoder, RegularEncoder};
+    pub use crate::encoding::{
+        BurstEncoder, Encoding, PoissonEncoder, Readout, RegularEncoder, SpikeEncoder, TtfsEncoder,
+    };
     pub use crate::kernel::{CompiledLayer, CompiledNetwork};
     pub use crate::network::{Classification, Layer, Network, SnnRunner};
     pub use crate::neuron::{Membrane, NeuronConfig, NeuronPool, ResetMode};

@@ -48,6 +48,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 
+use crate::encoding::Readout;
 use crate::kernel::CompiledNetwork;
 use crate::neuron::{Membrane, NeuronConfig};
 use crate::spike::{SpikeRaster, SpikeVector};
@@ -366,6 +367,9 @@ pub struct SnnRunner {
     synaptic_events: Vec<u64>,
     steps_run: u64,
     output_counts: Vec<u32>,
+    /// Timestep of each output neuron's first spike (`u32::MAX` =
+    /// never fired), for first-spike-latency readouts.
+    first_spikes: Vec<u32>,
 }
 
 impl SnnRunner {
@@ -394,6 +398,7 @@ impl SnnRunner {
             .collect();
         let n_layers = kernels.layer_count();
         let output_counts = vec![0; kernels.output_count()];
+        let first_spikes = vec![u32::MAX; kernels.output_count()];
         Self {
             kernels,
             membranes,
@@ -403,6 +408,7 @@ impl SnnRunner {
             synaptic_events: vec![0; n_layers],
             steps_run: 0,
             output_counts,
+            first_spikes,
         }
     }
 
@@ -441,6 +447,9 @@ impl SnnRunner {
         let out = &self.spikes[n_layers - 1];
         for o in out.iter_ones() {
             self.output_counts[o] += 1;
+            if self.first_spikes[o] == u32::MAX {
+                self.first_spikes[o] = (self.steps_run - 1) as u32;
+            }
         }
         out
     }
@@ -510,6 +519,7 @@ impl SnnRunner {
                 .collect(),
             synaptic_events: self.synaptic_events.clone(),
             steps: self.steps_run,
+            first_spike_steps: first_spike_options(&self.first_spikes),
         }
     }
 
@@ -526,14 +536,24 @@ impl SnnRunner {
         self.layer_spikes.fill(0);
         self.synaptic_events.fill(0);
         self.output_counts.fill(0);
+        self.first_spikes.fill(u32::MAX);
         self.steps_run = 0;
     }
+}
+
+/// Converts sentinel-encoded first-spike steps (`u32::MAX` = never) into
+/// the outcome's `Option` representation (shared by both runner flavours).
+fn first_spike_options(first_spikes: &[u32]) -> Vec<Option<u32>> {
+    first_spikes
+        .iter()
+        .map(|&t| (t != u32::MAX).then_some(t))
+        .collect()
 }
 
 /// Result of running a spiking classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
-    /// Class with the highest output spike count.
+    /// Class with the highest output spike count (the rate readout).
     pub predicted: usize,
     /// Spike count per output neuron.
     pub output_counts: Vec<u32>,
@@ -543,6 +563,35 @@ pub struct Classification {
     pub synaptic_events: Vec<u64>,
     /// Timesteps executed.
     pub steps: u64,
+    /// Timestep of each output neuron's first spike (`None` = it never
+    /// fired) — the first-spike-latency readout for temporal codes.
+    pub first_spike_steps: Vec<Option<u32>>,
+}
+
+impl Classification {
+    /// Reads out the predicted class under the given decoding rule —
+    /// pick the rule matching the input code
+    /// ([`Encoding::readout`](crate::encoding::Encoding::readout)).
+    pub fn decode(&self, readout: Readout) -> usize {
+        match readout {
+            Readout::Rate => self.predicted,
+            Readout::FirstSpike => self.predicted_by_first_spike(),
+        }
+    }
+
+    /// First-spike-latency readout: the output neuron that fired
+    /// earliest wins (ties broken by higher total spike count, then
+    /// lower index). Falls back to the rate readout when no output
+    /// spiked at all.
+    pub fn predicted_by_first_spike(&self) -> usize {
+        self.first_spike_steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, std::cmp::Reverse(self.output_counts[i]), i)))
+            .min()
+            .map(|(_, _, i)| i)
+            .unwrap_or(self.predicted)
+    }
 }
 
 pub mod reference {
@@ -560,7 +609,7 @@ pub mod reference {
     //!   `accuracy_sweep` criterion groups in `resparc-bench` measure the
     //!   compiled speedup against this path.
 
-    use super::{argmax, Classification, Membrane, Network, NeuronConfig};
+    use super::{argmax, first_spike_options, Classification, Membrane, Network, NeuronConfig};
     use crate::spike::{SpikeRaster, SpikeVector};
     use crate::topology::LayerSpec;
 
@@ -654,6 +703,7 @@ pub mod reference {
         synaptic_events: Vec<u64>,
         steps_run: u64,
         output_counts: Vec<u32>,
+        first_spikes: Vec<u32>,
     }
 
     impl<'net> RefSnnRunner<'net> {
@@ -684,6 +734,7 @@ pub mod reference {
                 synaptic_events: vec![0; n_layers],
                 steps_run: 0,
                 output_counts: vec![0; net.output_count()],
+                first_spikes: vec![u32::MAX; net.output_count()],
             }
         }
 
@@ -725,6 +776,9 @@ pub mod reference {
             let out = &self.spikes[n_layers - 1];
             for o in out.iter_ones() {
                 self.output_counts[o] += 1;
+                if self.first_spikes[o] == u32::MAX {
+                    self.first_spikes[o] = (self.steps_run - 1) as u32;
+                }
             }
             out
         }
@@ -764,6 +818,7 @@ pub mod reference {
                     .collect(),
                 synaptic_events: self.synaptic_events.clone(),
                 steps: self.steps_run,
+                first_spike_steps: first_spike_options(&self.first_spikes),
             }
         }
     }
@@ -843,6 +898,57 @@ mod tests {
         let outcome = runner.outcome();
         assert_eq!(outcome.steps, 0);
         assert!(outcome.output_counts.iter().all(|&c| c == 0));
+        assert!(outcome.first_spike_steps.iter().all(|t| t.is_none()));
+    }
+
+    #[test]
+    fn first_spike_readout_tracks_ttfs_latency() {
+        use crate::encoding::TtfsEncoder;
+
+        // Identity chain: the input with higher intensity spikes earlier
+        // (TTFS) and relays straight to its output neuron.
+        let net = tiny_net();
+        let raster = TtfsEncoder::new().encode(&[0.2, 0.9], 20);
+        let mut runner = net.spiking();
+        let outcome = runner.run(&raster);
+        assert_eq!(outcome.decode(Readout::FirstSpike), 1);
+        let t0 = outcome.first_spike_steps[0].expect("input 0 spikes once");
+        let t1 = outcome.first_spike_steps[1].expect("input 1 spikes once");
+        assert!(t1 < t0, "higher intensity must fire first ({t1} vs {t0})");
+        // The rate readout is unchanged by the new bookkeeping.
+        assert_eq!(outcome.decode(Readout::Rate), outcome.predicted);
+    }
+
+    #[test]
+    fn first_spike_readout_falls_back_on_silence() {
+        let c = Classification {
+            predicted: 2,
+            output_counts: vec![0, 0, 0],
+            layer_rates: vec![0.0],
+            synaptic_events: vec![0],
+            steps: 10,
+            first_spike_steps: vec![None, None, None],
+        };
+        assert_eq!(c.predicted_by_first_spike(), 2);
+        // Ties on latency break by spike count, then index.
+        let c = Classification {
+            predicted: 0,
+            output_counts: vec![5, 2, 5],
+            layer_rates: vec![0.0],
+            synaptic_events: vec![0],
+            steps: 10,
+            first_spike_steps: vec![Some(3), Some(3), Some(1)],
+        };
+        assert_eq!(c.predicted_by_first_spike(), 2);
+        let c = Classification {
+            predicted: 0,
+            output_counts: vec![5, 7, 5],
+            layer_rates: vec![0.0],
+            synaptic_events: vec![0],
+            steps: 10,
+            first_spike_steps: vec![Some(3), Some(3), Some(3)],
+        };
+        assert_eq!(c.predicted_by_first_spike(), 1);
     }
 
     #[test]

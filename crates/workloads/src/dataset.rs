@@ -137,9 +137,10 @@ impl SyntheticImages {
     /// Panics if `class >= CLASSES`.
     pub fn sample(&self, class: usize, index: u64) -> Vec<f32> {
         assert!(class < CLASSES, "class {class} out of range");
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (class as u64) << 48 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng = StdRng::seed_from_u64(crate::seed::stream_seed(
+            crate::seed::stream_seed(self.seed, class as u64),
+            index,
+        ));
         let s = self.side;
         let mut img = vec![0.0f32; s * s];
 

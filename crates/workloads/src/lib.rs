@@ -29,6 +29,7 @@
 
 pub mod benchmarks;
 pub mod dataset;
+pub(crate) mod seed;
 pub mod sweep;
 
 pub use benchmarks::{
@@ -37,8 +38,8 @@ pub use benchmarks::{
 };
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
 pub use sweep::{
-    analog_accuracy_sweep, spiking_accuracy_sweep, trace_energy_sweep, SweepConfig, SweepReport,
-    TraceEnergyReport,
+    analog_accuracy_sweep, encoding_energy_sweep, spiking_accuracy_sweep, trace_energy_sweep,
+    SweepConfig, SweepReport, TraceEnergyReport,
 };
 
 /// Convenient glob import for downstream crates.
@@ -49,7 +50,7 @@ pub mod prelude {
     };
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::sweep::{
-        analog_accuracy_sweep, spiking_accuracy_sweep, trace_energy_sweep, SweepConfig,
-        SweepReport, TraceEnergyReport,
+        analog_accuracy_sweep, encoding_energy_sweep, spiking_accuracy_sweep, trace_energy_sweep,
+        SweepConfig, SweepReport, TraceEnergyReport,
     };
 }

@@ -9,19 +9,28 @@
 //! serial encode-then-run loop (same per-sample encoder seeds, same
 //! runner semantics).
 //!
+//! Sweeps are **encoding-generic**: [`SweepConfig`] carries an
+//! [`Encoding`] (rate, regular-rate, TTFS or burst), stimuli are encoded
+//! through it, and outcomes are decoded with the readout rule that
+//! matches the code (max-spike-count for rate codes, first-spike latency
+//! for TTFS).
+//!
 //! [`trace_energy_sweep`] additionally captures each stimulus's
 //! [`SpikeTrace`](resparc_neuro::trace::SpikeTrace) and replays it through
 //! the mapped fabric's trace-driven
 //! [`EventSimulator`](resparc_core::sim::event::EventSimulator), so one
 //! batched, rayon-parallel pass yields *accuracy and per-inference
-//! energy* from the very same spike trains.
+//! energy* from the very same spike trains. [`encoding_energy_sweep`]
+//! runs that pass once per coding scheme over the same labelled set —
+//! the accuracy-vs-energy-per-code comparison only the event path can
+//! price (the stationary simulator assumes rate-stationary activity).
 
 use rayon::prelude::*;
 use resparc_core::map::Mapping;
 use resparc_core::sim::event::{EventReport, EventSimulator};
-use resparc_energy::accounting::EnergyBreakdown;
+use resparc_energy::accounting::{Category, EnergyBreakdown};
 use resparc_energy::units::{Energy, Time};
-use resparc_neuro::encoding::PoissonEncoder;
+use resparc_neuro::encoding::{Encoding, Readout};
 use resparc_neuro::network::{Network, SnnRunner};
 use resparc_neuro::spike::SpikeRaster;
 
@@ -30,29 +39,72 @@ use resparc_neuro::spike::SpikeRaster;
 pub struct SweepConfig {
     /// Timesteps each stimulus is presented for.
     pub steps: usize,
-    /// Peak per-timestep spike probability of the rate encoder.
+    /// Peak per-timestep spike probability of the rate encoders
+    /// (temporal encodings carry their own parameters and ignore it).
     pub peak_rate: f64,
-    /// Base seed; sample `i` is encoded with `seed ^ i`.
+    /// Base seed; sample `i` is encoded with the decorrelated per-sample
+    /// seed [`SweepConfig::sample_seed`].
     pub seed: u64,
+    /// Input coding scheme (and, implicitly, the matching readout).
+    pub encoding: Encoding,
 }
 
 impl SweepConfig {
-    /// The settings the Fig. 14(a) reproduction uses.
-    pub fn fig14a() -> Self {
+    /// Poisson rate-coded sweep — the paper's default scheme.
+    pub fn rate(steps: usize, peak_rate: f64, seed: u64) -> Self {
         Self {
-            steps: 80,
-            peak_rate: 0.8,
-            seed: 7,
+            steps,
+            peak_rate,
+            seed,
+            encoding: Encoding::Rate,
         }
     }
 
-    /// Rate-encodes sample `i` of a sweep: Poisson encoding at
-    /// `peak_rate` for `steps` timesteps, seeded `seed ^ i`. Every sweep
+    /// The settings the Fig. 14(a) reproduction uses.
+    pub fn fig14a() -> Self {
+        Self::rate(80, 0.8, 7)
+    }
+
+    /// The same sweep under a different coding scheme.
+    pub fn with_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// The RNG seed sample `i` is encoded with: the `i`-th output of a
+    /// splitmix64 stream seeded with `self.seed`.
+    ///
+    /// The mix guarantees two properties a plain `seed ^ i` cannot:
+    /// sample `i == seed` does not collapse to RNG seed 0, and sweeps
+    /// whose base seeds differ only in low bits share no per-sample
+    /// spike streams.
+    pub fn sample_seed(&self, i: usize) -> u64 {
+        crate::seed::stream_seed(self.seed, i as u64)
+    }
+
+    /// Encodes sample `i` of a sweep under the configured [`Encoding`]
+    /// for `steps` timesteps, seeded [`Self::sample_seed`]. Every sweep
     /// flavour encodes through this one method, so the per-sample seeding
     /// contract cannot diverge between them.
     pub fn encode_sample(&self, i: usize, stimulus: &[f32]) -> SpikeRaster {
-        let mut enc = PoissonEncoder::new(self.peak_rate, self.seed ^ i as u64);
-        enc.encode(stimulus, self.steps)
+        self.encoding
+            .encode(self.peak_rate, stimulus, self.steps, self.sample_seed(i))
+    }
+
+    /// The readout rule matching the configured encoding.
+    pub fn readout(&self) -> Readout {
+        self.encoding.readout()
+    }
+}
+
+/// Fraction of correct classifications, guarded for the empty sweep.
+/// Every report type's `accuracy()` routes through here so the
+/// zero-total behaviour cannot diverge between them.
+fn accuracy_fraction(correct: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
     }
 }
 
@@ -70,18 +122,15 @@ pub struct SweepReport {
 impl SweepReport {
     /// Fraction of samples classified correctly.
     pub fn accuracy(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.correct as f64 / self.total as f64
-        }
+        accuracy_fraction(self.correct, self.total)
     }
 }
 
 /// Classifies every `(stimulus, label)` pair with the spiking simulator:
-/// Poisson-encodes sample `i` with seed `cfg.seed ^ i`, runs it for
-/// `cfg.steps` timesteps and takes the max-spike-count class. Runs on the
-/// network's shared compiled kernels, parallel across samples.
+/// encodes sample `i` under `cfg.encoding` with seed `cfg.sample_seed(i)`,
+/// runs it for `cfg.steps` timesteps and decodes with the readout
+/// matching the code. Runs on the network's shared compiled kernels,
+/// parallel across samples.
 ///
 /// # Panics
 ///
@@ -92,13 +141,14 @@ pub fn spiking_accuracy_sweep(
     cfg: &SweepConfig,
 ) -> SweepReport {
     let kernels = net.compiled();
+    let readout = cfg.readout();
     let predictions: Vec<usize> = samples
         .par_iter()
         .enumerate()
         .map(|(i, (x, _))| {
             let raster = cfg.encode_sample(i, x);
             let mut runner = SnnRunner::from_compiled(kernels.clone());
-            runner.run(&raster).predicted
+            runner.run(&raster).decode(readout)
         })
         .collect();
     score(predictions, samples)
@@ -140,28 +190,34 @@ pub struct TraceEnergyReport {
 }
 
 impl TraceEnergyReport {
-    /// Fraction of samples classified correctly.
+    /// Fraction of samples classified correctly (same zero-total guard
+    /// as [`SweepReport::accuracy`] — both route through one shared
+    /// implementation).
     pub fn accuracy(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.correct as f64 / self.total as f64
-        }
+        accuracy_fraction(self.correct, self.total)
     }
 
     /// Mean per-inference total energy.
     pub fn mean_total_energy(&self) -> Energy {
         self.mean_energy.total()
     }
+
+    /// Mean per-inference communication + crossbar energy — the groups
+    /// the event-driven zero-check saves on, and the axis the
+    /// rate-vs-temporal coding comparison is judged by.
+    pub fn mean_comm_crossbar_energy(&self) -> Energy {
+        self.mean_energy.get(Category::Communication) + self.mean_energy.get(Category::Crossbar)
+    }
 }
 
 /// Classifies every `(stimulus, label)` pair with the spiking simulator
 /// *and* meters the mapped fabric on each stimulus's actual spike trace:
-/// sample `i` is Poisson-encoded with seed `cfg.seed ^ i`, run for
-/// `cfg.steps` timesteps on the network's shared compiled kernels with
-/// trace recording on, and its trace is replayed through `mapping`'s
-/// [`EventSimulator`]. Parallel across samples; predictions are identical
-/// to [`spiking_accuracy_sweep`] at the same configuration.
+/// sample `i` is encoded under `cfg.encoding` with seed
+/// `cfg.sample_seed(i)`, run for `cfg.steps` timesteps on the network's
+/// shared compiled kernels with trace recording on, and its trace is
+/// replayed through `mapping`'s [`EventSimulator`]. Parallel across
+/// samples; predictions are identical to [`spiking_accuracy_sweep`] at
+/// the same configuration.
 ///
 /// # Panics
 ///
@@ -174,6 +230,7 @@ pub fn trace_energy_sweep(
     cfg: &SweepConfig,
 ) -> TraceEnergyReport {
     let kernels = net.compiled();
+    let readout = cfg.readout();
     let per_sample: Vec<(usize, EventReport)> = samples
         .par_iter()
         .enumerate()
@@ -182,7 +239,7 @@ pub fn trace_energy_sweep(
             let mut runner = SnnRunner::from_compiled(kernels.clone());
             let (outcome, trace) = runner.run_traced(&raster);
             let report = EventSimulator::new(mapping).run(&trace);
-            (outcome.predicted, report)
+            (outcome.decode(readout), report)
         })
         .collect();
 
@@ -208,6 +265,37 @@ pub fn trace_energy_sweep(
     }
 }
 
+/// Runs [`trace_energy_sweep`] once per coding scheme over the same
+/// labelled set — same network, same mapping, same per-sample seeds and
+/// timestep budget — and returns one `(encoding, report)` pair per
+/// scheme, in input order.
+///
+/// This is the accuracy-vs-energy-per-inference comparison across spike
+/// codes that only the trace-driven event path can make: the stationary
+/// simulator's per-timestep expectations cannot represent a TTFS train's
+/// single-spike sparsity or a burst's silent tail. The rate-coded entry
+/// reproduces a plain [`trace_energy_sweep`] at the same configuration
+/// exactly (same predictions, same energies).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`trace_energy_sweep`].
+pub fn encoding_energy_sweep(
+    net: &Network,
+    mapping: &Mapping,
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+    encodings: &[Encoding],
+) -> Vec<(Encoding, TraceEnergyReport)> {
+    encodings
+        .iter()
+        .map(|&encoding| {
+            let report = trace_energy_sweep(net, mapping, samples, &cfg.with_encoding(encoding));
+            (encoding, report)
+        })
+        .collect()
+}
+
 /// Tallies predictions against labels into a report (shared by both sweep
 /// flavours so scoring can never diverge between them).
 fn score(predictions: Vec<usize>, samples: &[(Vec<f32>, usize)]) -> SweepReport {
@@ -228,6 +316,7 @@ mod tests {
     use super::*;
     use crate::dataset::{DatasetKind, SyntheticImages};
     use resparc_neuro::prelude::*;
+    use std::collections::HashSet;
 
     fn trained_toy_net() -> (Network, Vec<(Vec<f32>, usize)>) {
         let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
@@ -244,16 +333,12 @@ mod tests {
     #[test]
     fn sweep_matches_serial_loop_exactly() {
         let (net, test) = trained_toy_net();
-        let cfg = SweepConfig {
-            steps: 30,
-            peak_rate: 0.8,
-            seed: 7,
-        };
+        let cfg = SweepConfig::rate(30, 0.8, 7);
         let report = spiking_accuracy_sweep(&net, &test, &cfg);
         assert_eq!(report.total, test.len());
         let mut correct = 0usize;
         for (i, (x, y)) in test.iter().enumerate() {
-            let mut enc = PoissonEncoder::new(cfg.peak_rate, cfg.seed ^ i as u64);
+            let mut enc = PoissonEncoder::new(cfg.peak_rate, cfg.sample_seed(i));
             let raster = enc.encode(x, cfg.steps);
             let predicted = net.spiking().run(&raster).predicted;
             assert_eq!(predicted, report.predictions[i], "sample {i}");
@@ -262,6 +347,24 @@ mod tests {
             }
         }
         assert_eq!(report.correct, correct);
+    }
+
+    #[test]
+    fn sample_seeds_are_decorrelated() {
+        // The seed ^ i scheme collapsed sample i == seed to RNG seed 0
+        // and made nearby base seeds share most per-sample streams; the
+        // splitmix64 mix must do neither.
+        let a = SweepConfig::rate(10, 0.8, 7);
+        assert_ne!(a.sample_seed(7), 0, "sample i == seed must not zero out");
+
+        let b = SweepConfig::rate(10, 0.8, 6);
+        let a_seeds: HashSet<u64> = (0..64).map(|i| a.sample_seed(i)).collect();
+        let b_seeds: HashSet<u64> = (0..64).map(|i| b.sample_seed(i)).collect();
+        assert_eq!(a_seeds.len(), 64, "per-sample seeds must be distinct");
+        assert!(
+            a_seeds.is_disjoint(&b_seeds),
+            "base seeds 6 and 7 must not share per-sample spike streams"
+        );
     }
 
     #[test]
@@ -284,11 +387,7 @@ mod tests {
         let mapping = Mapper::new(ResparcConfig::resparc_64())
             .map_network(&net)
             .unwrap();
-        let cfg = SweepConfig {
-            steps: 20,
-            peak_rate: 0.8,
-            seed: 7,
-        };
+        let cfg = SweepConfig::rate(20, 0.8, 7);
         let subset = &test[..8];
         let report = trace_energy_sweep(&net, &mapping, subset, &cfg);
         assert_eq!(report.total, 8);
@@ -313,6 +412,46 @@ mod tests {
             .sum::<f64>()
             / 8.0;
         assert!((report.mean_total_energy().picojoules() / mean_total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encoding_sweeps_share_seeds_and_decode_appropriately() {
+        use resparc_core::map::Mapper;
+        use resparc_core::ResparcConfig;
+
+        let (net, test) = trained_toy_net();
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let cfg = SweepConfig::rate(20, 0.8, 7);
+        let subset = &test[..4];
+        let reports = encoding_energy_sweep(
+            &net,
+            &mapping,
+            subset,
+            &cfg,
+            &[
+                Encoding::Rate,
+                Encoding::Ttfs,
+                Encoding::Burst {
+                    max_burst: 5,
+                    gap: 2,
+                },
+            ],
+        );
+        assert_eq!(reports.len(), 3);
+        // The rate entry is exactly a plain trace_energy_sweep.
+        let direct = trace_energy_sweep(&net, &mapping, subset, &cfg);
+        assert_eq!(reports[0].0, Encoding::Rate);
+        assert_eq!(reports[0].1, direct);
+        // Temporal codes move far fewer input spikes at matched steps.
+        for (enc, report) in &reports[1..] {
+            assert_eq!(report.total, 4);
+            assert!(
+                report.mean_comm_crossbar_energy() < direct.mean_comm_crossbar_energy(),
+                "{enc} should beat rate coding on comm+crossbar"
+            );
+        }
     }
 
     #[test]

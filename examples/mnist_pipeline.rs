@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Spiking accuracy over 80 timesteps of Poisson input — a batched
     // sweep on the network's compiled kernels, parallel across stimuli.
-    let sweep = SweepConfig {
-        steps: 80,
-        peak_rate: 0.8,
-        seed: 0,
-    };
+    let sweep = SweepConfig::rate(80, 0.8, 0);
     let snn_report = spiking_accuracy_sweep(&snn, &test, &sweep);
     println!(
         "SNN accuracy (4-bit, 80 steps): {:.1}%",

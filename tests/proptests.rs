@@ -237,6 +237,117 @@ proptest! {
         }
     }
 
+    /// Rate encoders behind the `SpikeEncoder` trait: the raster's mean
+    /// rate tracks the stimulus intensity (stochastically for Poisson,
+    /// to within one spike per neuron for the phase-accumulator regular
+    /// encoder).
+    #[test]
+    fn rate_encoder_mean_rate_tracks_intensity(
+        p in 0.05f32..0.95,
+        seed in 0u64..1_000,
+    ) {
+        let steps = 800usize;
+        let poisson = PoissonEncoder::new(1.0, 0).encode_seeded(&[p; 32], steps, seed);
+        prop_assert!(
+            (poisson.mean_rate() - p as f64).abs() < 0.06,
+            "poisson rate {} vs intensity {p}", poisson.mean_rate()
+        );
+        let regular = RegularEncoder::new(1.0).encode_seeded(&[p; 8], steps, seed);
+        prop_assert!(
+            (regular.mean_rate() - p as f64).abs() <= 1.0 / steps as f64 + 1e-9,
+            "regular rate {} vs intensity {p}", regular.mean_rate()
+        );
+    }
+
+    /// TTFS invariants: exactly one spike per positive input, none for
+    /// silent inputs, and first-spike latency monotone non-increasing in
+    /// intensity. The encoder is deterministic (the seed is ignored).
+    #[test]
+    fn ttfs_encoder_invariants(
+        intensities in proptest::collection::vec(0.0f32..1.0, 1..40),
+        steps in 1usize..48,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let enc = TtfsEncoder::new();
+        let raster = enc.encode_seeded(&intensities, steps, seed);
+        prop_assert_eq!(raster.len(), steps);
+        let counts = raster.spike_counts();
+        let first: Vec<Option<usize>> = (0..intensities.len())
+            .map(|i| raster.iter().position(|v| v.get(i)))
+            .collect();
+        for (i, &p) in intensities.iter().enumerate() {
+            prop_assert_eq!(counts[i], u32::from(p > 0.0), "input {i} intensity {p}");
+        }
+        for i in 0..intensities.len() {
+            for j in 0..intensities.len() {
+                if let (Some(ti), Some(tj)) = (first[i], first[j]) {
+                    if intensities[i] > intensities[j] {
+                        prop_assert!(
+                            ti <= tj,
+                            "intensity {} (t={ti}) vs {} (t={tj})",
+                            intensities[i], intensities[j]
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(
+            &raster,
+            &enc.encode_seeded(&intensities, steps, seed.wrapping_add(1)),
+            "TTFS is deterministic regardless of seed"
+        );
+    }
+
+    /// Burst invariants: burst length is `round(p × max_burst)` truncated
+    /// by the window, spikes land only on gap-aligned steps, silent
+    /// inputs stay silent.
+    #[test]
+    fn burst_encoder_invariants(
+        intensities in proptest::collection::vec(0.0f32..1.0, 1..32),
+        steps in 1usize..40,
+        max_burst in 1usize..10,
+        gap in 1usize..5,
+    ) {
+        let enc = BurstEncoder::new(max_burst, gap);
+        let raster = enc.encode_seeded(&intensities, steps, 0);
+        let counts = raster.spike_counts();
+        let fit = steps.div_ceil(gap);
+        for (i, &p) in intensities.iter().enumerate() {
+            let expected = ((p as f64) * max_burst as f64).round() as usize;
+            prop_assert_eq!(counts[i] as usize, expected.min(fit), "input {i} intensity {p}");
+            for (t, v) in raster.iter().enumerate() {
+                if v.get(i) {
+                    prop_assert_eq!(t % gap, 0, "spike off the gap grid at t={t}");
+                }
+            }
+        }
+    }
+
+    /// Every encoding behind the enum: a silent stimulus yields a silent
+    /// raster, and encoding is deterministic per `(stimulus, steps,
+    /// seed)`.
+    #[test]
+    fn encodings_are_silent_on_silence_and_deterministic(
+        steps in 1usize..30,
+        seed in proptest::prelude::any::<u64>(),
+        n in 1usize..50,
+    ) {
+        for encoding in [
+            Encoding::Rate,
+            Encoding::RegularRate,
+            Encoding::Ttfs,
+            Encoding::Burst { max_burst: 4, gap: 2 },
+        ] {
+            let silent = encoding.encode(0.9, &vec![0.0; n], steps, seed);
+            prop_assert_eq!(silent.total_spikes(), 0, "{} must stay silent", encoding);
+            let xs: Vec<f32> = (0..n).map(|i| (i % 7) as f32 / 7.0).collect();
+            let a = encoding.encode(0.9, &xs, steps, seed);
+            let b = encoding.encode(0.9, &xs, steps, seed);
+            prop_assert_eq!(&a, &b, "{} must be deterministic per seed", encoding);
+            prop_assert_eq!(a.len(), steps);
+        }
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

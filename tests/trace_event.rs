@@ -191,6 +191,16 @@ fn all_silent_trace_charges_zero_crossbar_and_neuron_energy() {
     let report = EventSimulator::new(&mapping).run(&trace);
     assert_eq!(report.energy.get(Category::Crossbar), Energy::ZERO);
     assert_eq!(report.energy.get(Category::Neuron), Energy::ZERO);
+    // Regression: silent / degenerate traces must never produce NaN/inf
+    // rate metrics, and silent steps pay only the clocked minimum.
+    assert!(report.throughput.is_finite());
+    assert!(report.energy_delay_product().is_finite());
+    assert_eq!(report.active_steps, 0);
+    assert_eq!(report.total_cycles, 10);
+    let empty = EventSimulator::new(&mapping).run(&SpikeTrace::silent(&counts, 0));
+    assert!(empty.throughput.is_finite());
+    assert_eq!(empty.throughput, 0.0);
+    assert!(empty.energy_delay_product().is_finite());
     for ls in &report.layers {
         assert_eq!(ls.packets_delivered, 0);
         assert_eq!(ls.reads_performed, 0);
@@ -215,11 +225,7 @@ fn trace_energy_sweep_tracks_stimulus_sparsity() {
             (x, k % 10)
         })
         .collect();
-    let cfg = SweepConfig {
-        steps: 25,
-        peak_rate: 0.8,
-        seed: 5,
-    };
+    let cfg = SweepConfig::rate(25, 0.8, 5);
     let dense = trace_energy_sweep(&net, &mapping, &dense_set, &cfg);
     let sparse = trace_energy_sweep(&net, &mapping, &sparse_set, &cfg);
     assert!(

@@ -137,9 +137,59 @@ fn bench_encoding_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-tenant replay: three small MLP tenants' traces through one
+/// shared pool (`shared_replay`, one `SharedEventSimulator::run`) vs the
+/// same three traces replayed one-by-one on dedicated mappings
+/// (`serial_replay`). The pair feeds the machine-independent
+/// `shared_replay=serial_replay` ratio gate in CI: shared replay does
+/// strictly more bookkeeping per call (per-tenant splits, contention
+/// interleave), so its cost must stay a bounded multiple of the serial
+/// walk whatever the runner hardware.
+fn bench_multi_tenant(c: &mut Criterion) {
+    let nets: Vec<Network> = (0..3)
+        .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 70 + s, 1.0))
+        .collect();
+    let stimulus: Vec<f32> = (0..144).map(|i| (i % 9) as f32 / 9.0).collect();
+    let traces: Vec<SpikeTrace> = nets
+        .iter()
+        .map(|net| {
+            let mut enc = PoissonEncoder::new(0.5, 7);
+            let raster = enc.encode(&stimulus, STEPS);
+            net.spiking().run_traced(&raster).1
+        })
+        .collect();
+
+    let cfg = ResparcConfig::resparc_64().with_timesteps(STEPS as u32);
+    let mut pool = FabricPool::new(cfg.clone());
+    let ids: Vec<TenantId> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, net)| pool.admit(net, &format!("t{i}")).expect("fits"))
+        .collect();
+    let pairs: Vec<(TenantId, &SpikeTrace)> = ids.iter().copied().zip(traces.iter()).collect();
+    let mappings: Vec<Mapping> = nets
+        .iter()
+        .map(|net| Mapper::new(cfg.clone()).map_network(net).expect("valid"))
+        .collect();
+
+    let mut group = c.benchmark_group("multi_tenant");
+    group.sample_size(10);
+    group.bench_function("shared_replay", |b| {
+        b.iter(|| black_box(SharedEventSimulator::new(black_box(&pool)).run(black_box(&pairs))))
+    });
+    group.bench_function("serial_replay", |b| {
+        b.iter(|| {
+            for (mapping, trace) in mappings.iter().zip(&traces) {
+                black_box(EventSimulator::new(black_box(mapping)).run(black_box(trace)));
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = trace_energy;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep
+    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant
 }
 criterion_main!(trace_energy);

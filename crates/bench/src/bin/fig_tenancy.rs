@@ -1,0 +1,6 @@
+//! Prints the multi-tenancy comparison table (serial vs co-resident
+//! execution on one NeuroCell pool, priced by the shared event
+//! simulator).
+fn main() {
+    println!("{}", resparc_bench::fig_tenancy());
+}

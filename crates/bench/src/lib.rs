@@ -463,6 +463,64 @@ pub fn fig_encoding() -> String {
     )
 }
 
+/// Multi-tenancy comparison (beyond the paper): N networks sharing one
+/// NeuroCell pool vs taking turns on it — identical spike traces,
+/// identical per-event charges, so the whole difference is how long the
+/// powered pool leaks and how its shared bus serialises. This is the
+/// reconfigurability story of §3 priced end-to-end: co-residency
+/// amortizes idle-NC leakage across tenants and overlaps their
+/// makespans, at the cost of measurable bus contention.
+pub fn fig_tenancy() -> String {
+    use resparc_suite::resparc_workloads::multi_tenant_sweep;
+
+    let pool_cfg = ResparcConfig::resparc_64();
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, SEED);
+    let samples = gen.labelled_set(4, 900);
+    let sweep = SweepConfig::rate(25, 0.7, SEED);
+
+    let mut rows = Vec::new();
+    for tenants in [2usize, 3, 4] {
+        let nets: Vec<Network> = (0..tenants as u64)
+            .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 60 + s, 1.0))
+            .collect();
+        let r = multi_tenant_sweep(&nets, &samples, &sweep, &pool_cfg).expect("tenants fit");
+        rows.push(vec![
+            format!("{tenants}"),
+            format!("{:.0}%", 100.0 * r.pool_utilization),
+            format!(
+                "{:.2} / {:.2}",
+                r.serial.latency.microseconds(),
+                r.shared.latency.microseconds()
+            ),
+            format!(
+                "{:.1} / {:.1}",
+                r.serial.energy_per_inference().nanojoules(),
+                r.shared.energy_per_inference().nanojoules()
+            ),
+            format!("{:.2}x", r.energy_per_inference_gain()),
+            format!("{:.2}x", r.edp_gain()),
+            format!("{:.0}%", 100.0 * r.mean_bus_occupancy),
+        ]);
+    }
+    format!(
+        "Multi-tenant fabric — serial vs co-resident execution on one RESPARC-64 pool\n\
+         (random 144-96-10 MLP tenants, 4 rounds x 25 steps, trace-driven shared replay;\n\
+         E/inference bills the whole powered pool's leakage to its resident tenants)\n{}",
+        fmt_table(
+            &[
+                "Tenants",
+                "NC util",
+                "Wall-clock us (ser/co)",
+                "E/inf nJ (ser/co)",
+                "E/inf gain",
+                "EDP gain",
+                "Bus busy"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Every figure in order, as `(name, text)` pairs.
 pub fn all_figures() -> Vec<(&'static str, String)> {
     vec![
@@ -475,6 +533,7 @@ pub fn all_figures() -> Vec<(&'static str, String)> {
         ("fig14a", fig14a()),
         ("fig14b", fig14b()),
         ("fig_encoding", fig_encoding()),
+        ("fig_tenancy", fig_tenancy()),
     ]
 }
 

@@ -1,0 +1,805 @@
+//! Multi-tenant fabric: several mapped networks co-resident on one
+//! physical NeuroCell pool, their event traces interleaved per timestep.
+//!
+//! RESPARC's reconfigurability pitch is that one mPE fabric serves many
+//! SNN topologies. The mapper and simulators elsewhere in this crate are
+//! single-tenant — every [`Mapping`] assumes it owns NC `0..N` and every
+//! replay assumes an idle fabric. This module hosts the shared view:
+//!
+//! * [`FabricPool`] owns the physical NC inventory of a
+//!   [`ResparcConfig`] and admits mappings at NeuroCell granularity: a
+//!   tenant receives a contiguous run of free NCs (first-fit), its
+//!   [`Placement`](crate::map::Placement) is expressed in pool
+//!   coordinates (the origin-0 probe is translated into the allocated
+//!   run — identical to [`Mapper::map_network_at`] there, without
+//!   re-partitioning), and admission fails with a typed [`AdmitError`]
+//!   when no run fits. Evicting a tenant restores the free list exactly.
+//! * [`SharedEventSimulator`] replays one [`SpikeTrace`] per tenant
+//!   through the pool **concurrently**: tenants sit on disjoint NCs, so
+//!   per timestep their compute phases and switch traffic overlap (the
+//!   step costs the *maximum* across tenants), while the global bus and
+//!   input SRAM are shared and serialise (the step *sums* every tenant's
+//!   bus transactions — the contention a dedicated fabric never sees).
+//!   Every per-event charge goes to the same [`Category`] ledger through
+//!   the exact replay core the single-tenant
+//!   [`EventSimulator`](crate::sim::event::EventSimulator) uses, so a
+//!   pool with one tenant reproduces the dedicated-fabric report
+//!   *bit-identically*.
+//!
+//! The economics of co-residency are leakage and occupancy: a pool
+//! executing tenants serially bills the whole powered chip's leakage for
+//! the *sum* of their latencies, while co-resident tenants amortize it
+//! over one overlapped makespan. [`SharedReport`] exposes the split —
+//! per-tenant dynamic energy, the occupied-fabric leakage charged to the
+//! ledger, the [`idle-NC leakage`](SharedReport::idle_leakage) of the
+//! pool remainder, and bus occupancy — and
+//! `resparc_workloads::sweep::multi_tenant_sweep` turns it into the
+//! serial-vs-co-resident comparison.
+
+use std::fmt;
+
+use resparc_energy::accounting::{Category, EnergyBreakdown};
+use resparc_energy::sram::SramSpec;
+use resparc_energy::units::{Energy, Power, Time};
+use resparc_neuro::network::Network;
+use resparc_neuro::topology::Topology;
+use resparc_neuro::trace::SpikeTrace;
+
+use crate::config::ResparcConfig;
+use crate::map::{MapError, Mapper, Mapping};
+use crate::sim::cost;
+use crate::sim::event::{fold_factor, replay_trace, EventLayerStats, TraceReplay};
+
+/// Handle of one admitted tenant (stable across evictions of others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The raw admission index (monotone per pool).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Why the pool rejected an admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The network could not be mapped at all (invalid configuration).
+    Map(MapError),
+    /// No contiguous run of free NeuroCells is large enough.
+    CapacityExhausted {
+        /// NeuroCells the tenant needs (contiguously).
+        needed_ncs: usize,
+        /// Free NeuroCells in the pool (any position).
+        free_ncs: usize,
+        /// Longest contiguous free run currently available.
+        largest_free_run: usize,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Map(e) => write!(f, "mapping failed: {e}"),
+            AdmitError::CapacityExhausted {
+                needed_ncs,
+                free_ncs,
+                largest_free_run,
+            } => write!(
+                f,
+                "capacity exhausted: tenant needs {needed_ncs} contiguous NeuroCell(s), pool has \
+                 {free_ncs} free ({largest_free_run} contiguous)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// One network resident on the pool: its mapping is placed in pool
+/// coordinates (spans carry the NC-run offset the pool allocated).
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Admission handle.
+    pub id: TenantId,
+    /// Caller-supplied label (reports, figures).
+    pub name: String,
+    /// The tenant's mapping, placed at its allocated NC origin.
+    pub mapping: Mapping,
+}
+
+impl Tenant {
+    /// First NeuroCell this tenant occupies.
+    pub fn first_nc(&self) -> usize {
+        self.mapping.placement.origin_nc
+    }
+
+    /// One past the last NeuroCell this tenant occupies.
+    pub fn end_nc(&self) -> usize {
+        self.mapping.placement.end_nc()
+    }
+
+    /// NeuroCells this tenant occupies.
+    pub fn nc_count(&self) -> usize {
+        self.mapping.placement.ncs_used
+    }
+}
+
+/// The physical NC/mPE inventory of one chip, shared by many tenants.
+#[derive(Debug, Clone)]
+pub struct FabricPool {
+    config: ResparcConfig,
+    /// Per-physical-NC owner; `None` = free. This *is* the free list:
+    /// eviction must restore it exactly (property-tested).
+    occupancy: Vec<Option<TenantId>>,
+    tenants: Vec<Tenant>,
+    next_id: u32,
+}
+
+impl FabricPool {
+    /// Creates an empty pool over the machine's `physical_ncs`
+    /// NeuroCells.
+    pub fn new(config: ResparcConfig) -> Self {
+        let slots = config.physical_ncs;
+        Self {
+            config,
+            occupancy: vec![None; slots],
+            tenants: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The machine configuration every tenant is mapped against.
+    pub fn config(&self) -> &ResparcConfig {
+        &self.config
+    }
+
+    /// Physical NeuroCells on the chip.
+    pub fn physical_ncs(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Per-NC ownership (`None` = free), in NC order.
+    pub fn occupancy(&self) -> &[Option<TenantId>] {
+        &self.occupancy
+    }
+
+    /// Free NeuroCells (any position).
+    pub fn free_ncs(&self) -> usize {
+        self.occupancy.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// NeuroCells currently owned by tenants.
+    pub fn occupied_ncs(&self) -> usize {
+        self.physical_ncs() - self.free_ncs()
+    }
+
+    /// Fraction of the pool's NeuroCells owned by tenants.
+    pub fn utilization(&self) -> f64 {
+        if self.occupancy.is_empty() {
+            return 0.0;
+        }
+        self.occupied_ncs() as f64 / self.physical_ncs() as f64
+    }
+
+    /// Longest contiguous free NC run (what the next admission can get).
+    pub fn largest_free_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for slot in &self.occupancy {
+            if slot.is_none() {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// Resident tenants, in admission order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Looks up a resident tenant by id.
+    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Admits a trained network: maps it with the pool's configuration,
+    /// allocates the first contiguous free NC run that fits (first-fit)
+    /// and places the mapping there in pool coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Map`] if mapping fails,
+    /// [`AdmitError::CapacityExhausted`] if no free run is large enough.
+    pub fn admit(&mut self, network: &Network, name: &str) -> Result<TenantId, AdmitError> {
+        let probe = Mapper::new(self.config.clone())
+            .map_network(network)
+            .map_err(AdmitError::Map)?;
+        self.admit_mapping(probe, name)
+    }
+
+    /// Admits a bare topology (mean |weight| 0.5 per layer, as
+    /// [`Mapper::map`]); see [`FabricPool::admit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FabricPool::admit`].
+    pub fn admit_topology(
+        &mut self,
+        topology: &Topology,
+        name: &str,
+    ) -> Result<TenantId, AdmitError> {
+        let probe = Mapper::new(self.config.clone())
+            .map(topology)
+            .map_err(AdmitError::Map)?;
+        self.admit_mapping(probe, name)
+    }
+
+    fn admit_mapping(&mut self, probe: Mapping, name: &str) -> Result<TenantId, AdmitError> {
+        // The origin-0 probe sizes the tenant; translating it into the
+        // allocated run is a pure coordinate shift (identical to
+        // re-placing there — property-tested), so the expensive
+        // partitioning runs exactly once per admission.
+        let needed = probe.placement.ncs_used.max(1);
+        let origin = self
+            .find_free_run(needed)
+            .ok_or_else(|| AdmitError::CapacityExhausted {
+                needed_ncs: needed,
+                free_ncs: self.free_ncs(),
+                largest_free_run: self.largest_free_run(),
+            })?;
+        let mut mapping = probe;
+        if origin > 0 {
+            mapping.placement = mapping.placement.translated(origin, &self.config);
+        }
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        for slot in &mut self.occupancy[origin..origin + needed] {
+            *slot = Some(id);
+        }
+        self.tenants.push(Tenant {
+            id,
+            name: name.to_string(),
+            mapping,
+        });
+        Ok(id)
+    }
+
+    /// Evicts a tenant, freeing its NC run; returns it (with its
+    /// pool-coordinate mapping) or `None` if the id is not resident.
+    pub fn evict(&mut self, id: TenantId) -> Option<Tenant> {
+        let at = self.tenants.iter().position(|t| t.id == id)?;
+        let tenant = self.tenants.remove(at);
+        for slot in &mut self.occupancy {
+            if *slot == Some(id) {
+                *slot = None;
+            }
+        }
+        Some(tenant)
+    }
+
+    /// First-fit: the start of the leftmost contiguous free run of
+    /// `len` NCs.
+    fn find_free_run(&self, len: usize) -> Option<usize> {
+        let mut start = 0usize;
+        let mut run = 0usize;
+        for (i, slot) in self.occupancy.iter().enumerate() {
+            if slot.is_none() {
+                if run == 0 {
+                    start = i;
+                }
+                run += 1;
+                if run == len {
+                    return Some(start);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+}
+
+/// Leakage power of `mpes` mPEs plus the switch fabric of `switch_ncs`
+/// NeuroCells — the one composition every leakage domain (dedicated
+/// chip, occupied pool, idle remainder, whole pool) is built from, so
+/// the domains can never drift apart term-by-term.
+pub(crate) fn logic_leakage_power(config: &ResparcConfig, mpes: usize, switch_ncs: usize) -> Power {
+    config.catalog.mpe_leakage * mpes as f64
+        + config.catalog.switch_leakage * (switch_ncs * config.switches_per_nc()) as f64
+}
+
+/// Leakage power of the whole powered pool: every physical mPE and
+/// switch plus the shared input SRAM. This is what a serially-executed
+/// tenant bills for its entire latency — and what co-residency amortizes.
+pub fn pool_leakage_power(config: &ResparcConfig) -> Power {
+    let sram = SramSpec::new(config.input_sram_bytes, config.packet_bits).build();
+    logic_leakage_power(
+        config,
+        config.physical_ncs * config.mpes_per_nc(),
+        config.physical_ncs,
+    ) + sram.leakage()
+}
+
+/// One tenant's slice of a shared replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Which tenant.
+    pub tenant: TenantId,
+    /// The tenant's label at admission.
+    pub name: String,
+    /// Dynamic energy this tenant's trace charged (no leakage).
+    pub energy: EnergyBreakdown,
+    /// This tenant's amortized share of the whole pool's leakage over
+    /// the shared makespan (occupied + idle NCs + SRAM), split
+    /// proportionally to mapped NC count across the pool's *residents*.
+    /// Shares of resident tenants absent from this replay round are not
+    /// reported, so the reported shares sum to the full pool leakage
+    /// only when every resident ran.
+    pub leakage_share: Energy,
+    /// Timesteps in the tenant's trace.
+    pub steps: usize,
+    /// Steps in which the tenant fired at least one crossbar read.
+    pub active_steps: usize,
+    /// Per-layer event tallies (identical to a dedicated-fabric replay).
+    pub layers: Vec<EventLayerStats>,
+}
+
+impl TenantReport {
+    /// Dynamic energy plus the amortized pool-leakage share — the
+    /// tenant's all-in energy bill for this inference.
+    pub fn billed_energy(&self) -> Energy {
+        self.energy.total() + self.leakage_share
+    }
+}
+
+/// Report of one shared replay round: every tenant's trace interleaved
+/// through the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedReport {
+    /// The pool-wide ledger: every tenant's dynamic charges plus the
+    /// *occupied*-fabric leakage over the makespan — category-compatible
+    /// with a single-tenant [`EventReport`](crate::sim::event::EventReport)
+    /// (a one-tenant pool reproduces it exactly).
+    pub energy: EnergyBreakdown,
+    /// Leakage of the NeuroCells no resident tenant owns, over the
+    /// makespan — the cost of owning a bigger chip than the resident
+    /// tenants need. Ledger leakage plus this always equals
+    /// [`pool_leakage_power`]` × latency`.
+    pub idle_leakage: Energy,
+    /// Makespan in timesteps (longest tenant trace).
+    pub steps: usize,
+    /// Steps in which at least one tenant fired a crossbar read.
+    pub active_steps: usize,
+    /// Total cycles of the shared timeline.
+    pub total_cycles: u64,
+    /// Cycles the shared global bus was busy (summed tenant
+    /// transactions — the contention signal).
+    pub bus_busy_cycles: u64,
+    /// Wall-clock makespan.
+    pub latency: Time,
+    /// Classifications per second: every tenant finishes one inference
+    /// in one makespan.
+    pub throughput: f64,
+    /// Per-tenant splits, in input order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl SharedReport {
+    /// Total ledger energy (dynamic + occupied leakage, no idle).
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// Whole-powered-pool energy: ledger plus idle-NC leakage. Equals
+    /// `Σ tenant dynamic + pool_leakage_power × latency`.
+    pub fn pool_energy(&self) -> Energy {
+        self.energy.total() + self.idle_leakage
+    }
+
+    /// Mean all-in energy per inference (pool energy over the tenant
+    /// count).
+    pub fn pool_energy_per_inference(&self) -> Energy {
+        if self.tenants.is_empty() {
+            return Energy::ZERO;
+        }
+        self.pool_energy() * (1.0 / self.tenants.len() as f64)
+    }
+
+    /// Pool-energy × makespan (pJ·ns); `0.0` when not finite.
+    pub fn energy_delay_product(&self) -> f64 {
+        let edp = self.pool_energy().picojoules() * self.latency.nanoseconds();
+        if edp.is_finite() {
+            edp
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the makespan's cycles the shared bus was busy.
+    pub fn bus_occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.bus_busy_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+/// Trace-driven event simulator over a [`FabricPool`]: replays one trace
+/// per tenant, interleaved per timestep through the shared fabric.
+#[derive(Debug, Clone)]
+pub struct SharedEventSimulator<'p> {
+    pool: &'p FabricPool,
+}
+
+impl<'p> SharedEventSimulator<'p> {
+    /// Creates a simulator over the pool's resident tenants.
+    pub fn new(pool: &'p FabricPool) -> Self {
+        Self { pool }
+    }
+
+    /// Replays one trace per tenant through the shared fabric.
+    ///
+    /// Per timestep, tenants on their disjoint NC runs compute and
+    /// switch concurrently (the step pays the maximum of their local
+    /// cycles) while their global-bus transactions serialise on the
+    /// shared bus/SRAM (the step sums them). Dynamic energy is charged
+    /// through the same replay core as the single-tenant
+    /// [`EventSimulator`](crate::sim::event::EventSimulator); leakage of
+    /// the occupied fabric goes to the ledger and the idle remainder of
+    /// the pool is reported separately, amortized across tenants in
+    /// [`TenantReport::leakage_share`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty, names a tenant not resident in the
+    /// pool, lists a tenant twice, or a trace's boundary structure does
+    /// not match its tenant's mapping.
+    pub fn run(&self, traces: &[(TenantId, &SpikeTrace)]) -> SharedReport {
+        assert!(
+            !traces.is_empty(),
+            "shared replay needs at least one tenant trace"
+        );
+        let mut entries: Vec<(&Tenant, &SpikeTrace)> = Vec::with_capacity(traces.len());
+        for (id, trace) in traces {
+            let tenant = self
+                .pool
+                .tenant(*id)
+                .unwrap_or_else(|| panic!("{id} is not resident in the pool"));
+            assert!(
+                entries.iter().all(|(t, _)| t.id != *id),
+                "{id} listed twice in one shared replay"
+            );
+            entries.push((tenant, trace));
+        }
+
+        let cfg = &self.pool.config;
+        let replays: Vec<TraceReplay> = entries
+            .iter()
+            .map(|(tenant, trace)| replay_trace(&tenant.mapping, trace))
+            .collect();
+        let folds: Vec<u64> = entries
+            .iter()
+            .map(|(tenant, _)| fold_factor(&tenant.mapping))
+            .collect();
+        let steps = replays
+            .iter()
+            .map(|r| r.compute_cycles.len())
+            .max()
+            .unwrap_or(0);
+
+        // --- Shared timeline: max over disjoint NC runs, sum on the bus.
+        let mut total_cycles = 0u64;
+        let mut bus_busy_cycles = 0u64;
+        let mut active_steps = 0usize;
+        for t in 0..steps {
+            let mut local = 0u64;
+            let mut bus = 0u64;
+            let mut any_active = false;
+            for (replay, &fold) in replays.iter().zip(&folds) {
+                if t < replay.compute_cycles.len() {
+                    local = local.max((replay.compute_cycles[t] + replay.comm_cycles[t]) * fold);
+                    bus += replay.bus_cycles[t];
+                    any_active |= replay.compute_cycles[t] > 0;
+                }
+            }
+            total_cycles += (local + bus).max(1);
+            bus_busy_cycles += bus;
+            if any_active {
+                active_steps += 1;
+            }
+        }
+        let latency = cfg.frequency.cycles_to_time(total_cycles);
+
+        // --- Ledger: every replayed tenant's dynamic charges, then
+        // leakage of the occupied fabric. "Occupied" is a property of
+        // pool *residency*, not of this round's trace set: a resident
+        // tenant's silicon is powered whether or not it ran this round.
+        // The domain is the same min-of-physical-and-mapped one the
+        // single-tenant simulator charges, so a pool whose only resident
+        // is the one replayed tenant reproduces it exactly.
+        let mut energy = EnergyBreakdown::new();
+        for replay in &replays {
+            energy.merge(&replay.energy);
+        }
+        let sram = SramSpec::new(cfg.input_sram_bytes, cfg.packet_bits).build();
+        let physical_mpes_cap = cfg.physical_ncs * cfg.mpes_per_nc();
+        let resident_mpes: usize = self
+            .pool
+            .tenants()
+            .iter()
+            .map(|tenant| tenant.mapping.placement.mpes_used)
+            .sum();
+        let resident_ncs: usize = self
+            .pool
+            .tenants()
+            .iter()
+            .map(|tenant| tenant.mapping.placement.ncs_used)
+            .sum();
+        let occupied_mpes = physical_mpes_cap.min(resident_mpes.max(1));
+        let occupied_switch_ncs = cfg.physical_ncs.min(resident_ncs.max(1));
+        let logic_leak = logic_leakage_power(cfg, occupied_mpes, occupied_switch_ncs);
+        energy.charge(Category::LogicLeakage, logic_leak * latency);
+        energy.charge(Category::MemoryLeakage, sram.leakage() * latency);
+
+        // --- Idle remainder of the pool + per-tenant amortization. The
+        // occupied and idle domains partition the physical pool, so
+        // ledger leakage + idle_leakage always equals
+        // `pool_leakage_power(cfg) × latency` by construction.
+        let idle_mpes = physical_mpes_cap - occupied_mpes;
+        let idle_switch_ncs = cfg.physical_ncs - occupied_switch_ncs;
+        let idle_leakage = logic_leakage_power(cfg, idle_mpes, idle_switch_ncs) * latency;
+        let pool_leakage =
+            energy.get(Category::LogicLeakage) + energy.get(Category::MemoryLeakage) + idle_leakage;
+
+        let tenants = entries
+            .iter()
+            .zip(replays)
+            .map(|((tenant, _), replay)| {
+                // NC-proportional amortization over *residents*: replaying
+                // a subset of the pool bills each replayed tenant its own
+                // floorplan share and leaves the absent residents' shares
+                // unreported rather than shifting them onto this round.
+                let nc_share =
+                    tenant.mapping.placement.ncs_used as f64 / resident_ncs.max(1) as f64;
+                TenantReport {
+                    tenant: tenant.id,
+                    name: tenant.name.clone(),
+                    leakage_share: pool_leakage * nc_share,
+                    steps: replay.compute_cycles.len(),
+                    active_steps: replay.compute_cycles.iter().filter(|&&c| c > 0).count(),
+                    energy: replay.energy,
+                    layers: replay.layers,
+                }
+            })
+            .collect();
+
+        SharedReport {
+            energy,
+            idle_leakage,
+            steps,
+            active_steps,
+            total_cycles,
+            bus_busy_cycles,
+            latency,
+            throughput: cost::safe_throughput(latency) * traces.len() as f64,
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resparc_neuro::encoding::RegularEncoder;
+    use resparc_neuro::topology::Topology;
+
+    fn small_net(seed: u64) -> Network {
+        Network::random(Topology::mlp(96, &[64, 10]), seed, 1.0)
+    }
+
+    fn traced(net: &Network, rate: f32, steps: usize) -> SpikeTrace {
+        let inputs = net.input_count();
+        let stimulus: Vec<f32> = (0..inputs).map(|i| rate * ((i % 5) as f32 / 4.0)).collect();
+        let raster = RegularEncoder::new(1.0).encode(&stimulus, steps);
+        let (_, trace) = net.spiking().run_traced(&raster);
+        trace
+    }
+
+    #[test]
+    fn admits_tenants_on_disjoint_nc_runs() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit(&small_net(1), "a").unwrap();
+        let b = pool.admit(&small_net(2), "b").unwrap();
+        assert_ne!(a, b);
+        let ta = pool.tenant(a).unwrap();
+        let tb = pool.tenant(b).unwrap();
+        assert!(ta.end_nc() <= tb.first_nc() || tb.end_nc() <= ta.first_nc());
+        assert_eq!(pool.occupied_ncs(), ta.nc_count() + tb.nc_count());
+        assert!(pool.utilization() > 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_when_capacity_exhausted() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        // The paper's MNIST MLP occupies 8 NCs on RESPARC-64; a third
+        // copy cannot fit the 16-NC pool.
+        let big = resparc_neuro::topology::Topology::mlp(784, &[800, 800, 10]);
+        pool.admit_topology(&big, "one").unwrap();
+        pool.admit_topology(&big, "two").unwrap();
+        let err = pool.admit_topology(&big, "three").unwrap_err();
+        match err {
+            AdmitError::CapacityExhausted {
+                needed_ncs,
+                free_ncs,
+                largest_free_run,
+            } => {
+                assert!(needed_ncs > largest_free_run);
+                assert!(largest_free_run <= free_ncs);
+            }
+            other => panic!("expected CapacityExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn evict_restores_free_list_exactly() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit(&small_net(1), "a").unwrap();
+        let before = pool.occupancy().to_vec();
+        let b = pool.admit(&small_net(2), "b").unwrap();
+        let evicted = pool.evict(b).expect("b resident");
+        assert_eq!(evicted.id, b);
+        assert_eq!(pool.occupancy(), &before[..]);
+        assert!(pool.tenant(b).is_none());
+        assert!(pool.tenant(a).is_some());
+        assert!(pool.evict(b).is_none(), "double evict must be None");
+    }
+
+    #[test]
+    fn single_tenant_shared_replay_is_bit_identical_to_dedicated() {
+        use crate::sim::event::EventSimulator;
+
+        let net = small_net(7);
+        let trace = traced(&net, 0.8, 18);
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let id = pool.admit(&net, "solo").unwrap();
+
+        let dedicated = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let single = EventSimulator::new(&dedicated).run(&trace);
+        let shared = SharedEventSimulator::new(&pool).run(&[(id, &trace)]);
+
+        assert_eq!(shared.energy, single.energy, "ledger must be bit-identical");
+        assert_eq!(shared.total_cycles, single.total_cycles);
+        assert_eq!(shared.latency, single.latency);
+        assert_eq!(shared.steps, single.steps);
+        assert_eq!(shared.active_steps, single.active_steps);
+        assert_eq!(shared.throughput, single.throughput);
+        assert_eq!(shared.tenants[0].layers, single.layers);
+    }
+
+    #[test]
+    fn shared_replay_sums_dynamic_and_overlaps_makespan() {
+        use crate::sim::event::EventSimulator;
+
+        let nets: Vec<Network> = (0..3).map(small_net).collect();
+        let traces: Vec<SpikeTrace> = nets.iter().map(|n| traced(n, 0.7, 20)).collect();
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let ids: Vec<TenantId> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| pool.admit(n, &format!("t{i}")).unwrap())
+            .collect();
+        let pairs: Vec<(TenantId, &SpikeTrace)> = ids.iter().copied().zip(traces.iter()).collect();
+        let shared = SharedEventSimulator::new(&pool).run(&pairs);
+
+        // Per-tenant dynamic energy and tallies match a dedicated run.
+        let mapper = Mapper::new(ResparcConfig::resparc_64());
+        let mut serial_cycles = 0u64;
+        for (net, (trace, tr)) in nets.iter().zip(traces.iter().zip(&shared.tenants)) {
+            let dedicated = mapper.map_network(net).unwrap();
+            let single = EventSimulator::new(&dedicated).run(trace);
+            assert_eq!(tr.layers, single.layers);
+            for cat in Category::ALL {
+                if matches!(cat, Category::LogicLeakage | Category::MemoryLeakage) {
+                    continue;
+                }
+                assert_eq!(tr.energy.get(cat), single.energy.get(cat), "{cat}");
+            }
+            serial_cycles += single.total_cycles;
+        }
+
+        // The overlapped makespan beats serial execution, even with bus
+        // contention.
+        assert!(
+            shared.total_cycles < serial_cycles,
+            "shared {} vs serial {}",
+            shared.total_cycles,
+            serial_cycles
+        );
+        assert!(shared.bus_occupancy() > 0.0 && shared.bus_occupancy() <= 1.0);
+        // Leakage shares amortize the entire powered pool.
+        let shares: Energy = shared.tenants.iter().map(|t| t.leakage_share).sum();
+        let pool_leak = pool_leakage_power(pool.config()) * shared.latency;
+        assert!(
+            (shares.picojoules() / pool_leak.picojoules() - 1.0).abs() < 1e-9,
+            "shares {shares} vs pool {pool_leak}"
+        );
+        assert!(
+            (shared.pool_energy().picojoules()
+                / (shared
+                    .tenants
+                    .iter()
+                    .map(|t| t.energy.total())
+                    .sum::<Energy>()
+                    + pool_leak)
+                    .picojoules()
+                - 1.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn subset_replay_bills_residency_not_the_trace_set() {
+        // Leakage domains follow pool residency: replaying one of two
+        // resident tenants must still treat the absent resident's
+        // silicon as occupied (not idle), and must not shift its
+        // floorplan share of the pool leakage onto the tenant that ran.
+        let cfg = ResparcConfig::resparc_64();
+        let a = small_net(1);
+        let b = small_net(2);
+        let trace = traced(&a, 0.8, 12);
+
+        let mut solo = FabricPool::new(cfg.clone());
+        let solo_id = solo.admit(&a, "a").unwrap();
+        let solo_run = SharedEventSimulator::new(&solo).run(&[(solo_id, &trace)]);
+
+        let mut pool = FabricPool::new(cfg);
+        let id_a = pool.admit(&a, "a").unwrap();
+        pool.admit(&b, "b").unwrap();
+        let shared = SharedEventSimulator::new(&pool).run(&[(id_a, &trace)]);
+
+        // Same trace, same timeline — but the two-resident pool's
+        // occupied-leakage domain includes b's NCs.
+        assert_eq!(shared.latency, solo_run.latency);
+        assert!(
+            shared.energy.get(Category::LogicLeakage) > solo_run.energy.get(Category::LogicLeakage)
+        );
+        assert!(shared.idle_leakage < solo_run.idle_leakage);
+        // a pays its own NC-proportional share of the pool, strictly
+        // less than the whole pool's leakage (b's share goes unreported,
+        // not onto a).
+        let pool_leak = pool_leakage_power(pool.config()) * shared.latency;
+        assert!(shared.tenants[0].leakage_share < pool_leak);
+        assert!(shared.tenants[0].leakage_share < solo_run.tenants[0].leakage_share);
+        // Occupied + idle still partitions the full powered pool.
+        let accounted = shared.energy.get(Category::LogicLeakage)
+            + shared.energy.get(Category::MemoryLeakage)
+            + shared.idle_leakage;
+        assert!((accounted.picojoules() / pool_leak.picojoules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_tenant_trace_panics() {
+        let net = small_net(3);
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let id = pool.admit(&net, "a").unwrap();
+        let bad = SpikeTrace::silent(&[96, 10], 4);
+        let result = std::panic::catch_unwind(|| {
+            SharedEventSimulator::new(&pool).run(&[(id, &bad)]);
+        });
+        assert!(result.is_err());
+    }
+}

@@ -15,6 +15,11 @@
 //!   breakdowns reproduce Fig. 11–13, plus the trace-driven event
 //!   simulator ([`sim::event`]) that replays measured spike traces
 //!   through the fabric packet-by-packet,
+//! * [`fabric`] — the multi-tenant view: a [`FabricPool`] admitting many
+//!   mapped networks onto one physical NeuroCell pool (NC-granular
+//!   free-list, typed admission errors) and the [`SharedEventSimulator`]
+//!   interleaving their traces per timestep through the shared
+//!   switches/bus/SRAM,
 //! * [`mpe`] — the macro Processing Engine's digital shell: per-MCA
 //!   buffers (iBUFF/oBUFF/tBUFF), phase scheduling and the CCU
 //!   request/wait handshake (Fig. 4),
@@ -47,6 +52,7 @@
 
 pub mod bus;
 pub mod config;
+pub mod fabric;
 pub mod hw;
 pub mod map;
 pub mod mpe;
@@ -55,6 +61,9 @@ pub mod switch;
 
 pub use bus::{BroadcastOutcome, GlobalBus, NcTag};
 pub use config::ResparcConfig;
+pub use fabric::{
+    AdmitError, FabricPool, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
+};
 pub use hw::{HwBuildError, HwCore};
 pub use map::{
     LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,
@@ -69,6 +78,9 @@ pub use switch::{PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, Sw
 pub mod prelude {
     pub use crate::bus::{BroadcastOutcome, GlobalBus, NcTag};
     pub use crate::config::ResparcConfig;
+    pub use crate::fabric::{
+        AdmitError, FabricPool, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
+    };
     pub use crate::hw::{HwBuildError, HwCore};
     pub use crate::map::{
         LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,

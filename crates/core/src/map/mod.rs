@@ -21,19 +21,40 @@ use resparc_neuro::topology::Topology;
 
 use crate::config::ResparcConfig;
 pub use partition::{LayerPartition, PartitionOptions, Tile, TileColumnDetail, TileDetail};
-pub use placement::{place, LayerSpan, Placement};
+pub use placement::{place, place_with_origin, LayerSpan, Placement};
 
 /// Error from mapping a network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
     /// The configuration failed validation.
     InvalidConfig(String),
+    /// A pool-coordinate mapping (non-zero NC origin) would run past the
+    /// physical fabric. Origin-0 mappings may overflow — the simulators
+    /// time-multiplex them — but an offset placement models *this* chip,
+    /// so NCs beyond `physical_ncs` do not exist to place on.
+    OriginOutOfBounds {
+        /// Requested NeuroCell origin.
+        origin_nc: usize,
+        /// One past the last NC the placement would occupy.
+        end_nc: usize,
+        /// Physical NeuroCells on the chip.
+        physical_ncs: usize,
+    },
 }
 
 impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MapError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MapError::OriginOutOfBounds {
+                origin_nc,
+                end_nc,
+                physical_ncs,
+            } => write!(
+                f,
+                "placement at NC origin {origin_nc} would occupy NCs up to {end_nc}, beyond the \
+                 {physical_ncs} physical NeuroCells"
+            ),
         }
     }
 }
@@ -86,8 +107,21 @@ impl Mapper {
     /// Returns [`MapError::InvalidConfig`] if the configuration fails
     /// validation.
     pub fn map(&self, topology: &Topology) -> Result<Mapping, MapError> {
+        self.map_at(topology, 0)
+    }
+
+    /// Maps a topology at a NeuroCell origin (pool coordinates) — the
+    /// entry a [`FabricPool`](crate::fabric::FabricPool) uses to place a
+    /// tenant into its allocated NC run. `map` is `map_at(.., 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation, or [`MapError::OriginOutOfBounds`] if a non-zero
+    /// origin would place the network past the physical fabric.
+    pub fn map_at(&self, topology: &Topology, origin_nc: usize) -> Result<Mapping, MapError> {
         let mags = vec![0.5f64; topology.layer_count()];
-        self.map_with_weights(topology, &mags)
+        self.map_with_weights_at(topology, &mags, origin_nc)
     }
 
     /// Maps a trained network, deriving per-layer mean |weight|
@@ -99,6 +133,18 @@ impl Mapper {
     /// Returns [`MapError::InvalidConfig`] if the configuration fails
     /// validation.
     pub fn map_network(&self, network: &Network) -> Result<Mapping, MapError> {
+        self.map_network_at(network, 0)
+    }
+
+    /// Maps a trained network at a NeuroCell origin (pool coordinates);
+    /// see [`Mapper::map_at`]. `map_network` is `map_network_at(.., 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation, or [`MapError::OriginOutOfBounds`] if a non-zero
+    /// origin would place the network past the physical fabric.
+    pub fn map_network_at(&self, network: &Network, origin_nc: usize) -> Result<Mapping, MapError> {
         let topology = network.topology();
         let mags: Vec<f64> = network
             .layers()
@@ -115,7 +161,7 @@ impl Mapper {
                 }
             })
             .collect();
-        self.map_with_weights(topology, &mags)
+        self.map_with_weights_at(topology, &mags, origin_nc)
     }
 
     /// Maps a topology with explicit per-layer mean normalized-|weight|
@@ -133,6 +179,27 @@ impl Mapper {
         &self,
         topology: &Topology,
         mean_weight_mags: &[f64],
+    ) -> Result<Mapping, MapError> {
+        self.map_with_weights_at(topology, mean_weight_mags, 0)
+    }
+
+    /// Maps a topology with explicit weight magnitudes at a NeuroCell
+    /// origin (pool coordinates); see [`Mapper::map_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] if the configuration fails
+    /// validation, or [`MapError::OriginOutOfBounds`] if a non-zero
+    /// origin would place the network past the physical fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_weight_mags.len() != topology.layer_count()`.
+    pub fn map_with_weights_at(
+        &self,
+        topology: &Topology,
+        mean_weight_mags: &[f64],
+        origin_nc: usize,
     ) -> Result<Mapping, MapError> {
         self.config.validate().map_err(MapError::InvalidConfig)?;
         assert_eq!(
@@ -156,7 +223,14 @@ impl Mapper {
                 partition::partition_layer(&conn, i, &opts)
             })
             .collect();
-        let placement = place(&partitions, &self.config);
+        let placement = place_with_origin(&partitions, &self.config, origin_nc);
+        if origin_nc > 0 && placement.end_nc() > self.config.physical_ncs {
+            return Err(MapError::OriginOutOfBounds {
+                origin_nc,
+                end_nc: placement.end_nc(),
+                physical_ncs: self.config.physical_ncs,
+            });
+        }
 
         let technology_warning = match max_feasible_size(&self.config.device, self.error_budget) {
             Some(max) if self.config.mca_size <= max => None,
@@ -342,6 +416,27 @@ mod tests {
         let cfg = ResparcConfig::with_mca_size(256);
         let m = Mapper::new(cfg).map(&t).unwrap();
         assert!(m.technology_warning.is_some());
+    }
+
+    #[test]
+    fn out_of_bounds_origin_is_rejected() {
+        // The paper's MNIST MLP needs 6 NCs on RESPARC-64 (16 physical):
+        // origin 12 would run to NC 18, which does not exist.
+        let t = Topology::mlp(784, &[800, 800, 10]);
+        let mapper = Mapper::new(ResparcConfig::resparc_64());
+        let err = mapper.map_at(&t, 12).unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::OriginOutOfBounds {
+                origin_nc: 12,
+                physical_ncs: 16,
+                ..
+            }
+        ));
+        // Origin 0 may overflow freely (the simulators fold it) and
+        // in-bounds origins pass.
+        assert!(mapper.map_at(&t, 0).is_ok());
+        assert!(mapper.map_at(&t, 10).is_ok());
     }
 
     #[test]

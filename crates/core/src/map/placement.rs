@@ -49,10 +49,20 @@ impl LayerSpan {
 }
 
 /// The full placement of a network.
+///
+/// All mPE / NeuroCell indices are **pool coordinates**: a placement at
+/// `origin_nc == 0` owns the fabric from NC 0 (the historical
+/// single-tenant view), while a tenant admitted to a
+/// [`FabricPool`](crate::fabric::FabricPool) is placed at the first NC of
+/// its allocated run and every span carries that offset. Counts
+/// (`mpes_used`, `ncs_used`, span widths) are origin-independent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
-    /// Per-layer spans, in layer order.
+    /// Per-layer spans, in layer order (pool coordinates).
     pub layers: Vec<LayerSpan>,
+    /// First NeuroCell this placement occupies (0 for a dedicated
+    /// fabric).
+    pub origin_nc: usize,
     /// Total mPEs used.
     pub mpes_used: usize,
     /// Total NeuroCells used.
@@ -62,6 +72,43 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// First mPE index this placement occupies (pool coordinates).
+    pub fn origin_mpe(&self, config: &ResparcConfig) -> usize {
+        self.origin_nc * config.mpes_per_nc()
+    }
+
+    /// One past the last NeuroCell this placement occupies.
+    pub fn end_nc(&self) -> usize {
+        self.origin_nc + self.ncs_used
+    }
+
+    /// This placement translated `delta_nc` NeuroCells to the right — a
+    /// pure coordinate shift, identical to re-placing the same partitions
+    /// at `origin_nc + delta_nc` (placement packs contiguously from its
+    /// origin, so the whole-NC translation commutes with every span
+    /// computation; property-tested in `tests/proptests.rs`). This is how
+    /// a [`FabricPool`](crate::fabric::FabricPool) moves a probe mapping
+    /// into its allocated run without re-partitioning the network.
+    pub fn translated(&self, delta_nc: usize, config: &ResparcConfig) -> Placement {
+        let delta_mpe = delta_nc * config.mpes_per_nc();
+        let layers = self
+            .layers
+            .iter()
+            .map(|s| LayerSpan {
+                first_mpe: s.first_mpe + delta_mpe,
+                end_mpe: s.end_mpe + delta_mpe,
+                first_nc: s.first_nc + delta_nc,
+                end_nc: s.end_nc + delta_nc,
+                ..s.clone()
+            })
+            .collect();
+        Placement {
+            layers,
+            origin_nc: self.origin_nc + delta_nc,
+            ..self.clone()
+        }
+    }
+
     /// Whether the boundary feeding `layer` crosses NeuroCells (layer 0's
     /// boundary is the input SRAM and always uses the bus).
     pub fn boundary_crosses_nc(&self, layer: usize) -> bool {
@@ -85,11 +132,24 @@ impl Placement {
 /// groups an output's chunks into the same mPE where capacity allows
 /// (`mcas_per_mpe` chunks locally, the paper's Fig. 5 configuration).
 pub fn place(partitions: &[LayerPartition], config: &ResparcConfig) -> Placement {
+    place_with_origin(partitions, config, 0)
+}
+
+/// Places layer partitions starting at NeuroCell `origin_nc` — the
+/// pool-coordinate view a [`FabricPool`](crate::fabric::FabricPool)
+/// tenant is expressed in. `place` is exactly `place_with_origin(.., 0)`,
+/// so the dedicated-fabric path is unchanged bit-for-bit.
+pub fn place_with_origin(
+    partitions: &[LayerPartition],
+    config: &ResparcConfig,
+    origin_nc: usize,
+) -> Placement {
     let mcas_per_mpe = config.mcas_per_mpe;
     let mpes_per_nc = config.mpes_per_nc();
+    let origin_mpe = origin_nc * mpes_per_nc;
 
     let mut layers = Vec::with_capacity(partitions.len());
-    let mut next_mpe = 0usize;
+    let mut next_mpe = origin_mpe;
 
     for part in partitions {
         let tiles = part.tile_count();
@@ -124,10 +184,13 @@ pub fn place(partitions: &[LayerPartition], config: &ResparcConfig) -> Placement
         });
     }
 
-    let ncs_used = layers.last().map_or(0, |_| next_mpe.div_ceil(mpes_per_nc));
+    let ncs_used = layers
+        .last()
+        .map_or(0, |_| next_mpe.div_ceil(mpes_per_nc) - origin_nc);
     Placement {
         mcas_used: partitions.iter().map(|p| p.tile_count()).sum(),
-        mpes_used: next_mpe,
+        origin_nc,
+        mpes_used: next_mpe - origin_mpe,
         ncs_used,
         layers,
     }
@@ -198,6 +261,59 @@ mod tests {
         let p = place(&parts, &cfg);
         assert_eq!(p.layers[0].end_mpe, p.layers[1].first_mpe);
         assert_eq!(p.mpes_used, 2);
+    }
+
+    #[test]
+    fn origin_shifts_coordinates_but_not_counts() {
+        let cfg = ResparcConfig::resparc_64();
+        let parts = vec![
+            dense_partition(784, 800, 64, 0),
+            dense_partition(800, 10, 64, 1),
+        ];
+        let base = place(&parts, &cfg);
+        let shifted = place_with_origin(&parts, &cfg, 5);
+        assert_eq!(shifted.origin_nc, 5);
+        assert_eq!(shifted.mpes_used, base.mpes_used);
+        assert_eq!(shifted.ncs_used, base.ncs_used);
+        assert_eq!(shifted.mcas_used, base.mcas_used);
+        assert_eq!(shifted.end_nc(), 5 + base.ncs_used);
+        assert_eq!(shifted.origin_mpe(&cfg), 5 * cfg.mpes_per_nc());
+        let shift = 5 * cfg.mpes_per_nc();
+        for (b, s) in base.layers.iter().zip(&shifted.layers) {
+            assert_eq!(s.first_mpe, b.first_mpe + shift);
+            assert_eq!(s.end_mpe, b.end_mpe + shift);
+            assert_eq!(s.first_nc, b.first_nc + 5);
+            assert_eq!(s.end_nc, b.end_nc + 5);
+            assert_eq!(s.tiles, b.tiles);
+            assert_eq!(s.ccu_transfers_per_step, b.ccu_transfers_per_step);
+        }
+        // Connectivity classification is origin-invariant.
+        for l in 0..parts.len() {
+            assert_eq!(shifted.boundary_crosses_nc(l), base.boundary_crosses_nc(l));
+        }
+    }
+
+    #[test]
+    fn translated_equals_placing_at_the_origin() {
+        let cfg = ResparcConfig::resparc_64();
+        let parts = vec![
+            dense_partition(784, 800, 64, 0),
+            dense_partition(800, 10, 64, 1),
+        ];
+        let base = place(&parts, &cfg);
+        assert_eq!(base.translated(5, &cfg), place_with_origin(&parts, &cfg, 5));
+        assert_eq!(base.translated(0, &cfg), base);
+    }
+
+    #[test]
+    fn place_is_place_with_origin_zero() {
+        let cfg = ResparcConfig::resparc_64();
+        let parts = vec![
+            dense_partition(64, 64, 64, 0),
+            dense_partition(64, 10, 64, 1),
+        ];
+        assert_eq!(place(&parts, &cfg), place_with_origin(&parts, &cfg, 0));
+        assert_eq!(place(&parts, &cfg).origin_nc, 0);
     }
 
     #[test]

@@ -146,218 +146,21 @@ impl<'m> EventSimulator<'m> {
     /// equal to the mapped layer shapes).
     pub fn run(&self, trace: &SpikeTrace) -> EventReport {
         let cfg = &self.mapping.config;
-        assert_eq!(
-            trace.boundary_count(),
-            self.mapping.layer_count() + 1,
-            "trace must have layers + 1 boundaries"
-        );
-        for (l, part) in self.mapping.partitions.iter().enumerate() {
-            assert_eq!(
-                trace.boundary(l).neurons(),
-                part.inputs as usize,
-                "layer {l}: trace input boundary size mismatch"
-            );
-            assert_eq!(
-                trace.boundary(l + 1).neurons(),
-                part.outputs as usize,
-                "layer {l}: trace output boundary size mismatch"
-            );
-        }
-
-        let cat = &cfg.catalog;
-        let n = cfg.mca_size;
-        let pkt = cfg.packet_bits as usize;
+        let replay = replay_trace(self.mapping, trace);
+        let TraceReplay {
+            mut energy,
+            comm_cycles,
+            bus_cycles,
+            compute_cycles,
+            layers: layer_stats,
+        } = replay;
         let steps = trace.steps();
-        let mca = McaEnergyModel::new(cfg.device, n);
         let sram = SramSpec::new(cfg.input_sram_bytes, cfg.packet_bits).build();
-
-        let mut energy = EnergyBreakdown::new();
-        let mut layer_stats = Vec::with_capacity(self.mapping.layer_count());
-        // Per-step latency contributions across layers. Compute cycles
-        // are event-driven too: a layer only pays its multiplexing
-        // phases in steps where it actually fired a read, so a trace's
-        // silent tail (TTFS, bursts) costs the clocked minimum per step.
-        let mut comm_cycles = vec![0u64; steps];
-        let mut bus_cycles = vec![0u64; steps];
-        let mut compute_cycles = vec![0u64; steps];
-
-        for (l, part) in self.mapping.partitions.iter().enumerate() {
-            let span = &self.mapping.placement.layers[l];
-            let mag = self.mapping.mean_weight_mags[l];
-            let in_raster = trace.boundary(l);
-            let out_raster = trace.boundary(l + 1);
-            let tile_costs: Vec<cost::TileReadCost> = part
-                .tiles
-                .iter()
-                .map(|t| cost::tile_read_cost(&mca, t, n, mag))
-                .collect();
-            let switch_capacity = (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
-            let crosses =
-                self.mapping.placement.boundary_crosses_nc(l) && (l == 0 || part.max_degree > 1);
-
-            let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
-            let tiles = part.tile_count();
-            let mut per_tile_candidates = vec![0u64; tiles];
-            let mut per_tile_delivered = vec![0u64; tiles];
-            let mut per_tile_reads = vec![0u64; tiles];
-            let mut per_tile_active_rows = vec![0u64; tiles];
-            let mut reads_performed = 0u64;
-            let mut reads_skipped = 0u64;
-            let mut bus_packets_total = 0u64;
-            let mut out_packets_delivered = 0u64;
-
-            for (t, in_spikes) in in_raster.iter().enumerate() {
-                let mut deliveries_step = 0u64;
-                let mut reads_step = 0u64;
-                for (ti, rows) in part.tile_rows.iter().enumerate() {
-                    let mut active = 0u64;
-                    for window in rows.chunks(pkt) {
-                        let window_active = window
-                            .iter()
-                            .filter(|&&gi| in_spikes.get(gi as usize))
-                            .count() as u64;
-                        active += window_active;
-                        per_tile_candidates[ti] += 1;
-                        if window_active > 0 || !cfg.event_driven {
-                            per_tile_delivered[ti] += 1;
-                            deliveries_step += 1;
-                        }
-                    }
-                    if active > 0 || !cfg.event_driven {
-                        per_tile_reads[ti] += 1;
-                        per_tile_active_rows[ti] += active;
-                        reads_step += 1;
-                    } else {
-                        reads_skipped += 1;
-                    }
-                }
-                reads_performed += reads_step;
-                comm_cycles[t] =
-                    comm_cycles[t].max((deliveries_step as f64 / switch_capacity).ceil() as u64);
-                if reads_step > 0 {
-                    compute_cycles[t] = compute_cycles[t].max(layer_compute);
-                }
-
-                // --- Bus + input SRAM (inter-NC boundary) ---------------
-                if crosses {
-                    let windows = (part.inputs as usize).div_ceil(pkt) as u64;
-                    let moved = if cfg.event_driven {
-                        (0..windows as usize)
-                            .filter(|&w| !in_spikes.window_is_zero(w * pkt, pkt))
-                            .count() as u64
-                    } else {
-                        windows
-                    };
-                    let trips = if l == 0 { 1u64 } else { 2 };
-                    energy.charge(
-                        Category::Communication,
-                        cat.bus_transfer(cfg.packet_bits) * (moved * trips) as f64,
-                    );
-                    energy.charge(
-                        Category::MemoryAccess,
-                        sram.read_energy() * moved as f64
-                            + if l == 0 {
-                                Energy::ZERO
-                            } else {
-                                sram.write_energy() * moved as f64
-                            },
-                    );
-                    if cfg.event_driven {
-                        energy.charge(
-                            Category::Communication,
-                            cat.zero_check(cfg.packet_bits) * windows as f64,
-                        );
-                    }
-                    bus_packets_total += moved;
-                    bus_cycles[t] += moved * trips;
-                }
-
-                // --- tBUFF target lookups for emitted spike packets -----
-                out_packets_delivered += delivered_windows(out_raster.step(t), pkt);
-            }
-
-            // --- Spike distribution (switch network + buffers) ----------
-            let candidates: u64 = per_tile_candidates.iter().sum();
-            let delivered: u64 = per_tile_delivered.iter().sum();
-            energy.charge(
-                Category::Communication,
-                cat.switch_hop(cfg.packet_bits) * (delivered as f64 * AVG_SWITCH_HOPS),
-            );
-            if cfg.event_driven {
-                energy.charge(
-                    Category::Communication,
-                    cat.zero_check(cfg.packet_bits) * candidates as f64,
-                );
-            }
-            // oBUFF read at the producer, iBUFF write + read at the
-            // consuming mPE — occupancy follows delivered packets only.
-            energy.charge(
-                Category::Buffer,
-                cat.buffer_access(cfg.packet_bits) * (3.0 * delivered as f64),
-            );
-
-            // --- Crossbar reads + neuron integration --------------------
-            let mut crossbar_e = Energy::ZERO;
-            let mut integrations = 0u64;
-            for (ti, tile) in part.tiles.iter().enumerate() {
-                crossbar_e += tile_costs[ti].fixed * per_tile_reads[ti] as f64
-                    + tile_costs[ti].per_active_row * per_tile_active_rows[ti] as f64;
-                integrations += tile.cols as u64 * per_tile_reads[ti];
-            }
-            energy.charge(Category::Crossbar, crossbar_e);
-
-            let spikes_out = out_raster.total_spikes();
-            energy.charge(
-                Category::Neuron,
-                cat.neuron_integrate * integrations as f64 + cat.neuron_spike * spikes_out as f64,
-            );
-            energy.charge(
-                Category::Buffer,
-                cat.buffer_access(TARGET_ADDRESS_BITS) * out_packets_delivered as f64,
-            );
-
-            // --- CCU analog transfers -----------------------------------
-            if tiles > 0 {
-                let mean_reads = reads_performed as f64 / tiles as f64;
-                energy.charge(
-                    Category::Communication,
-                    cat.switch_hop(CCU_TRANSFER_BITS)
-                        * (span.ccu_transfers_per_step as f64 * mean_reads),
-                );
-            }
-
-            // --- Control ------------------------------------------------
-            let local_phases = cost::local_phases(part, cfg);
-            energy.charge(
-                Category::Control,
-                cat.control_cycle * (span.mpe_count() as f64 * local_phases as f64 * steps as f64)
-                    + cat.control_cycle * delivered as f64,
-            );
-
-            layer_stats.push(EventLayerStats {
-                layer: l,
-                tiles,
-                candidate_packets: candidates,
-                packets_delivered: delivered,
-                per_tile_candidates,
-                per_tile_delivered,
-                reads_performed,
-                reads_skipped,
-                active_row_events: per_tile_active_rows.iter().sum(),
-                bus_packets: bus_packets_total,
-                spikes_out,
-            });
-        }
 
         // Fabric time-multiplexing fold, identical to the stationary
         // model: mapped NeuroCells beyond the physical pool serialise
         // every timestep.
-        let fold = self
-            .mapping
-            .placement
-            .ncs_used
-            .div_ceil(cfg.physical_ncs)
-            .max(1) as u64;
+        let fold = fold_factor(self.mapping);
         let total_cycles: u64 = (0..steps)
             .map(|t| ((compute_cycles[t] + comm_cycles[t]) * fold + bus_cycles[t]).max(1))
             .sum();
@@ -368,8 +171,8 @@ impl<'m> EventSimulator<'m> {
         let physical_mpes =
             (cfg.physical_ncs * cfg.mpes_per_nc()).min(self.mapping.placement.mpes_used.max(1));
         let physical_switch_ncs = cfg.physical_ncs.min(self.mapping.placement.ncs_used.max(1));
-        let logic_leak = cat.mpe_leakage * physical_mpes as f64
-            + cat.switch_leakage * (physical_switch_ncs * cfg.switches_per_nc()) as f64;
+        let logic_leak =
+            crate::fabric::logic_leakage_power(cfg, physical_mpes, physical_switch_ncs);
         energy.charge(Category::LogicLeakage, logic_leak * latency);
         energy.charge(Category::MemoryLeakage, sram.leakage() * latency);
 
@@ -382,6 +185,266 @@ impl<'m> EventSimulator<'m> {
             throughput: cost::safe_throughput(latency),
             layers: layer_stats,
         }
+    }
+}
+
+/// Serialisation factor of a mapping that overflows the physical
+/// NeuroCell pool (1 for anything that fits — every admitted
+/// [`FabricPool`](crate::fabric::FabricPool) tenant does by
+/// construction).
+pub(crate) fn fold_factor(mapping: &Mapping) -> u64 {
+    mapping
+        .placement
+        .ncs_used
+        .div_ceil(mapping.config.physical_ncs)
+        .max(1) as u64
+}
+
+/// Asserts that a trace's boundary structure matches a mapping.
+pub(crate) fn validate_trace(mapping: &Mapping, trace: &SpikeTrace) {
+    assert_eq!(
+        trace.boundary_count(),
+        mapping.layer_count() + 1,
+        "trace must have layers + 1 boundaries"
+    );
+    for (l, part) in mapping.partitions.iter().enumerate() {
+        assert_eq!(
+            trace.boundary(l).neurons(),
+            part.inputs as usize,
+            "layer {l}: trace input boundary size mismatch"
+        );
+        assert_eq!(
+            trace.boundary(l + 1).neurons(),
+            part.outputs as usize,
+            "layer {l}: trace output boundary size mismatch"
+        );
+    }
+}
+
+/// Dynamic (per-event) outcome of replaying one trace through one mapped
+/// network: the charged ledger *before* leakage, per-timestep cycle
+/// contributions, and per-layer tallies.
+///
+/// This is the unit of work the single-tenant [`EventSimulator`] and the
+/// multi-tenant
+/// [`SharedEventSimulator`](crate::fabric::SharedEventSimulator) share
+/// verbatim — the two paths charge identical per-event costs by
+/// construction, so a one-tenant pool reproduces the dedicated-fabric
+/// report exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceReplay {
+    /// Dynamic energy (no leakage yet).
+    pub(crate) energy: EnergyBreakdown,
+    /// Per-step switch-serialisation cycles.
+    pub(crate) comm_cycles: Vec<u64>,
+    /// Per-step global-bus cycles.
+    pub(crate) bus_cycles: Vec<u64>,
+    /// Per-step compute-phase cycles (0 on silent steps).
+    pub(crate) compute_cycles: Vec<u64>,
+    /// Per-layer event tallies.
+    pub(crate) layers: Vec<EventLayerStats>,
+}
+
+/// Replays `trace` through `mapping` and returns the dynamic charges and
+/// cycle contributions (the body shared by both simulators).
+///
+/// # Panics
+///
+/// Panics if the trace's boundary structure does not match the mapping.
+pub(crate) fn replay_trace(mapping: &Mapping, trace: &SpikeTrace) -> TraceReplay {
+    let cfg = &mapping.config;
+    validate_trace(mapping, trace);
+
+    let cat = &cfg.catalog;
+    let n = cfg.mca_size;
+    let pkt = cfg.packet_bits as usize;
+    let steps = trace.steps();
+    let mca = McaEnergyModel::new(cfg.device, n);
+    let sram = SramSpec::new(cfg.input_sram_bytes, cfg.packet_bits).build();
+
+    let mut energy = EnergyBreakdown::new();
+    let mut layer_stats = Vec::with_capacity(mapping.layer_count());
+    // Per-step latency contributions across layers. Compute cycles
+    // are event-driven too: a layer only pays its multiplexing
+    // phases in steps where it actually fired a read, so a trace's
+    // silent tail (TTFS, bursts) costs the clocked minimum per step.
+    let mut comm_cycles = vec![0u64; steps];
+    let mut bus_cycles = vec![0u64; steps];
+    let mut compute_cycles = vec![0u64; steps];
+
+    for (l, part) in mapping.partitions.iter().enumerate() {
+        let span = &mapping.placement.layers[l];
+        let mag = mapping.mean_weight_mags[l];
+        let in_raster = trace.boundary(l);
+        let out_raster = trace.boundary(l + 1);
+        let tile_costs: Vec<cost::TileReadCost> = part
+            .tiles
+            .iter()
+            .map(|t| cost::tile_read_cost(&mca, t, n, mag))
+            .collect();
+        let switch_capacity = (cfg.switches_per_nc() * span.nc_count().max(1)) as f64;
+        let crosses = mapping.placement.boundary_crosses_nc(l) && (l == 0 || part.max_degree > 1);
+
+        let layer_compute = part.max_degree as u64 + u64::from(span.ccu_transfers_per_step > 0);
+        let tiles = part.tile_count();
+        let mut per_tile_candidates = vec![0u64; tiles];
+        let mut per_tile_delivered = vec![0u64; tiles];
+        let mut per_tile_reads = vec![0u64; tiles];
+        let mut per_tile_active_rows = vec![0u64; tiles];
+        let mut reads_performed = 0u64;
+        let mut reads_skipped = 0u64;
+        let mut bus_packets_total = 0u64;
+        let mut out_packets_delivered = 0u64;
+
+        for (t, in_spikes) in in_raster.iter().enumerate() {
+            let mut deliveries_step = 0u64;
+            let mut reads_step = 0u64;
+            for (ti, rows) in part.tile_rows.iter().enumerate() {
+                let mut active = 0u64;
+                for window in rows.chunks(pkt) {
+                    let window_active = window
+                        .iter()
+                        .filter(|&&gi| in_spikes.get(gi as usize))
+                        .count() as u64;
+                    active += window_active;
+                    per_tile_candidates[ti] += 1;
+                    if window_active > 0 || !cfg.event_driven {
+                        per_tile_delivered[ti] += 1;
+                        deliveries_step += 1;
+                    }
+                }
+                if active > 0 || !cfg.event_driven {
+                    per_tile_reads[ti] += 1;
+                    per_tile_active_rows[ti] += active;
+                    reads_step += 1;
+                } else {
+                    reads_skipped += 1;
+                }
+            }
+            reads_performed += reads_step;
+            comm_cycles[t] =
+                comm_cycles[t].max((deliveries_step as f64 / switch_capacity).ceil() as u64);
+            if reads_step > 0 {
+                compute_cycles[t] = compute_cycles[t].max(layer_compute);
+            }
+
+            // --- Bus + input SRAM (inter-NC boundary) ---------------
+            if crosses {
+                let windows = (part.inputs as usize).div_ceil(pkt) as u64;
+                let moved = if cfg.event_driven {
+                    (0..windows as usize)
+                        .filter(|&w| !in_spikes.window_is_zero(w * pkt, pkt))
+                        .count() as u64
+                } else {
+                    windows
+                };
+                let trips = if l == 0 { 1u64 } else { 2 };
+                energy.charge(
+                    Category::Communication,
+                    cat.bus_transfer(cfg.packet_bits) * (moved * trips) as f64,
+                );
+                energy.charge(
+                    Category::MemoryAccess,
+                    sram.read_energy() * moved as f64
+                        + if l == 0 {
+                            Energy::ZERO
+                        } else {
+                            sram.write_energy() * moved as f64
+                        },
+                );
+                if cfg.event_driven {
+                    energy.charge(
+                        Category::Communication,
+                        cat.zero_check(cfg.packet_bits) * windows as f64,
+                    );
+                }
+                bus_packets_total += moved;
+                bus_cycles[t] += moved * trips;
+            }
+
+            // --- tBUFF target lookups for emitted spike packets -----
+            out_packets_delivered += delivered_windows(out_raster.step(t), pkt);
+        }
+
+        // --- Spike distribution (switch network + buffers) ----------
+        let candidates: u64 = per_tile_candidates.iter().sum();
+        let delivered: u64 = per_tile_delivered.iter().sum();
+        energy.charge(
+            Category::Communication,
+            cat.switch_hop(cfg.packet_bits) * (delivered as f64 * AVG_SWITCH_HOPS),
+        );
+        if cfg.event_driven {
+            energy.charge(
+                Category::Communication,
+                cat.zero_check(cfg.packet_bits) * candidates as f64,
+            );
+        }
+        // oBUFF read at the producer, iBUFF write + read at the
+        // consuming mPE — occupancy follows delivered packets only.
+        energy.charge(
+            Category::Buffer,
+            cat.buffer_access(cfg.packet_bits) * (3.0 * delivered as f64),
+        );
+
+        // --- Crossbar reads + neuron integration --------------------
+        let mut crossbar_e = Energy::ZERO;
+        let mut integrations = 0u64;
+        for (ti, tile) in part.tiles.iter().enumerate() {
+            crossbar_e += tile_costs[ti].fixed * per_tile_reads[ti] as f64
+                + tile_costs[ti].per_active_row * per_tile_active_rows[ti] as f64;
+            integrations += tile.cols as u64 * per_tile_reads[ti];
+        }
+        energy.charge(Category::Crossbar, crossbar_e);
+
+        let spikes_out = out_raster.total_spikes();
+        energy.charge(
+            Category::Neuron,
+            cat.neuron_integrate * integrations as f64 + cat.neuron_spike * spikes_out as f64,
+        );
+        energy.charge(
+            Category::Buffer,
+            cat.buffer_access(TARGET_ADDRESS_BITS) * out_packets_delivered as f64,
+        );
+
+        // --- CCU analog transfers -----------------------------------
+        if tiles > 0 {
+            let mean_reads = reads_performed as f64 / tiles as f64;
+            energy.charge(
+                Category::Communication,
+                cat.switch_hop(CCU_TRANSFER_BITS)
+                    * (span.ccu_transfers_per_step as f64 * mean_reads),
+            );
+        }
+
+        // --- Control ------------------------------------------------
+        let local_phases = cost::local_phases(part, cfg);
+        energy.charge(
+            Category::Control,
+            cat.control_cycle * (span.mpe_count() as f64 * local_phases as f64 * steps as f64)
+                + cat.control_cycle * delivered as f64,
+        );
+
+        layer_stats.push(EventLayerStats {
+            layer: l,
+            tiles,
+            candidate_packets: candidates,
+            packets_delivered: delivered,
+            per_tile_candidates,
+            per_tile_delivered,
+            reads_performed,
+            reads_skipped,
+            active_row_events: per_tile_active_rows.iter().sum(),
+            bus_packets: bus_packets_total,
+            spikes_out,
+        });
+    }
+
+    TraceReplay {
+        energy,
+        comm_cycles,
+        bus_cycles,
+        compute_cycles,
+        layers: layer_stats,
     }
 }
 

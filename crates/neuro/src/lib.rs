@@ -68,7 +68,9 @@ pub mod trace;
 pub mod train;
 
 pub use connectivity::ConnectivityMatrix;
-pub use convert::{normalize_for_snn, NormalizationReport};
+pub use convert::{
+    normalize_for_snn, rebalance_thresholds_for_ttfs, NormalizationReport, TtfsRebalanceReport,
+};
 pub use encoding::{
     BurstEncoder, Encoding, PoissonEncoder, Readout, RegularEncoder, SpikeEncoder, TtfsEncoder,
 };
@@ -85,7 +87,9 @@ pub use train::{train_cnn_with_random_frontend, train_mlp, FrontendLayer, TrainC
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::connectivity::ConnectivityMatrix;
-    pub use crate::convert::{normalize_for_snn, NormalizationReport};
+    pub use crate::convert::{
+        normalize_for_snn, rebalance_thresholds_for_ttfs, NormalizationReport, TtfsRebalanceReport,
+    };
     pub use crate::encoding::{
         BurstEncoder, Encoding, PoissonEncoder, Readout, RegularEncoder, SpikeEncoder, TtfsEncoder,
     };

@@ -493,6 +493,57 @@ impl SnnRunner {
         (outcome, SpikeTrace::new(boundaries))
     }
 
+    /// Runs a raster, stopping at the end of the first timestep in which
+    /// any output neuron spikes — the temporal-coding early exit: under
+    /// TTFS the earliest output spike *is* the answer, so the rest of the
+    /// presentation only burns energy. The outcome covers exactly the
+    /// steps consumed ([`Classification::steps`] tells how many); decode
+    /// it with [`Readout::FirstSpike`].
+    pub fn run_early_exit(&mut self, input: &SpikeRaster) -> Classification {
+        for step in input.iter() {
+            let fired = {
+                let out = self.step(step);
+                out.iter_ones().next().is_some()
+            };
+            if fired {
+                break;
+            }
+        }
+        self.outcome()
+    }
+
+    /// Early-exit variant of [`Self::run_traced`]: stops after the first
+    /// timestep with an output spike and returns the outcome plus the
+    /// *truncated* [`SpikeTrace`] — identical to the full trace cut at
+    /// [`Classification::steps`], so replaying it through the event
+    /// simulator prices exactly the steps the fabric really ran.
+    pub fn run_traced_early_exit(&mut self, input: &SpikeRaster) -> (Classification, SpikeTrace) {
+        let mut in_raster = SpikeRaster::new(self.kernels.input_count());
+        let mut rasters: Vec<SpikeRaster> = self
+            .kernels
+            .layers()
+            .iter()
+            .map(|l| SpikeRaster::new(l.outputs()))
+            .collect();
+        for step in input.iter() {
+            let fired = {
+                let out = self.step(step);
+                out.iter_ones().next().is_some()
+            };
+            in_raster.push(step.clone());
+            for (li, r) in rasters.iter_mut().enumerate() {
+                r.push(self.spikes[li].clone());
+            }
+            if fired {
+                break;
+            }
+        }
+        let mut boundaries = Vec::with_capacity(rasters.len() + 1);
+        boundaries.push(in_raster);
+        boundaries.extend(rasters);
+        (self.outcome(), SpikeTrace::new(boundaries))
+    }
+
     /// The outcome accumulated so far.
     pub fn outcome(&self) -> Classification {
         Classification {
@@ -949,6 +1000,45 @@ mod tests {
             first_spike_steps: vec![Some(3), Some(3), Some(3)],
         };
         assert_eq!(c.predicted_by_first_spike(), 1);
+    }
+
+    #[test]
+    fn early_exit_stops_at_first_output_spike_with_matching_trace() {
+        use crate::encoding::TtfsEncoder;
+
+        // Identity chain + TTFS input: the brighter input's single spike
+        // relays through in order, so the run must stop well before the
+        // window ends and the trace must be the full trace truncated at
+        // that step.
+        let net = tiny_net();
+        let raster = TtfsEncoder::new().encode(&[0.3, 0.9], 24);
+        let (full, full_trace) = net.spiking().run_traced(&raster);
+        let (early, early_trace) = net.spiking().run_traced_early_exit(&raster);
+
+        assert!(early.steps < full.steps, "early {} steps", early.steps);
+        assert_eq!(early_trace.steps(), early.steps as usize);
+        assert_eq!(early_trace, full_trace.truncated(early.steps as usize));
+        // The first-spike decode is decided at the exit step.
+        assert_eq!(early.decode(Readout::FirstSpike), 1);
+        assert_eq!(
+            early.decode(Readout::FirstSpike),
+            full.decode(Readout::FirstSpike)
+        );
+        // The non-traced variant sees the identical outcome.
+        assert_eq!(net.spiking().run_early_exit(&raster), early);
+    }
+
+    #[test]
+    fn early_exit_on_silent_input_runs_the_whole_window() {
+        let net = tiny_net();
+        let mut raster = SpikeRaster::new(2);
+        for _ in 0..5 {
+            raster.push(SpikeVector::new(2));
+        }
+        let (outcome, trace) = net.spiking().run_traced_early_exit(&raster);
+        assert_eq!(outcome.steps, 5, "nothing fires, nothing to exit on");
+        assert_eq!(trace.steps(), 5);
+        assert!(trace.is_silent());
     }
 
     #[test]

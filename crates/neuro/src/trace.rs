@@ -96,6 +96,25 @@ impl SpikeTrace {
         &self.boundaries[l + 1]
     }
 
+    /// A copy of this trace cut to its first `steps` timesteps (clamped
+    /// to the recorded window) — the record an early-exited presentation
+    /// leaves behind
+    /// ([`SnnRunner::run_traced_early_exit`](crate::network::SnnRunner::run_traced_early_exit)).
+    pub fn truncated(&self, steps: usize) -> Self {
+        let boundaries = self
+            .boundaries
+            .iter()
+            .map(|r| {
+                let mut out = SpikeRaster::new(r.neurons());
+                for t in 0..steps.min(r.len()) {
+                    out.push(r.step(t).clone());
+                }
+                out
+            })
+            .collect();
+        Self::new(boundaries)
+    }
+
     /// Total spikes across every boundary and timestep.
     pub fn total_spikes(&self) -> u64 {
         self.boundaries.iter().map(|r| r.total_spikes()).sum()

@@ -38,8 +38,9 @@ pub use benchmarks::{
 };
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
 pub use sweep::{
-    analog_accuracy_sweep, encoding_energy_sweep, spiking_accuracy_sweep, trace_energy_sweep,
-    SweepConfig, SweepReport, TraceEnergyReport,
+    analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
+    trace_energy_sweep, MultiTenantReport, SweepConfig, SweepReport, TenancyMetrics,
+    TraceEnergyReport,
 };
 
 /// Convenient glob import for downstream crates.
@@ -50,7 +51,8 @@ pub mod prelude {
     };
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::sweep::{
-        analog_accuracy_sweep, encoding_energy_sweep, spiking_accuracy_sweep, trace_energy_sweep,
-        SweepConfig, SweepReport, TraceEnergyReport,
+        analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
+        trace_energy_sweep, MultiTenantReport, SweepConfig, SweepReport, TenancyMetrics,
+        TraceEnergyReport,
     };
 }

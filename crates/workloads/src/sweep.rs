@@ -26,13 +26,17 @@
 //! price (the stationary simulator assumes rate-stationary activity).
 
 use rayon::prelude::*;
+use resparc_core::fabric::{pool_leakage_power, AdmitError, FabricPool, SharedEventSimulator};
 use resparc_core::map::Mapping;
+use resparc_core::sim::cost::safe_throughput;
 use resparc_core::sim::event::{EventReport, EventSimulator};
+use resparc_core::ResparcConfig;
 use resparc_energy::accounting::{Category, EnergyBreakdown};
 use resparc_energy::units::{Energy, Time};
 use resparc_neuro::encoding::{Encoding, Readout};
 use resparc_neuro::network::{Network, SnnRunner};
 use resparc_neuro::spike::SpikeRaster;
+use resparc_neuro::trace::SpikeTrace;
 
 /// Configuration of a spiking accuracy sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -296,6 +300,246 @@ pub fn encoding_energy_sweep(
         .collect()
 }
 
+/// Wall-clock + energy metrics of one execution discipline in the
+/// serial-vs-co-resident comparison of [`multi_tenant_sweep`].
+///
+/// Both disciplines bill the **whole powered pool**: dynamic (per-event)
+/// energy plus the full chip's leakage
+/// ([`pool_leakage_power`]) over the discipline's wall-clock. Dynamic
+/// energy is identical by construction (same traces, same per-event
+/// charges); what changes is how long the chip leaks and how many
+/// inferences that window produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyMetrics {
+    /// Per-event energy summed over every inference (leakage excluded).
+    pub dynamic_energy: Energy,
+    /// Dynamic energy plus whole-pool leakage over `latency`.
+    pub pool_energy: Energy,
+    /// Wall-clock for the whole batch (sum of runs for serial, sum of
+    /// overlapped makespans for co-resident).
+    pub latency: Time,
+    /// Inferences completed (tenants × rounds).
+    pub inferences: usize,
+}
+
+impl TenancyMetrics {
+    /// Mean all-in (leakage-amortized) energy per inference.
+    pub fn energy_per_inference(&self) -> Energy {
+        if self.inferences == 0 {
+            return Energy::ZERO;
+        }
+        self.pool_energy * (1.0 / self.inferences as f64)
+    }
+
+    /// Batch energy-delay product (pJ·ns); `0.0` when not finite.
+    pub fn energy_delay_product(&self) -> f64 {
+        let edp = self.pool_energy.picojoules() * self.latency.nanoseconds();
+        if edp.is_finite() {
+            edp
+        } else {
+            0.0
+        }
+    }
+
+    /// Inferences per second.
+    pub fn throughput(&self) -> f64 {
+        safe_throughput(self.latency) * self.inferences as f64
+    }
+}
+
+/// Outcome of a [`multi_tenant_sweep`]: the same networks, traces and
+/// per-event costs under two execution disciplines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantReport {
+    /// Networks co-resident on the pool.
+    pub tenants: usize,
+    /// Presentations per tenant.
+    pub rounds: usize,
+    /// Fraction of the pool's NeuroCells the tenants occupy.
+    pub pool_utilization: f64,
+    /// Mean fraction of shared-replay cycles the global bus was busy —
+    /// the contention co-residency pays for its overlap.
+    pub mean_bus_occupancy: f64,
+    /// Per-tenant classification accuracy (identical under both
+    /// disciplines: co-residency shares the fabric, not the spikes).
+    pub per_tenant_accuracy: Vec<f64>,
+    /// One tenant at a time on the powered pool.
+    pub serial: TenancyMetrics,
+    /// All tenants co-resident, traces interleaved per timestep.
+    pub shared: TenancyMetrics,
+}
+
+impl MultiTenantReport {
+    /// Serial ÷ shared energy per inference (> 1 = co-residency wins).
+    pub fn energy_per_inference_gain(&self) -> f64 {
+        self.serial.energy_per_inference().picojoules()
+            / self.shared.energy_per_inference().picojoules()
+    }
+
+    /// Serial ÷ shared batch EDP (> 1 = co-residency wins).
+    pub fn edp_gain(&self) -> f64 {
+        self.serial.energy_delay_product() / self.shared.energy_delay_product()
+    }
+}
+
+/// Compares N networks run **serially on a dedicated fabric** against
+/// the same N **co-resident on one [`FabricPool`]**, on identical spike
+/// traces.
+///
+/// Every network classifies every sample (sample `j` is encoded once
+/// under `cfg` with seed [`SweepConfig::sample_seed`]`(j)` and presented
+/// to all tenants — functional results are therefore identical in both
+/// disciplines). Serial execution replays each trace alone through a
+/// dedicated [`EventSimulator`] and bills the whole powered pool's
+/// leakage for the *sum* of the latencies; co-resident execution admits
+/// every network to one pool and replays each round's traces through the
+/// [`SharedEventSimulator`], billing the same pool over the overlapped
+/// makespans. The report carries both [`TenancyMetrics`] plus the
+/// contention stats (bus occupancy) only the shared path has.
+///
+/// # Errors
+///
+/// Returns the pool's [`AdmitError`] if the networks do not fit
+/// co-resident on `pool_config`'s physical NeuroCells.
+///
+/// # Panics
+///
+/// Panics if `nets` or `samples` is empty, or a stimulus length differs
+/// from a network's input count.
+pub fn multi_tenant_sweep(
+    nets: &[Network],
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+    pool_config: &ResparcConfig,
+) -> Result<MultiTenantReport, AdmitError> {
+    assert!(!nets.is_empty(), "need at least one tenant network");
+    assert!(!samples.is_empty(), "need at least one sample");
+
+    let mut pool = FabricPool::new(pool_config.clone());
+    for (i, net) in nets.iter().enumerate() {
+        pool.admit(net, &format!("tenant{i}"))?;
+    }
+    let tenant_ids: Vec<_> = pool.tenants().iter().map(|t| t.id).collect();
+
+    // Encode each sample once; every tenant sees the identical raster.
+    let rasters: Vec<SpikeRaster> = samples
+        .par_iter()
+        .enumerate()
+        .map(|(j, (x, _))| cfg.encode_sample(j, x))
+        .collect();
+    let readout = cfg.readout();
+
+    // Per tenant: run every round on the shared compiled kernels,
+    // capturing the trace the architectural replays consume.
+    let per_tenant: Vec<Vec<(usize, SpikeTrace)>> = nets
+        .iter()
+        .map(|net| {
+            let kernels = net.compiled();
+            rasters
+                .par_iter()
+                .map(|raster| {
+                    let mut runner = SnnRunner::from_compiled(kernels.clone());
+                    let (outcome, trace) = runner.run_traced(raster);
+                    (outcome.decode(readout), trace)
+                })
+                .collect()
+        })
+        .collect();
+    let per_tenant_accuracy: Vec<f64> = per_tenant
+        .iter()
+        .map(|runs| {
+            let correct = runs
+                .iter()
+                .zip(samples)
+                .filter(|((p, _), (_, y))| p == y)
+                .count();
+            accuracy_fraction(correct, samples.len())
+        })
+        .collect();
+
+    let pool_leak = pool_leakage_power(pool_config);
+    let inferences = nets.len() * samples.len();
+
+    // --- Serial discipline: one tenant at a time on the powered pool.
+    // The admitted mappings serve directly: every event-simulator charge
+    // and cycle count is origin-invariant (span widths and NC counts,
+    // never absolute coordinates), so a pool-placed mapping replays
+    // identically to a dedicated origin-0 one.
+    let mappings: Vec<&Mapping> = pool.tenants().iter().map(|t| &t.mapping).collect();
+    let serial_jobs: Vec<(usize, &SpikeTrace)> = per_tenant
+        .iter()
+        .enumerate()
+        .flat_map(|(i, runs)| runs.iter().map(move |(_, trace)| (i, trace)))
+        .collect();
+    let serial_runs: Vec<EventReport> = serial_jobs
+        .par_iter()
+        .map(|&(i, trace)| EventSimulator::new(mappings[i]).run(trace))
+        .collect();
+    let serial_latency = Time::from_nanos(
+        serial_runs
+            .iter()
+            .map(|r| r.latency.nanoseconds())
+            .sum::<f64>(),
+    );
+    let serial_dynamic: Energy = serial_runs
+        .iter()
+        .map(|r| {
+            r.total_energy()
+                - r.energy.get(Category::LogicLeakage)
+                - r.energy.get(Category::MemoryLeakage)
+        })
+        .sum();
+    let serial = TenancyMetrics {
+        dynamic_energy: serial_dynamic,
+        pool_energy: serial_dynamic + pool_leak * serial_latency,
+        latency: serial_latency,
+        inferences,
+    };
+
+    // --- Co-resident discipline: every round's traces interleaved.
+    let sim = SharedEventSimulator::new(&pool);
+    let rounds: Vec<usize> = (0..samples.len()).collect();
+    let shared_rounds: Vec<_> = rounds
+        .par_iter()
+        .map(|&j| {
+            let pairs: Vec<_> = tenant_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, &per_tenant[i][j].1))
+                .collect();
+            sim.run(&pairs)
+        })
+        .collect();
+    let shared_latency = Time::from_nanos(
+        shared_rounds
+            .iter()
+            .map(|r| r.latency.nanoseconds())
+            .sum::<f64>(),
+    );
+    let shared_dynamic: Energy = shared_rounds
+        .iter()
+        .flat_map(|r| r.tenants.iter().map(|t| t.energy.total()))
+        .sum();
+    let shared = TenancyMetrics {
+        dynamic_energy: shared_dynamic,
+        pool_energy: shared_dynamic + pool_leak * shared_latency,
+        latency: shared_latency,
+        inferences,
+    };
+    let mean_bus_occupancy =
+        shared_rounds.iter().map(|r| r.bus_occupancy()).sum::<f64>() / shared_rounds.len() as f64;
+
+    Ok(MultiTenantReport {
+        tenants: nets.len(),
+        rounds: samples.len(),
+        pool_utilization: pool.utilization(),
+        mean_bus_occupancy,
+        per_tenant_accuracy,
+        serial,
+        shared,
+    })
+}
+
 /// Tallies predictions against labels into a report (shared by both sweep
 /// flavours so scoring can never diverge between them).
 fn score(predictions: Vec<usize>, samples: &[(Vec<f32>, usize)]) -> SweepReport {
@@ -452,6 +696,107 @@ mod tests {
                 "{enc} should beat rate coding on comm+crossbar"
             );
         }
+    }
+
+    #[test]
+    fn multi_tenant_sweep_amortizes_leakage_and_edp() {
+        use resparc_core::ResparcConfig;
+        use resparc_neuro::topology::Topology;
+
+        let nets: Vec<Network> = (0..3)
+            .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 20 + s, 1.0))
+            .collect();
+        let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+        let samples = gen.labelled_set(4, 100);
+        let cfg = SweepConfig::rate(20, 0.7, 9);
+        let report = multi_tenant_sweep(&nets, &samples, &cfg, &ResparcConfig::resparc_64())
+            .expect("three small MLPs fit one pool");
+
+        assert_eq!(report.tenants, 3);
+        assert_eq!(report.rounds, 4);
+        assert_eq!(report.serial.inferences, 12);
+        assert_eq!(report.shared.inferences, 12);
+        assert!(report.pool_utilization > 0.0 && report.pool_utilization <= 1.0);
+        assert!(report.mean_bus_occupancy >= 0.0 && report.mean_bus_occupancy <= 1.0);
+        assert_eq!(report.per_tenant_accuracy.len(), 3);
+
+        // Same traces, same per-event charges: dynamic energy is
+        // identical under both disciplines.
+        assert!(
+            (report.serial.dynamic_energy.picojoules() / report.shared.dynamic_energy.picojoules()
+                - 1.0)
+                .abs()
+                < 1e-9,
+            "serial {} vs shared {} dynamic",
+            report.serial.dynamic_energy,
+            report.shared.dynamic_energy
+        );
+        // Co-residency overlaps the makespan, amortizing the powered
+        // pool's leakage: shorter wall-clock, lower all-in energy per
+        // inference, lower batch EDP.
+        assert!(report.shared.latency < report.serial.latency);
+        assert!(
+            report.shared.energy_per_inference() < report.serial.energy_per_inference(),
+            "shared {} vs serial {}",
+            report.shared.energy_per_inference(),
+            report.serial.energy_per_inference()
+        );
+        assert!(report.energy_per_inference_gain() > 1.0);
+        assert!(report.edp_gain() > 1.0);
+        assert!(report.shared.throughput() > report.serial.throughput());
+    }
+
+    #[test]
+    fn multi_tenant_sweep_rejects_overfull_pools() {
+        use resparc_core::fabric::AdmitError;
+        use resparc_core::ResparcConfig;
+        use resparc_neuro::topology::Topology;
+
+        // Three copies of the paper's MNIST MLP (8 NCs each) cannot
+        // co-reside on a 16-NC pool.
+        let nets: Vec<Network> = (0..3)
+            .map(|s| Network::random(Topology::mlp(784, &[800, 800, 10]), s, 1.0))
+            .collect();
+        let samples = vec![(vec![0.5f32; 784], 0usize)];
+        let cfg = SweepConfig::rate(5, 0.5, 1);
+        let err = multi_tenant_sweep(&nets, &samples, &cfg, &ResparcConfig::resparc_64())
+            .expect_err("must not fit");
+        assert!(matches!(err, AdmitError::CapacityExhausted { .. }));
+    }
+
+    #[test]
+    fn ttfs_rebalance_recovers_sweep_accuracy() {
+        use resparc_neuro::convert::rebalance_thresholds_for_ttfs;
+
+        // A rate-normalized net collapses under TTFS input (single
+        // spikes underdrive rate-balanced thresholds); the
+        // latency-targeting rebalance must recover a usable accuracy at
+        // the same sweep configuration.
+        let (net, test) = trained_toy_net();
+        let cfg = SweepConfig::rate(30, 0.8, 7).with_encoding(Encoding::Ttfs);
+        let rate_cfg = SweepConfig::rate(30, 0.8, 7);
+        let before = spiking_accuracy_sweep(&net, &test, &cfg);
+        let rate_before = spiking_accuracy_sweep(&net, &test, &rate_cfg);
+
+        let mut rebalanced = net.clone();
+        let calib: Vec<Vec<f32>> = test.iter().take(16).map(|(x, _)| x.clone()).collect();
+        rebalance_thresholds_for_ttfs(&mut rebalanced, &calib, 0.99, 0.35);
+        let after = spiking_accuracy_sweep(&rebalanced, &test, &cfg);
+
+        assert!(
+            after.accuracy() > before.accuracy(),
+            "rebalanced TTFS {} must beat collapsed TTFS {}",
+            after.accuracy(),
+            before.accuracy()
+        );
+        // And land in the same regime as the rate-coded readout rather
+        // than at chance.
+        assert!(
+            after.accuracy() >= rate_before.accuracy() * 0.5,
+            "rebalanced TTFS {} vs rate {}",
+            after.accuracy(),
+            rate_before.accuracy()
+        );
     }
 
     #[test]

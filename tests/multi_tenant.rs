@@ -1,0 +1,167 @@
+//! Multi-tenant fabric: single-tenant regression proof, co-residency
+//! economics, and the early-exit runner's truncated-trace contract.
+//!
+//! The acceptance bar for the fabric refactor is that sharing must be
+//! free when unused: a [`FabricPool`] hosting exactly one tenant replays
+//! a trace through the *same* code path as the dedicated-fabric
+//! [`EventSimulator`] and must reproduce its report bit-for-bit — same
+//! ledger, same cycles, same latency. Only with two or more tenants may
+//! the reports diverge (bus contention, shared leakage amortization).
+
+use resparc_suite::prelude::*;
+use resparc_suite::resparc_core::fabric::pool_leakage_power;
+use resparc_suite::resparc_workloads::multi_tenant_sweep;
+
+/// Rate-coded trace on the paper's MNIST MLP — the same workload the
+/// existing `trace_event.rs` agreement tests replay.
+fn mnist_mlp_trace(steps: usize) -> (Network, SpikeTrace) {
+    let bench = resparc_suite::resparc_workloads::mnist_mlp();
+    let net = Network::random(bench.topology.clone(), 3, 1.0);
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 28, 7);
+    let img = gen.sample(3, 1);
+    let mut enc = PoissonEncoder::new(0.6, 11);
+    let raster = enc.encode(&img, steps);
+    let (_, trace) = net.spiking().run_traced(&raster);
+    (net, trace)
+}
+
+#[test]
+fn one_tenant_pool_reproduces_dedicated_event_simulator_bit_identically() {
+    let steps = 40;
+    let (net, trace) = mnist_mlp_trace(steps);
+    let cfg = ResparcConfig::resparc_64().with_timesteps(steps as u32);
+
+    let dedicated = Mapper::new(cfg.clone()).map_network(&net).unwrap();
+    let single = EventSimulator::new(&dedicated).run(&trace);
+
+    let mut pool = FabricPool::new(cfg);
+    let id = pool.admit(&net, "mnist-mlp").unwrap();
+    let shared = SharedEventSimulator::new(&pool).run(&[(id, &trace)]);
+
+    // Bit-identical, not approximately equal: same ledger (every
+    // category), same cycle count, same latency, same per-layer tallies.
+    assert_eq!(shared.energy, single.energy);
+    for cat in Category::ALL {
+        assert_eq!(shared.energy.get(cat), single.energy.get(cat), "{cat}");
+    }
+    assert_eq!(shared.total_cycles, single.total_cycles);
+    assert_eq!(shared.latency, single.latency);
+    assert_eq!(shared.steps, single.steps);
+    assert_eq!(shared.active_steps, single.active_steps);
+    assert_eq!(shared.throughput, single.throughput);
+    assert_eq!(shared.tenants.len(), 1);
+    assert_eq!(shared.tenants[0].layers, single.layers);
+    assert_eq!(shared.tenants[0].active_steps, single.active_steps);
+}
+
+#[test]
+fn tenant_placement_origin_does_not_change_its_energy() {
+    // Admit a filler tenant first so the second tenant lands at a
+    // non-zero NC origin; its dynamic energy must match a dedicated
+    // origin-0 replay exactly (all charge arithmetic is span-width
+    // based, never absolute-coordinate based).
+    let cfg = ResparcConfig::resparc_64();
+    let filler = Network::random(Topology::mlp(96, &[64, 10]), 1, 1.0);
+    let net = Network::random(Topology::mlp(144, &[96, 10]), 2, 1.0);
+    let stimulus: Vec<f32> = (0..144).map(|i| (i % 5) as f32 / 4.0).collect();
+    let raster = RegularEncoder::new(1.0).encode(&stimulus, 16);
+    let (_, trace) = net.spiking().run_traced(&raster);
+
+    let mut pool = FabricPool::new(cfg.clone());
+    pool.admit(&filler, "filler").unwrap();
+    let id = pool.admit(&net, "shifted").unwrap();
+    let tenant = pool.tenant(id).unwrap();
+    assert!(tenant.first_nc() > 0, "second tenant must be NC-shifted");
+
+    let dedicated = Mapper::new(cfg).map_network(&net).unwrap();
+    let single = EventSimulator::new(&dedicated).run(&trace);
+    let shared = SharedEventSimulator::new(&pool).run(&[(id, &trace)]);
+    for cat in Category::ALL {
+        if matches!(cat, Category::LogicLeakage | Category::MemoryLeakage) {
+            continue; // leakage domain differs with a co-resident filler
+        }
+        assert_eq!(
+            shared.tenants[0].energy.get(cat),
+            single.energy.get(cat),
+            "{cat}"
+        );
+    }
+    assert_eq!(shared.tenants[0].layers, single.layers);
+}
+
+#[test]
+fn co_residency_beats_serial_execution_on_pool_energy_and_edp() {
+    // The acceptance-criterion comparison, end to end through the
+    // workloads API: N networks, identical traces, serial-on-the-pool vs
+    // co-resident.
+    let nets: Vec<Network> = (0..4)
+        .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 30 + s, 1.0))
+        .collect();
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+    let samples = gen.labelled_set(3, 500);
+    let cfg = SweepConfig::rate(25, 0.7, 13);
+    let pool_cfg = ResparcConfig::resparc_64();
+    let report = multi_tenant_sweep(&nets, &samples, &cfg, &pool_cfg).unwrap();
+
+    assert!(report.shared.latency < report.serial.latency);
+    assert!(report.energy_per_inference_gain() > 1.0);
+    assert!(report.edp_gain() > 1.0);
+    // The win comes from leakage amortization, not from charging fewer
+    // events: dynamic energy is identical.
+    let rel =
+        report.serial.dynamic_energy.picojoules() / report.shared.dynamic_energy.picojoules() - 1.0;
+    assert!(rel.abs() < 1e-9, "dynamic energies diverged by {rel}");
+    // Both disciplines bill the full powered pool over their wall-clock.
+    let pool_leak = pool_leakage_power(&pool_cfg);
+    let expect_serial = report.serial.dynamic_energy + pool_leak * report.serial.latency;
+    assert!(
+        (report.serial.pool_energy.picojoules() / expect_serial.picojoules() - 1.0).abs() < 1e-9
+    );
+}
+
+#[test]
+fn early_exit_trace_prices_exactly_the_truncated_presentation() {
+    // The temporal-coding early exit: stop at the first output spike,
+    // decode by first spike, and pay the event simulator only for the
+    // steps actually run.
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+    let train = gen.labelled_set(120, 0);
+    let mut tcfg = TrainConfig::quick_test();
+    tcfg.epochs = 10;
+    let mut net = train_mlp(144, &[24, 10], &train, &tcfg);
+    let calib: Vec<Vec<f32>> = train.iter().take(16).map(|(x, _)| x.clone()).collect();
+    normalize_for_snn(&mut net, &calib, 0.99);
+    rebalance_thresholds_for_ttfs(&mut net, &calib, 0.99, 0.35);
+
+    let mapping = Mapper::new(ResparcConfig::resparc_64())
+        .map_network(&net)
+        .unwrap();
+    let sim = EventSimulator::new(&mapping);
+    let steps = 40usize;
+    let (x, _) = &train[0];
+    let raster = TtfsEncoder::new().encode(x, steps);
+
+    let (full, full_trace) = net.spiking().run_traced(&raster);
+    let (early, early_trace) = net.spiking().run_traced_early_exit(&raster);
+    assert!(
+        (early.steps as usize) < steps,
+        "rebalanced TTFS net must fire an output before the window ends"
+    );
+
+    // The early-exit trace IS the truncated full trace, so the decoded
+    // label and the event-sim energy match it exactly.
+    let truncated = full_trace.truncated(early.steps as usize);
+    assert_eq!(early_trace, truncated);
+    assert_eq!(
+        early.decode(Readout::FirstSpike),
+        full.decode(Readout::FirstSpike)
+    );
+    let early_report = sim.run(&early_trace);
+    let truncated_report = sim.run(&truncated);
+    assert_eq!(early_report, truncated_report);
+    // And the truncation is worth paying for: strictly cheaper and
+    // faster than replaying the full presentation.
+    let full_report = sim.run(&full_trace);
+    assert!(early_report.total_energy() < full_report.total_energy());
+    assert!(early_report.total_cycles < full_report.total_cycles);
+}

@@ -348,6 +348,117 @@ proptest! {
         }
     }
 
+    /// Placing at a NeuroCell origin shifts pool coordinates only: every
+    /// span moves by exactly `origin` NCs and all counts (mPEs, NCs,
+    /// MCAs, CCU traffic) and boundary classifications are unchanged.
+    #[test]
+    fn placement_origin_shifts_coordinates_only(
+        inputs in 8usize..300,
+        hidden in 1usize..200,
+        origin in 0usize..12,
+        mca in prop_oneof![Just(32usize), Just(64)],
+    ) {
+        use resparc_suite::resparc_core::map::{place, place_with_origin, PartitionOptions};
+        use resparc_suite::resparc_core::map::partition::partition_layer;
+
+        let cfg = ResparcConfig::with_mca_size(mca);
+        let parts: Vec<_> = [
+            LayerSpec::Dense { inputs, outputs: hidden },
+            LayerSpec::Dense { inputs: hidden, outputs: 10 },
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            partition_layer(&ConnectivityMatrix::from_layer(spec), i, &PartitionOptions::new(mca))
+        })
+        .collect();
+        let base = place(&parts, &cfg);
+        let shifted = place_with_origin(&parts, &cfg, origin);
+        prop_assert_eq!(shifted.origin_nc, origin);
+        prop_assert_eq!(shifted.mpes_used, base.mpes_used);
+        prop_assert_eq!(shifted.ncs_used, base.ncs_used);
+        prop_assert_eq!(shifted.mcas_used, base.mcas_used);
+        prop_assert_eq!(shifted.end_nc(), origin + base.ncs_used);
+        let mpe_shift = origin * cfg.mpes_per_nc();
+        for (b, s) in base.layers.iter().zip(&shifted.layers) {
+            prop_assert_eq!(s.first_mpe, b.first_mpe + mpe_shift);
+            prop_assert_eq!(s.end_mpe, b.end_mpe + mpe_shift);
+            prop_assert_eq!(s.first_nc, b.first_nc + origin);
+            prop_assert_eq!(s.end_nc, b.end_nc + origin);
+            prop_assert_eq!(s.tiles, b.tiles);
+            prop_assert_eq!(s.ccu_transfers_per_step, b.ccu_transfers_per_step);
+        }
+        for l in 0..parts.len() {
+            prop_assert_eq!(shifted.boundary_crosses_nc(l), base.boundary_crosses_nc(l));
+        }
+    }
+
+    /// FabricPool invariants under arbitrary admission sequences: no NC
+    /// is ever over-committed (each belongs to at most one tenant, in
+    /// bounds), tenants occupy disjoint contiguous runs (so they can
+    /// never share an mPE or a tile), rejection is exactly the
+    /// no-fitting-run condition, and evicting every tenant restores the
+    /// free list to its pristine state.
+    #[test]
+    fn fabric_pool_admission_invariants(
+        hiddens in proptest::collection::vec(8usize..260, 1..7),
+        inputs in 16usize..200,
+        evict_first in proptest::prelude::any::<bool>(),
+    ) {
+        use resparc_suite::resparc_core::fabric::{AdmitError, FabricPool};
+
+        let cfg = ResparcConfig::resparc_64();
+        let mut pool = FabricPool::new(cfg.clone());
+        let pristine = pool.occupancy().to_vec();
+        prop_assert!(pristine.iter().all(|s| s.is_none()));
+
+        let mut admitted = Vec::new();
+        for (k, &h) in hiddens.iter().enumerate() {
+            let t = Topology::mlp(inputs, &[h, 10]);
+            match pool.admit_topology(&t, &format!("t{k}")) {
+                Ok(id) => admitted.push(id),
+                Err(AdmitError::CapacityExhausted { needed_ncs, free_ncs, largest_free_run }) => {
+                    prop_assert!(needed_ncs > largest_free_run);
+                    prop_assert!(largest_free_run <= free_ncs);
+                    prop_assert_eq!(largest_free_run, pool.largest_free_run());
+                }
+                Err(e) => prop_assert!(false, "unexpected admit error: {e}"),
+            }
+        }
+
+        // Occupancy bookkeeping: every tenant owns exactly its
+        // contiguous NC run, runs are in bounds and pairwise disjoint.
+        let mut owned = 0usize;
+        for tenant in pool.tenants() {
+            prop_assert!(tenant.end_nc() <= pool.physical_ncs(), "tenant out of bounds");
+            prop_assert!(tenant.nc_count() >= 1);
+            for nc in tenant.first_nc()..tenant.end_nc() {
+                prop_assert_eq!(pool.occupancy()[nc], Some(tenant.id), "NC {nc} over-committed");
+            }
+            // The mapping's spans stay inside the tenant's run (no tile
+            // can land on another tenant's mPEs).
+            let origin_mpe = tenant.first_nc() * cfg.mpes_per_nc();
+            let end_mpe = tenant.end_nc() * cfg.mpes_per_nc();
+            for span in &tenant.mapping.placement.layers {
+                prop_assert!(span.first_mpe >= origin_mpe && span.end_mpe <= end_mpe);
+            }
+            owned += tenant.nc_count();
+        }
+        prop_assert_eq!(owned, pool.occupied_ncs());
+        prop_assert!(owned <= pool.physical_ncs(), "pool over NC capacity");
+
+        // Evicting every tenant (in either order) restores the free
+        // list exactly.
+        if evict_first {
+            admitted.reverse();
+        }
+        for id in admitted {
+            prop_assert!(pool.evict(id).is_some());
+        }
+        prop_assert_eq!(pool.occupancy(), &pristine[..]);
+        prop_assert_eq!(pool.free_ncs(), pool.physical_ncs());
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

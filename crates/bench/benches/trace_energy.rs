@@ -177,11 +177,52 @@ fn bench_multi_tenant(c: &mut Criterion) {
     group.bench_function("shared_replay", |b| {
         b.iter(|| black_box(SharedEventSimulator::new(black_box(&pool)).run(black_box(&pairs))))
     });
+    // The weighted-QoS path: same pool and traces, 3:2:1 arbitration.
+    // Gated against shared_replay as a ratio in CI — the per-tenant
+    // stall/latency bookkeeping must stay a bounded multiple of the
+    // fair replay whatever the runner hardware.
+    group.bench_function("weighted_replay", |b| {
+        b.iter(|| {
+            black_box(
+                SharedEventSimulator::new(black_box(&pool))
+                    .run_weighted(black_box(&pairs), &[3, 2, 1]),
+            )
+        })
+    });
     group.bench_function("serial_replay", |b| {
         b.iter(|| {
             for (mapping, trace) in mappings.iter().zip(&traces) {
                 black_box(EventSimulator::new(black_box(mapping)).run(black_box(trace)));
             }
+        })
+    });
+    // Scheduler-driven churn: the same three tenants submitted to a
+    // FabricScheduler and drained over two service rounds each —
+    // admission (placement translation), weighted replay, and
+    // departure-driven eviction per round. The base scheduler is built
+    // once (probes mapped at submit); each iteration clones it so the
+    // measured loop is the churn machinery, not the mapper.
+    let mut base = FabricScheduler::new(FabricPool::new(cfg.clone()));
+    for (i, net) in nets.iter().enumerate() {
+        base.submit(net, &format!("t{i}"), 2, (i + 1) as u32)
+            .expect("maps");
+    }
+    group.bench_function("churn_replay", |b| {
+        b.iter(|| {
+            let mut sched = base.clone();
+            while !sched.is_idle() {
+                let residents = sched.begin_round();
+                let round_pairs: Vec<(TenantId, &SpikeTrace)> = residents
+                    .iter()
+                    .map(|st| (st.tenant, &traces[st.request.index() as usize]))
+                    .collect();
+                let weights: Vec<u32> = residents.iter().map(|st| st.weight).collect();
+                black_box(
+                    SharedEventSimulator::new(sched.pool()).run_weighted(&round_pairs, &weights),
+                );
+                sched.end_round();
+            }
+            black_box(sched.completed().len())
         })
     });
     group.finish();

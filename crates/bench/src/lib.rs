@@ -469,7 +469,10 @@ pub fn fig_encoding() -> String {
 /// powered pool leaks and how its shared bus serialises. This is the
 /// reconfigurability story of §3 priced end-to-end: co-residency
 /// amortizes idle-NC leakage across tenants and overlaps their
-/// makespans, at the cost of measurable bus contention.
+/// makespans, at the cost of measurable bus contention. The follow-up
+/// sections price the *dynamic* half: weighted bus QoS (who absorbs the
+/// contention) and mid-replay tenant churn under the three packing
+/// policies vs static batch provisioning.
 pub fn fig_tenancy() -> String {
     use resparc_suite::resparc_workloads::multi_tenant_sweep;
 
@@ -505,7 +508,8 @@ pub fn fig_tenancy() -> String {
     format!(
         "Multi-tenant fabric — serial vs co-resident execution on one RESPARC-64 pool\n\
          (random 144-96-10 MLP tenants, 4 rounds x 25 steps, trace-driven shared replay;\n\
-         E/inference bills the whole powered pool's leakage to its resident tenants)\n{}",
+         E/inference bills the whole powered pool's leakage to its resident tenants)\n{}\n\
+         {}\n{}",
         fmt_table(
             &[
                 "Tenants",
@@ -515,6 +519,158 @@ pub fn fig_tenancy() -> String {
                 "E/inf gain",
                 "EDP gain",
                 "Bus busy"
+            ],
+            &rows
+        ),
+        fig_tenancy_qos(),
+        fig_tenancy_churn()
+    )
+}
+
+/// Weighted bus QoS: the same three-tenant shared replay under fair and
+/// under 4:2:1 weighted round-robin arbitration. The bus is
+/// work-conserving — makespan, ledger and bus occupancy are
+/// bit-identical in both runs — so the table isolates what the weights
+/// actually move: which tenant's packets wait, and what each tenant's
+/// perceived inference latency becomes.
+fn fig_tenancy_qos() -> String {
+    let pool_cfg = ResparcConfig::resparc_64();
+    let nets: Vec<Network> = (0..3u64)
+        .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 60 + s, 1.0))
+        .collect();
+    let traces: Vec<SpikeTrace> = nets
+        .iter()
+        .map(|net| {
+            let stimulus: Vec<f32> = (0..144).map(|i| (i % 7) as f32 / 7.0).collect();
+            let raster = RegularEncoder::new(0.8).encode(&stimulus, 25);
+            net.spiking().run_traced(&raster).1
+        })
+        .collect();
+    let mut pool = FabricPool::new(pool_cfg);
+    let ids: Vec<TenantId> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| pool.admit(n, &format!("tenant{i}")).expect("fits"))
+        .collect();
+    let pairs: Vec<(TenantId, &SpikeTrace)> = ids.iter().copied().zip(traces.iter()).collect();
+    let sim = SharedEventSimulator::new(&pool);
+    let fair = sim.run(&pairs);
+    let weighted = sim.run_weighted(&pairs, &[4, 2, 1]);
+    assert_eq!(weighted.latency, fair.latency, "the bus is work-conserving");
+
+    let rows: Vec<Vec<String>> = fair
+        .tenants
+        .iter()
+        .zip(&weighted.tenants)
+        .map(|(f, w)| {
+            vec![
+                f.name.clone(),
+                format!("{}", w.weight),
+                format!("{}", f.bus_stall_cycles),
+                format!("{}", w.bus_stall_cycles),
+                format!("{:.3}", f.latency.microseconds()),
+                format!("{:.3}", w.latency.microseconds()),
+            ]
+        })
+        .collect();
+    format!(
+        "Weighted bus QoS — fair vs 4:2:1 weighted round-robin, same traces\n\
+         (3 co-resident 144-96-10 tenants, 25 steps; makespan {:.2} us and ledger are\n\
+         weight-independent — the weights only choose who absorbs the bus contention)\n{}",
+        fair.latency.microseconds(),
+        fmt_table(
+            &[
+                "Tenant",
+                "Weight",
+                "Stall cyc (fair)",
+                "Stall cyc (wrr)",
+                "Latency us (fair)",
+                "Latency us (wrr)"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Mid-replay churn: an arrival/departure schedule through the
+/// `FabricScheduler` under each packing policy, against the static
+/// co-resident batching baseline — same networks, same traces, same
+/// per-event charges, so every delta is scheduling.
+fn fig_tenancy_churn() -> String {
+    use resparc_suite::resparc_workloads::{churn_sweep, ChurnSpec};
+
+    let pool_cfg = ResparcConfig::resparc_64();
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, SEED);
+    let samples = gen.labelled_set(3, 900);
+    let sweep = SweepConfig::rate(20, 0.7, SEED);
+
+    // Eight 2-NC tenants fill the 16-NC pool at round 0; two depart
+    // after one round, fragmenting the free list. A 4-NC tenant and a
+    // late 2-NC arrival must be scheduled into the churn.
+    let mut nets: Vec<Network> = (0..8u64)
+        .map(|s| Network::random(Topology::mlp(144, &[576, 576, 10]), 70 + s, 1.0))
+        .collect();
+    nets.push(Network::random(
+        Topology::mlp(144, &[576, 576, 576, 10]),
+        80,
+        1.0,
+    ));
+    nets.push(Network::random(
+        Topology::mlp(144, &[576, 576, 10]),
+        81,
+        1.0,
+    ));
+    let mut specs: Vec<ChurnSpec> = (0..8)
+        .map(|i| ChurnSpec::new(0, if i == 0 || i == 2 { 1 } else { 5 }))
+        .collect();
+    specs.push(ChurnSpec::new(0, 3)); // the 4-NC request
+    specs.push(ChurnSpec::new(2, 2)); // late arrival
+
+    let mut rows = Vec::new();
+    for policy in [
+        PackingPolicy::FirstFit,
+        PackingPolicy::BestFit,
+        PackingPolicy::Defragment,
+    ] {
+        let r = churn_sweep(&nets, &specs, &samples, &sweep, &pool_cfg, policy)
+            .expect("every request fits the pool alone");
+        rows.push(vec![
+            format!("{policy:?}"),
+            format!("{} / {}", r.churned.rounds, r.static_baseline.rounds),
+            format!(
+                "{:.0}% / {:.0}%",
+                100.0 * r.churned.mean_active_utilization,
+                100.0 * r.static_baseline.mean_active_utilization
+            ),
+            format!(
+                "{:.1} ({})",
+                r.churned.mean_queue_wait, r.churned.max_queue_wait
+            ),
+            format!(
+                "{:.1} / {:.1}",
+                r.churned.tenancy.energy_per_inference().nanojoules(),
+                r.static_baseline
+                    .tenancy
+                    .energy_per_inference()
+                    .nanojoules()
+            ),
+            format!("{:.2}x", r.energy_per_inference_gain()),
+            format!("{:.2}x", r.makespan_gain()),
+        ]);
+    }
+    format!(
+        "Mid-replay churn — dynamic scheduling vs static co-resident batches\n\
+         (10 requests: 8x 2-NC + 1x 4-NC + 1 late 2-NC on RESPARC-64, 20 steps/round;\n\
+         two early departures fragment the pool, so the 4-NC request needs compaction)\n{}",
+        fmt_table(
+            &[
+                "Policy",
+                "Rounds (dyn/static)",
+                "Active util",
+                "Wait mean (max)",
+                "E/inf nJ (dyn/static)",
+                "E/inf gain",
+                "Makespan gain"
             ],
             &rows
         )

@@ -1,7 +1,7 @@
 //! CMOS baseline configuration: the micro-architectural parameters of
 //! the paper's Fig. 9.
 //!
-//! The baseline implements the FALCON [15] dataflow "aggressively
+//! The baseline implements the FALCON \[15\] dataflow "aggressively
 //! optimized for SNNs": 16 neuron units at 1 GHz, 16 input FIFOs and one
 //! weight FIFO (depth 32, width 4), event-driven optimisations that skip
 //! fetches/computation for all-zero spike packets, and reuse buffers that

@@ -1,7 +1,7 @@
 //! The optimized digital CMOS baseline accelerator the paper compares
 //! RESPARC against (§4.1, Fig. 9).
 //!
-//! "We implemented the dataflow proposed in [15] for our CMOS baseline
+//! "We implemented the dataflow proposed in \[15\] for our CMOS baseline
 //! and aggressively optimized it for SNNs": 16 neuron units at 1 GHz,
 //! input/weight FIFOs, event-driven skipping of zero spike packets, and
 //! reuse buffers minimising memory fetches. This crate models that

@@ -1,0 +1,598 @@
+//! The physical NeuroCell inventory and its admission policies.
+//!
+//! A [`FabricPool`] tracks per-NC ownership of one chip. Admission maps
+//! the candidate network once at origin 0 (the *probe*), asks the
+//! configured [`PackingPolicy`] for a contiguous free run of the probe's
+//! NC footprint, and translates the probe into the chosen run — a pure
+//! coordinate shift, so the expensive partitioning runs exactly once per
+//! admission. Eviction restores the free list exactly (property-tested
+//! in `tests/proptests.rs`).
+
+use resparc_neuro::network::Network;
+use resparc_neuro::topology::Topology;
+
+use crate::config::ResparcConfig;
+use crate::fabric::{AdmitError, Tenant, TenantId};
+use crate::map::{Mapper, Mapping};
+
+/// How a [`FabricPool`] chooses the free NC run an admission receives.
+///
+/// The policy only picks *where* a tenant lands — the tenant's footprint
+/// (its probe mapping) is policy-independent, so switching policies never
+/// changes what a tenant costs to replay, only whether and where it fits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PackingPolicy {
+    /// The leftmost contiguous free run that fits — the cheapest probe
+    /// and the historical default.
+    #[default]
+    FirstFit,
+    /// The smallest contiguous free run that fits (leftmost on ties):
+    /// small tenants fill holes instead of splitting the large runs big
+    /// tenants will need.
+    BestFit,
+    /// Best-fit, falling back to **compaction**: when no contiguous run
+    /// fits but the pool's *total* free capacity does,
+    /// [`FabricPool::defragment`] slides every resident tenant toward
+    /// NC 0 (pure whole-NC translation, no re-partitioning) and the
+    /// admission retries on the now-contiguous free tail — turning a
+    /// fragmented [`AdmitError::CapacityExhausted`] into a successful
+    /// admit.
+    Defragment,
+}
+
+/// The physical NC/mPE inventory of one chip, shared by many tenants.
+///
+/// # Examples
+///
+/// Admission hands out disjoint contiguous NC runs and eviction returns
+/// them:
+///
+/// ```
+/// use resparc_core::fabric::FabricPool;
+/// use resparc_core::ResparcConfig;
+/// use resparc_neuro::topology::Topology;
+///
+/// let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+/// let a = pool.admit_topology(&Topology::mlp(96, &[64, 10]), "kws")?;
+/// let b = pool.admit_topology(&Topology::mlp(144, &[96, 10]), "mnist")?;
+/// let (ta, tb) = (pool.tenant(a).unwrap(), pool.tenant(b).unwrap());
+/// assert!(ta.end_nc() <= tb.first_nc()); // disjoint pool coordinates
+/// assert_eq!(pool.occupied_ncs(), ta.nc_count() + tb.nc_count());
+///
+/// let evicted = pool.evict(a).expect("a was resident");
+/// assert_eq!(evicted.id, a);
+/// assert_eq!(pool.occupied_ncs(), pool.tenant(b).unwrap().nc_count());
+/// # Ok::<(), resparc_core::fabric::AdmitError>(())
+/// ```
+///
+/// A defragmenting pool admits through fragmentation a first-fit pool
+/// rejects — compare the two policies on the same admission sequence:
+///
+/// ```
+/// use resparc_core::fabric::{AdmitError, FabricPool, PackingPolicy};
+/// use resparc_core::ResparcConfig;
+/// use resparc_neuro::topology::Topology;
+///
+/// let two_nc = Topology::mlp(144, &[576, 576, 10]); // 2 NCs on RESPARC-64
+/// let wide = Topology::mlp(144, &[576, 576, 576, 10]); // 4 NCs: wider than any hole
+/// let fragment = |pool: &mut FabricPool| {
+///     // Fill the 16-NC pool with 2-NC tenants, then evict every other
+///     // one: 8 NCs free, but only 2-NC holes remain.
+///     let ids: Vec<_> = (0..8)
+///         .map(|i| pool.admit_topology(&two_nc, &format!("t{i}")).unwrap())
+///         .collect();
+///     for id in ids.iter().step_by(2) {
+///         pool.evict(*id);
+///     }
+/// };
+///
+/// let mut first_fit = FabricPool::new(ResparcConfig::resparc_64());
+/// fragment(&mut first_fit);
+/// assert!(matches!(
+///     first_fit.admit_topology(&wide, "wide"),
+///     Err(AdmitError::CapacityExhausted { .. })
+/// ));
+///
+/// let mut defrag = FabricPool::new(ResparcConfig::resparc_64())
+///     .with_policy(PackingPolicy::Defragment);
+/// fragment(&mut defrag);
+/// let id = defrag.admit_topology(&wide, "wide")?; // compaction made room
+/// assert!(defrag.tenant(id).is_some());
+/// # Ok::<(), resparc_core::fabric::AdmitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricPool {
+    config: ResparcConfig,
+    policy: PackingPolicy,
+    /// Per-physical-NC owner; `None` = free. This *is* the free list:
+    /// eviction must restore it exactly (property-tested).
+    occupancy: Vec<Option<TenantId>>,
+    tenants: Vec<Tenant>,
+    next_id: u32,
+}
+
+impl FabricPool {
+    /// Creates an empty pool over the machine's `physical_ncs`
+    /// NeuroCells, packing with [`PackingPolicy::FirstFit`].
+    pub fn new(config: ResparcConfig) -> Self {
+        let slots = config.physical_ncs;
+        Self {
+            config,
+            policy: PackingPolicy::FirstFit,
+            occupancy: vec![None; slots],
+            tenants: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Sets the packing policy future admissions use (resident tenants
+    /// are not moved until a [`PackingPolicy::Defragment`] admission
+    /// needs the room).
+    pub fn with_policy(mut self, policy: PackingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The packing policy admissions use.
+    pub fn policy(&self) -> PackingPolicy {
+        self.policy
+    }
+
+    /// The machine configuration every tenant is mapped against.
+    pub fn config(&self) -> &ResparcConfig {
+        &self.config
+    }
+
+    /// Physical NeuroCells on the chip.
+    pub fn physical_ncs(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Per-NC ownership (`None` = free), in NC order.
+    pub fn occupancy(&self) -> &[Option<TenantId>] {
+        &self.occupancy
+    }
+
+    /// Free NeuroCells (any position).
+    pub fn free_ncs(&self) -> usize {
+        self.occupancy.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// NeuroCells currently owned by tenants.
+    pub fn occupied_ncs(&self) -> usize {
+        self.physical_ncs() - self.free_ncs()
+    }
+
+    /// Fraction of the pool's NeuroCells owned by tenants.
+    pub fn utilization(&self) -> f64 {
+        if self.occupancy.is_empty() {
+            return 0.0;
+        }
+        self.occupied_ncs() as f64 / self.physical_ncs() as f64
+    }
+
+    /// Longest contiguous free NC run (what the next admission can get
+    /// without compaction).
+    pub fn largest_free_run(&self) -> usize {
+        self.free_runs()
+            .into_iter()
+            .map(|(_, len)| len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resident tenants, in admission order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Looks up a resident tenant by id.
+    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Whether an admission needing `needed_ncs` contiguous NeuroCells
+    /// would currently succeed under the pool's policy (counting the
+    /// room a [`PackingPolicy::Defragment`] compaction would free, but
+    /// performing no mutation). [`FabricScheduler`] probes with this
+    /// before committing a queued request.
+    ///
+    /// [`FabricScheduler`]: crate::fabric::FabricScheduler
+    pub fn can_admit(&self, needed_ncs: usize) -> bool {
+        let needed = needed_ncs.max(1);
+        match self.policy {
+            PackingPolicy::FirstFit | PackingPolicy::BestFit => self.find_run(needed).is_some(),
+            PackingPolicy::Defragment => self.free_ncs() >= needed,
+        }
+    }
+
+    /// Admits a trained network: maps it with the pool's configuration,
+    /// allocates the free NC run the pool's [`PackingPolicy`] selects
+    /// and places the mapping there in pool coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Map`] if mapping fails,
+    /// [`AdmitError::CapacityExhausted`] if the policy finds no run
+    /// (even after defragmentation, when the policy compacts).
+    pub fn admit(&mut self, network: &Network, name: &str) -> Result<TenantId, AdmitError> {
+        let probe = Mapper::new(self.config.clone())
+            .map_network(network)
+            .map_err(AdmitError::Map)?;
+        self.admit_mapped(probe, name)
+    }
+
+    /// Admits a bare topology (mean |weight| 0.5 per layer, as
+    /// [`Mapper::map`]); see [`FabricPool::admit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FabricPool::admit`].
+    pub fn admit_topology(
+        &mut self,
+        topology: &Topology,
+        name: &str,
+    ) -> Result<TenantId, AdmitError> {
+        let probe = Mapper::new(self.config.clone())
+            .map(topology)
+            .map_err(AdmitError::Map)?;
+        self.admit_mapped(probe, name)
+    }
+
+    /// Admits an already-mapped probe (any origin; it is re-anchored
+    /// into the allocated run). This is the allocation core `admit` and
+    /// `admit_topology` share, and what a [`FabricScheduler`] uses to
+    /// avoid re-mapping a queued request on every admission attempt.
+    ///
+    /// The probe must have been produced against [`FabricPool::config`]
+    /// (same machine shape), or the resulting placement is meaningless.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::CapacityExhausted`] if the policy finds no run.
+    ///
+    /// [`FabricScheduler`]: crate::fabric::FabricScheduler
+    pub fn admit_mapped(&mut self, probe: Mapping, name: &str) -> Result<TenantId, AdmitError> {
+        // The probe sizes the tenant; translating it into the allocated
+        // run is a pure coordinate shift (identical to re-placing there —
+        // property-tested), so the expensive partitioning runs exactly
+        // once per admission.
+        let needed = probe.placement.ncs_used.max(1);
+        let origin = match self.find_run(needed) {
+            Some(origin) => origin,
+            None if self.policy == PackingPolicy::Defragment && self.free_ncs() >= needed => {
+                self.defragment();
+                self.find_run(needed)
+                    .expect("compaction leaves all free NCs in one contiguous tail")
+            }
+            None => {
+                return Err(AdmitError::CapacityExhausted {
+                    needed_ncs: needed,
+                    free_ncs: self.free_ncs(),
+                    largest_free_run: self.largest_free_run(),
+                })
+            }
+        };
+        let mut mapping = probe;
+        if origin != mapping.placement.origin_nc {
+            mapping.placement = mapping.placement.translated_to(origin, &self.config);
+        }
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        for slot in &mut self.occupancy[origin..origin + needed] {
+            *slot = Some(id);
+        }
+        self.tenants.push(Tenant {
+            id,
+            name: name.to_string(),
+            mapping,
+        });
+        Ok(id)
+    }
+
+    /// Evicts a tenant, freeing its NC run; returns it (with its
+    /// pool-coordinate mapping) or `None` if the id is not resident.
+    pub fn evict(&mut self, id: TenantId) -> Option<Tenant> {
+        let at = self.tenants.iter().position(|t| t.id == id)?;
+        let tenant = self.tenants.remove(at);
+        for slot in &mut self.occupancy {
+            if *slot == Some(id) {
+                *slot = None;
+            }
+        }
+        Some(tenant)
+    }
+
+    /// Compacts every resident tenant leftward into one contiguous
+    /// prefix, leaving all free NCs in a single tail run. Tenants slide
+    /// in NC order (their relative layout is preserved) via
+    /// [`Placement::translated_to`](crate::map::Placement::translated_to)
+    /// — a pure whole-NC coordinate shift, with **no re-partitioning**:
+    /// replaying any trace through a moved tenant charges bit-identical
+    /// dynamic energy and cycles (property-tested in
+    /// `tests/proptests.rs`). Returns the number of tenants that moved.
+    pub fn defragment(&mut self) -> usize {
+        let mut order: Vec<usize> = (0..self.tenants.len()).collect();
+        order.sort_by_key(|&i| self.tenants[i].first_nc());
+        let mut cursor = 0usize;
+        let mut moved = 0usize;
+        for i in order {
+            let tenant = &mut self.tenants[i];
+            if tenant.first_nc() != cursor {
+                tenant.mapping.placement =
+                    tenant.mapping.placement.translated_to(cursor, &self.config);
+                moved += 1;
+            }
+            cursor += tenant.nc_count();
+        }
+        for slot in &mut self.occupancy {
+            *slot = None;
+        }
+        for tenant in &self.tenants {
+            let (first, end) = (tenant.first_nc(), tenant.end_nc());
+            for slot in &mut self.occupancy[first..end] {
+                *slot = Some(tenant.id);
+            }
+        }
+        moved
+    }
+
+    /// Every maximal contiguous free run, as `(start_nc, len)` in NC
+    /// order.
+    fn free_runs(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut start = 0usize;
+        let mut len = 0usize;
+        for (i, slot) in self.occupancy.iter().enumerate() {
+            if slot.is_none() {
+                if len == 0 {
+                    start = i;
+                }
+                len += 1;
+            } else if len > 0 {
+                runs.push((start, len));
+                len = 0;
+            }
+        }
+        if len > 0 {
+            runs.push((start, len));
+        }
+        runs
+    }
+
+    /// The free-run start the pool's policy selects for a `len`-NC
+    /// tenant, or `None` when no run fits (defragmentation is the
+    /// caller's fallback, not this probe's).
+    fn find_run(&self, len: usize) -> Option<usize> {
+        let runs = self.free_runs();
+        let candidates = runs.into_iter().filter(|&(_, run)| run >= len);
+        match self.policy {
+            PackingPolicy::FirstFit => candidates.map(|(start, _)| start).next(),
+            // Smallest fitting run; leftmost on ties. Defragment packs
+            // best-fit first and only compacts when that fails.
+            PackingPolicy::BestFit | PackingPolicy::Defragment => candidates
+                .min_by_key(|&(start, run)| (run, start))
+                .map(|(start, _)| start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+
+    fn small_net(seed: u64) -> Network {
+        Network::random(Topology::mlp(96, &[64, 10]), seed, 1.0)
+    }
+
+    /// A topology occupying exactly `ncs` NeuroCells on RESPARC-64
+    /// (verified by the tests that use it).
+    fn sized_topology(ncs: usize) -> Topology {
+        // Each extra 576-wide hidden layer adds ~21 mPEs; the measured
+        // footprints below are asserted by the next test.
+        match ncs {
+            1 => Topology::mlp(144, &[576, 10]),
+            2 => Topology::mlp(144, &[576, 576, 10]),
+            4 => Topology::mlp(144, &[576, 576, 576, 10]),
+            5 => Topology::mlp(144, &[576, 576, 576, 576, 10]),
+            other => panic!("no sized topology for {other} NCs"),
+        }
+    }
+
+    #[test]
+    fn sized_topologies_have_the_advertised_footprint() {
+        let mapper = Mapper::new(ResparcConfig::resparc_64());
+        for ncs in [1usize, 2, 4, 5] {
+            let mapping = mapper.map(&sized_topology(ncs)).unwrap();
+            assert_eq!(mapping.placement.ncs_used, ncs, "{ncs}-NC topology");
+        }
+    }
+
+    #[test]
+    fn admits_tenants_on_disjoint_nc_runs() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit(&small_net(1), "a").unwrap();
+        let b = pool.admit(&small_net(2), "b").unwrap();
+        assert_ne!(a, b);
+        let ta = pool.tenant(a).unwrap();
+        let tb = pool.tenant(b).unwrap();
+        assert!(ta.end_nc() <= tb.first_nc() || tb.end_nc() <= ta.first_nc());
+        assert_eq!(pool.occupied_ncs(), ta.nc_count() + tb.nc_count());
+        assert!(pool.utilization() > 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_when_capacity_exhausted() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        // The paper's MNIST MLP occupies 8 NCs on RESPARC-64; a third
+        // copy cannot fit the 16-NC pool.
+        let big = Topology::mlp(784, &[800, 800, 10]);
+        pool.admit_topology(&big, "one").unwrap();
+        pool.admit_topology(&big, "two").unwrap();
+        let err = pool.admit_topology(&big, "three").unwrap_err();
+        match err {
+            AdmitError::CapacityExhausted {
+                needed_ncs,
+                free_ncs,
+                largest_free_run,
+            } => {
+                assert!(needed_ncs > largest_free_run);
+                assert!(largest_free_run <= free_ncs);
+            }
+            other => panic!("expected CapacityExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn evict_restores_free_list_exactly() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit(&small_net(1), "a").unwrap();
+        let before = pool.occupancy().to_vec();
+        let b = pool.admit(&small_net(2), "b").unwrap();
+        let evicted = pool.evict(b).expect("b resident");
+        assert_eq!(evicted.id, b);
+        assert_eq!(pool.occupancy(), &before[..]);
+        assert!(pool.tenant(b).is_none());
+        assert!(pool.tenant(a).is_some());
+        assert!(pool.evict(b).is_none(), "double evict must be None");
+    }
+
+    #[test]
+    fn best_fit_fills_the_smallest_hole_first_fit_the_leftmost() {
+        // Layout a(2)@0..2 b(5)@2..7 c(1)@7..8 d(5)@8..13, tail 13..16;
+        // evicting a and c leaves holes of width 2 (NC 0) and 1 (NC 7).
+        // A 1-NC admission must land at NC 7 under best-fit but NC 0
+        // under first-fit.
+        let fragment = |pool: &mut FabricPool| {
+            let a = pool.admit_topology(&sized_topology(2), "a").unwrap();
+            pool.admit_topology(&sized_topology(5), "b").unwrap();
+            let c = pool.admit_topology(&sized_topology(1), "c").unwrap();
+            pool.admit_topology(&sized_topology(5), "d").unwrap();
+            pool.evict(a);
+            pool.evict(c);
+        };
+
+        let mut best =
+            FabricPool::new(ResparcConfig::resparc_64()).with_policy(PackingPolicy::BestFit);
+        fragment(&mut best);
+        assert_eq!(best.largest_free_run(), 3);
+        let id = best.admit_topology(&sized_topology(1), "snug").unwrap();
+        assert_eq!(best.tenant(id).unwrap().first_nc(), 7, "smallest hole");
+        // The 2-NC hole survives intact for a 2-NC tenant.
+        let id2 = best.admit_topology(&sized_topology(2), "pair").unwrap();
+        assert_eq!(best.tenant(id2).unwrap().first_nc(), 0);
+
+        let mut first = FabricPool::new(ResparcConfig::resparc_64());
+        fragment(&mut first);
+        let id = first.admit_topology(&sized_topology(1), "snug").unwrap();
+        assert_eq!(first.tenant(id).unwrap().first_nc(), 0, "leftmost hole");
+    }
+
+    #[test]
+    fn defragment_admits_where_first_fit_exhausts() {
+        // The acceptance-criterion scenario: enough total free NCs but
+        // no contiguous run. Five 2-NC tenants plus one 5-NC tenant
+        // fill 15 of 16 NCs; evicting 2-NC tenants #1 and #3 frees two
+        // 2-NC holes (+1 tail). A 4-NC tenant cannot fit any hole —
+        // first-fit (and best-fit) reject, the defragmenting pool
+        // compacts and admits.
+        let fragment = |pool: &mut FabricPool| {
+            let ids: Vec<TenantId> = (0..5)
+                .map(|i| {
+                    pool.admit_topology(&sized_topology(2), &format!("t{i}"))
+                        .unwrap()
+                })
+                .collect();
+            pool.admit_topology(&sized_topology(5), "big").unwrap();
+            pool.evict(ids[1]);
+            pool.evict(ids[3]);
+        };
+
+        let mut first = FabricPool::new(ResparcConfig::resparc_64());
+        fragment(&mut first);
+        assert_eq!(first.free_ncs(), 5);
+        assert_eq!(first.largest_free_run(), 2);
+        let err = first
+            .admit_topology(&sized_topology(4), "wide")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AdmitError::CapacityExhausted {
+                    needed_ncs: 4,
+                    free_ncs: 5,
+                    largest_free_run: 2,
+                }
+            ),
+            "got {err}"
+        );
+
+        let mut defrag =
+            FabricPool::new(ResparcConfig::resparc_64()).with_policy(PackingPolicy::Defragment);
+        fragment(&mut defrag);
+        let before: Vec<(TenantId, usize)> = defrag
+            .tenants()
+            .iter()
+            .map(|t| (t.id, t.nc_count()))
+            .collect();
+        let id = defrag.admit_topology(&sized_topology(4), "wide").unwrap();
+        let tenant = defrag.tenant(id).unwrap();
+        // Residents were compacted to NCs 0..11; the new tenant fills
+        // the reunified tail.
+        assert_eq!(tenant.first_nc(), 11);
+        assert_eq!(tenant.end_nc(), 15);
+        assert_eq!(defrag.free_ncs(), 1);
+        // Every pre-defrag resident survived with its footprint intact
+        // and the occupancy map agrees with the placements.
+        for (id, ncs) in before {
+            let t = defrag.tenant(id).expect("resident survived compaction");
+            assert_eq!(t.nc_count(), ncs);
+            for nc in t.first_nc()..t.end_nc() {
+                assert_eq!(defrag.occupancy()[nc], Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn defragment_is_a_no_op_on_a_compact_pool() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        pool.admit(&small_net(1), "a").unwrap();
+        pool.admit(&small_net(2), "b").unwrap();
+        let before = pool.occupancy().to_vec();
+        assert_eq!(pool.defragment(), 0);
+        assert_eq!(pool.occupancy(), &before[..]);
+        // And on an empty pool.
+        let mut empty = FabricPool::new(ResparcConfig::resparc_64());
+        assert_eq!(empty.defragment(), 0);
+    }
+
+    #[test]
+    fn can_admit_matches_admission_outcomes() {
+        let fragment = |pool: &mut FabricPool| {
+            let ids: Vec<TenantId> = (0..5)
+                .map(|i| {
+                    pool.admit_topology(&sized_topology(2), &format!("t{i}"))
+                        .unwrap()
+                })
+                .collect();
+            pool.admit_topology(&sized_topology(5), "big").unwrap();
+            pool.evict(ids[1]);
+            pool.evict(ids[3]);
+        };
+
+        let mut pool =
+            FabricPool::new(ResparcConfig::resparc_64()).with_policy(PackingPolicy::Defragment);
+        fragment(&mut pool);
+        // 5 free NCs in 2-NC holes (+1 tail): a 4-NC tenant is
+        // admissible only via compaction, a 6-NC one not at all.
+        assert!(pool.can_admit(4));
+        assert!(!pool.can_admit(6));
+        assert!(pool.can_admit(0), "zero-NC probe rounds up to one NC");
+
+        let mut first = FabricPool::new(ResparcConfig::resparc_64());
+        fragment(&mut first);
+        assert!(first.can_admit(2));
+        assert!(!first.can_admit(4), "first-fit does not compact");
+    }
+}

@@ -1,0 +1,465 @@
+//! Dynamic admission across replay rounds: arrivals queue, departures
+//! free capacity mid-stream.
+//!
+//! PR 4's [`FabricPool`] realised reconfigurability *statically*: the
+//! tenant set was fixed before a replay round and never changed while
+//! traffic was in flight. [`FabricScheduler`] closes the loop — it owns
+//! a pool and drives an arrival/departure schedule over **rounds** (one
+//! round = one interleaved shared replay of the currently-resident
+//! tenants):
+//!
+//! * [`submit`](FabricScheduler::submit) maps a request once (the probe
+//!   is cached, never re-partitioned) and appends it to a FIFO queue;
+//! * [`begin_round`](FabricScheduler::begin_round) admits from the
+//!   queue head while the pool's [`PackingPolicy`] finds capacity —
+//!   including room a [`PackingPolicy::Defragment`] compaction can
+//!   create — and returns the round's residents with their
+//!   bus-arbitration weights (head-of-line blocking keeps admission
+//!   strictly FIFO: no request starves behind a later, smaller one);
+//! * the caller replays the round (e.g.
+//!   [`SharedEventSimulator::run_weighted`](crate::fabric::SharedEventSimulator::run_weighted));
+//! * [`end_round`](FabricScheduler::end_round) retires one service
+//!   round per resident and **evicts** tenants whose service completed,
+//!   freeing their NC runs for the next round's admissions.
+//!
+//! Every request's life cycle is recorded as a [`ServiceRecord`]
+//! (submission, admission and departure rounds), so queue-wait and
+//! utilization statistics fall out of the log —
+//! `resparc_workloads::sweep::churn_sweep` builds the dynamic-vs-static
+//! comparison on top.
+//!
+//! [`PackingPolicy`]: crate::fabric::PackingPolicy
+//! [`PackingPolicy::Defragment`]: crate::fabric::PackingPolicy::Defragment
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use resparc_neuro::network::Network;
+
+use crate::fabric::{FabricPool, TenantId};
+use crate::map::{MapError, Mapping};
+
+/// Handle of one submitted service request (stable from submission
+/// through departure, unlike the [`TenantId`] that only exists while
+/// the request is resident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(u32);
+
+impl RequestId {
+    /// The raw submission index (monotone per scheduler).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request#{}", self.0)
+    }
+}
+
+/// One resident tenant in the round [`FabricScheduler::begin_round`]
+/// planned: what to replay and at which bus-arbitration weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledTenant {
+    /// The originating request.
+    pub request: RequestId,
+    /// The pool residency handle (valid until the request departs).
+    pub tenant: TenantId,
+    /// The request's label.
+    pub name: String,
+    /// Bus-arbitration weight for this round's shared replay.
+    pub weight: u32,
+    /// Service rounds already completed (0 on the admission round) —
+    /// the index of the presentation this round should replay.
+    pub rounds_served: usize,
+}
+
+/// The recorded life cycle of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// The request this record describes.
+    pub request: RequestId,
+    /// The request's label.
+    pub name: String,
+    /// NeuroCells the request's mapping occupies while resident.
+    pub ncs: usize,
+    /// Bus-arbitration weight.
+    pub weight: u32,
+    /// Round the request was submitted in.
+    pub submitted_round: usize,
+    /// Round the request was admitted in (it replayed that round).
+    pub admitted_round: usize,
+    /// Round the request's final service round ran in; `None` while
+    /// still resident.
+    pub departed_round: Option<usize>,
+    /// Service rounds completed so far.
+    pub rounds_served: usize,
+}
+
+impl ServiceRecord {
+    /// Rounds the request waited in the queue before admission.
+    pub fn wait_rounds(&self) -> usize {
+        self.admitted_round - self.submitted_round
+    }
+}
+
+/// A queued request: the probe mapping is computed once at submission.
+#[derive(Debug, Clone)]
+struct Pending {
+    request: RequestId,
+    name: String,
+    probe: Mapping,
+    service_rounds: usize,
+    weight: u32,
+    submitted_round: usize,
+}
+
+/// A resident request.
+#[derive(Debug, Clone)]
+struct Active {
+    request: RequestId,
+    tenant: TenantId,
+    name: String,
+    ncs: usize,
+    weight: u32,
+    submitted_round: usize,
+    admitted_round: usize,
+    service_rounds: usize,
+    rounds_served: usize,
+}
+
+/// Drives dynamic admission/eviction of a [`FabricPool`] across replay
+/// rounds; see the [module docs](self) for the round protocol.
+#[derive(Debug, Clone)]
+pub struct FabricScheduler {
+    pool: FabricPool,
+    round: usize,
+    next_request: u32,
+    queue: VecDeque<Pending>,
+    active: Vec<Active>,
+    completed: Vec<ServiceRecord>,
+}
+
+impl FabricScheduler {
+    /// Creates a scheduler owning `pool`. Tenants already resident in
+    /// the pool are left untouched (they occupy capacity but never
+    /// depart — static residents under a dynamic workload).
+    pub fn new(pool: FabricPool) -> Self {
+        Self {
+            pool,
+            round: 0,
+            next_request: 0,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The scheduled pool (its policy decides how admissions pack).
+    pub fn pool(&self) -> &FabricPool {
+        &self.pool
+    }
+
+    /// The current round index (0 before the first
+    /// [`begin_round`](Self::begin_round)).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Requests waiting for capacity, in FIFO order.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no request is queued or resident (future submissions may
+    /// still arrive — the *caller* owns the arrival schedule).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// Life-cycle records of departed requests, in departure order.
+    pub fn completed(&self) -> &[ServiceRecord] {
+        &self.completed
+    }
+
+    /// Submits a request: the network is mapped once against the pool's
+    /// configuration and queued FIFO for `service_rounds` replay rounds
+    /// at bus-arbitration weight `weight`. Admission happens in
+    /// [`begin_round`](Self::begin_round); a request submitted before a
+    /// round begins can be admitted into that same round (wait 0).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError`] if the network cannot be mapped at all. A network
+    /// too large for the whole pool maps fine but queues forever; size
+    /// requests with [`FabricPool::physical_ncs`] in mind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_rounds` or `weight` is zero.
+    pub fn submit(
+        &mut self,
+        network: &Network,
+        name: &str,
+        service_rounds: usize,
+        weight: u32,
+    ) -> Result<RequestId, MapError> {
+        let probe = crate::map::Mapper::new(self.pool.config().clone()).map_network(network)?;
+        Ok(self.submit_mapped(probe, name, service_rounds, weight))
+    }
+
+    /// Submits an already-mapped probe (produced against the pool's
+    /// configuration) — the queueing core [`submit`](Self::submit)
+    /// delegates to. Callers that already sized a request (e.g.
+    /// `resparc_workloads::churn_sweep` validating footprints up front)
+    /// use this to avoid partitioning the same network twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_rounds` or `weight` is zero.
+    pub fn submit_mapped(
+        &mut self,
+        probe: Mapping,
+        name: &str,
+        service_rounds: usize,
+        weight: u32,
+    ) -> RequestId {
+        assert!(
+            service_rounds > 0,
+            "a request must serve at least one round"
+        );
+        assert!(weight > 0, "arbitration weights must be positive");
+        let request = RequestId(self.next_request);
+        self.next_request += 1;
+        self.queue.push_back(Pending {
+            request,
+            name: name.to_string(),
+            probe,
+            service_rounds,
+            weight,
+            submitted_round: self.round,
+        });
+        request
+    }
+
+    /// Opens the next round: admits queued requests from the head while
+    /// the pool's policy finds capacity (stopping at the first that
+    /// does not fit — strict FIFO), then returns every resident tenant
+    /// the caller should replay this round, in admission order.
+    pub fn begin_round(&mut self) -> Vec<ScheduledTenant> {
+        while let Some(head) = self.queue.front() {
+            if !self.pool.can_admit(head.probe.placement.ncs_used) {
+                break;
+            }
+            let head = self.queue.pop_front().expect("front exists");
+            let ncs = head.probe.placement.ncs_used.max(1);
+            let tenant = self
+                .pool
+                .admit_mapped(head.probe, &head.name)
+                .expect("can_admit probed this admission");
+            self.active.push(Active {
+                request: head.request,
+                tenant,
+                name: head.name,
+                ncs,
+                weight: head.weight,
+                submitted_round: head.submitted_round,
+                admitted_round: self.round,
+                service_rounds: head.service_rounds,
+                rounds_served: 0,
+            });
+        }
+        self.active
+            .iter()
+            .map(|a| ScheduledTenant {
+                request: a.request,
+                tenant: a.tenant,
+                name: a.name.clone(),
+                weight: a.weight,
+                rounds_served: a.rounds_served,
+            })
+            .collect()
+    }
+
+    /// Closes the round: every resident retires one service round,
+    /// requests whose service completed are evicted (their NC runs are
+    /// free for the next round's admissions) and logged, and the round
+    /// counter advances.
+    pub fn end_round(&mut self) {
+        let round = self.round;
+        let mut i = 0;
+        while i < self.active.len() {
+            self.active[i].rounds_served += 1;
+            if self.active[i].rounds_served == self.active[i].service_rounds {
+                let done = self.active.remove(i);
+                self.pool
+                    .evict(done.tenant)
+                    .expect("active tenant was resident");
+                self.completed.push(ServiceRecord {
+                    request: done.request,
+                    name: done.name,
+                    ncs: done.ncs,
+                    weight: done.weight,
+                    submitted_round: done.submitted_round,
+                    admitted_round: done.admitted_round,
+                    departed_round: Some(round),
+                    rounds_served: done.rounds_served,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+    use crate::fabric::PackingPolicy;
+    use resparc_neuro::topology::Topology;
+
+    fn net(seed: u64, hiddens: &[usize]) -> Network {
+        Network::random(Topology::mlp(144, hiddens), seed, 1.0)
+    }
+
+    /// 2 NCs on RESPARC-64 (see `pool::tests::sized_topologies_*`).
+    fn two_nc_net(seed: u64) -> Network {
+        net(seed, &[576, 576, 10])
+    }
+
+    #[test]
+    fn admits_immediately_when_capacity_allows() {
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        let a = sched.submit(&net(1, &[96, 10]), "a", 2, 1).unwrap();
+        let b = sched.submit(&net(2, &[96, 10]), "b", 1, 3).unwrap();
+        assert_ne!(a, b);
+
+        let round0 = sched.begin_round();
+        assert_eq!(round0.len(), 2);
+        assert_eq!(round0[0].request, a);
+        assert_eq!(round0[0].weight, 1);
+        assert_eq!(round0[1].weight, 3);
+        assert_eq!(sched.queue_len(), 0);
+        sched.end_round();
+
+        // b's single service round is done; a serves one more.
+        let round1 = sched.begin_round();
+        assert_eq!(round1.len(), 1);
+        assert_eq!(round1[0].request, a);
+        assert_eq!(round1[0].rounds_served, 1);
+        sched.end_round();
+        assert!(sched.is_idle());
+
+        let records = sched.completed();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].request, b);
+        assert_eq!(records[0].departed_round, Some(0));
+        assert_eq!(records[0].wait_rounds(), 0);
+        assert_eq!(records[1].request, a);
+        assert_eq!(records[1].departed_round, Some(1));
+        assert_eq!(records[1].rounds_served, 2);
+    }
+
+    #[test]
+    fn queues_fifo_and_backfills_on_departure() {
+        // 16-NC pool; four 5-NC requests: three fit (15 NCs), the
+        // fourth waits for the first departure.
+        let five_nc = |seed| net(seed, &[576, 576, 576, 576, 10]);
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        let ids: Vec<RequestId> = (0..4)
+            .map(|i| {
+                sched
+                    .submit(&five_nc(i), &format!("t{i}"), if i == 0 { 1 } else { 3 }, 1)
+                    .unwrap()
+            })
+            .collect();
+
+        let round0 = sched.begin_round();
+        assert_eq!(round0.len(), 3, "three 5-NC tenants fill 15 of 16 NCs");
+        assert_eq!(sched.queue_len(), 1);
+        sched.end_round(); // t0 (1 service round) departs
+
+        let round1 = sched.begin_round();
+        assert_eq!(round1.len(), 3, "t3 backfills t0's freed run");
+        assert!(round1.iter().any(|t| t.request == ids[3]));
+        sched.end_round();
+
+        // Drain the rest.
+        while !sched.is_idle() {
+            sched.begin_round();
+            sched.end_round();
+        }
+        let t3 = sched
+            .completed()
+            .iter()
+            .find(|r| r.request == ids[3])
+            .unwrap();
+        assert_eq!(t3.submitted_round, 0);
+        assert_eq!(t3.admitted_round, 1);
+        assert_eq!(t3.wait_rounds(), 1);
+        assert_eq!(t3.ncs, 5);
+    }
+
+    #[test]
+    fn defragmenting_scheduler_admits_through_fragmentation() {
+        // Eight 2-NC residents fill the 16-NC pool; #0 and #2 depart
+        // after round 0, leaving two 2-NC holes. A queued 4-NC request
+        // needs compaction: the first-fit scheduler keeps it waiting,
+        // the defragmenting one admits it in round 1.
+        let run = |policy: PackingPolicy| {
+            let pool = FabricPool::new(ResparcConfig::resparc_64()).with_policy(policy);
+            let mut sched = FabricScheduler::new(pool);
+            for i in 0..8u64 {
+                let rounds = if i == 0 || i == 2 { 1 } else { 4 };
+                sched
+                    .submit(&two_nc_net(i), &format!("t{i}"), rounds, 1)
+                    .unwrap();
+            }
+            let wide = net(9, &[576, 576, 576, 10]); // 4 NCs
+            let wide_id = sched.submit(&wide, "wide", 1, 1).unwrap();
+            assert_eq!(sched.begin_round().len(), 8);
+            sched.end_round();
+            let round1: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+            (round1.contains(&wide_id), sched.pool().utilization())
+        };
+
+        let (admitted, util) = run(PackingPolicy::Defragment);
+        assert!(
+            admitted,
+            "defragmentation must make room for the wide tenant"
+        );
+        assert!(util > 0.8, "utilization {util}");
+        let (admitted, _) = run(PackingPolicy::FirstFit);
+        assert!(!admitted, "first-fit cannot admit through fragmentation");
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_strictly_fifo() {
+        // A wide request at the queue head must not be overtaken by a
+        // narrow one behind it, even though the narrow one would fit.
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        for i in 0..8u64 {
+            sched
+                .submit(&two_nc_net(i), &format!("t{i}"), 2, 1)
+                .unwrap();
+        }
+        let wide = sched
+            .submit(&net(9, &[576, 576, 576, 576, 10]), "wide", 1, 1)
+            .unwrap();
+        let narrow = sched.submit(&net(10, &[96, 10]), "narrow", 1, 1).unwrap();
+
+        // All eight 2-NC tenants fit (16/16 NCs); the 5-NC head of the
+        // remaining queue does not, and the 1-NC request behind it must
+        // not jump the line.
+        let round0: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+        assert_eq!(round0.len(), 8);
+        assert!(!round0.contains(&wide));
+        assert!(
+            !round0.contains(&narrow),
+            "narrow must wait behind the wide head-of-line request"
+        );
+    }
+}

@@ -1,335 +1,31 @@
-//! Multi-tenant fabric: several mapped networks co-resident on one
-//! physical NeuroCell pool, their event traces interleaved per timestep.
+//! Interleaved shared-fabric replay with weighted bus arbitration.
 //!
-//! RESPARC's reconfigurability pitch is that one mPE fabric serves many
-//! SNN topologies. The mapper and simulators elsewhere in this crate are
-//! single-tenant — every [`Mapping`] assumes it owns NC `0..N` and every
-//! replay assumes an idle fabric. This module hosts the shared view:
-//!
-//! * [`FabricPool`] owns the physical NC inventory of a
-//!   [`ResparcConfig`] and admits mappings at NeuroCell granularity: a
-//!   tenant receives a contiguous run of free NCs (first-fit), its
-//!   [`Placement`](crate::map::Placement) is expressed in pool
-//!   coordinates (the origin-0 probe is translated into the allocated
-//!   run — identical to [`Mapper::map_network_at`] there, without
-//!   re-partitioning), and admission fails with a typed [`AdmitError`]
-//!   when no run fits. Evicting a tenant restores the free list exactly.
-//! * [`SharedEventSimulator`] replays one [`SpikeTrace`] per tenant
-//!   through the pool **concurrently**: tenants sit on disjoint NCs, so
-//!   per timestep their compute phases and switch traffic overlap (the
-//!   step costs the *maximum* across tenants), while the global bus and
-//!   input SRAM are shared and serialise (the step *sums* every tenant's
-//!   bus transactions — the contention a dedicated fabric never sees).
-//!   Every per-event charge goes to the same [`Category`] ledger through
-//!   the exact replay core the single-tenant
-//!   [`EventSimulator`](crate::sim::event::EventSimulator) uses, so a
-//!   pool with one tenant reproduces the dedicated-fabric report
-//!   *bit-identically*.
-//!
-//! The economics of co-residency are leakage and occupancy: a pool
-//! executing tenants serially bills the whole powered chip's leakage for
-//! the *sum* of their latencies, while co-resident tenants amortize it
-//! over one overlapped makespan. [`SharedReport`] exposes the split —
-//! per-tenant dynamic energy, the occupied-fabric leakage charged to the
-//! ledger, the [`idle-NC leakage`](SharedReport::idle_leakage) of the
-//! pool remainder, and bus occupancy — and
-//! `resparc_workloads::sweep::multi_tenant_sweep` turns it into the
-//! serial-vs-co-resident comparison.
-
-use std::fmt;
+//! The interleave model, per timestep: tenants occupy disjoint NC runs,
+//! so their compute phases and switch traffic proceed concurrently and
+//! the step pays the **maximum** of the tenants' local cycles; the
+//! global bus and input SRAM are shared and serialise, so the step pays
+//! the **sum** of every tenant's bus transactions on top. The bus is
+//! work-conserving — the summed cycles (and therefore the makespan, the
+//! ledger and every aggregate of [`SharedReport`]) are the same whatever
+//! the arbitration order — but *who waits* is not: weighted round-robin
+//! ([`SharedEventSimulator::run_weighted`]) grants each tenant its
+//! weight in bus cycles per round, and the report carries each tenant's
+//! [`bus_stall_cycles`](TenantReport::bus_stall_cycles) (cycles its
+//! transactions queued behind other tenants) and perceived
+//! [`latency`](TenantReport::latency). Weights are ratios: they are
+//! normalised by their gcd, so `[2, 2]` is the same fair arbitration as
+//! `[1, 1]` (what [`SharedEventSimulator::run`] performs) and any
+//! single-tenant replay reproduces the dedicated-fabric
+//! [`EventSimulator`](crate::sim::event::EventSimulator) bit-identically.
 
 use resparc_energy::accounting::{Category, EnergyBreakdown};
 use resparc_energy::sram::SramSpec;
-use resparc_energy::units::{Energy, Power, Time};
-use resparc_neuro::network::Network;
-use resparc_neuro::topology::Topology;
+use resparc_energy::units::{Energy, Time};
 use resparc_neuro::trace::SpikeTrace;
 
-use crate::config::ResparcConfig;
-use crate::map::{MapError, Mapper, Mapping};
+use crate::fabric::{logic_leakage_power, FabricPool, Tenant, TenantId};
 use crate::sim::cost;
 use crate::sim::event::{fold_factor, replay_trace, EventLayerStats, TraceReplay};
-
-/// Handle of one admitted tenant (stable across evictions of others).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TenantId(u32);
-
-impl TenantId {
-    /// The raw admission index (monotone per pool).
-    pub fn index(self) -> u32 {
-        self.0
-    }
-}
-
-impl fmt::Display for TenantId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tenant#{}", self.0)
-    }
-}
-
-/// Why the pool rejected an admission.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AdmitError {
-    /// The network could not be mapped at all (invalid configuration).
-    Map(MapError),
-    /// No contiguous run of free NeuroCells is large enough.
-    CapacityExhausted {
-        /// NeuroCells the tenant needs (contiguously).
-        needed_ncs: usize,
-        /// Free NeuroCells in the pool (any position).
-        free_ncs: usize,
-        /// Longest contiguous free run currently available.
-        largest_free_run: usize,
-    },
-}
-
-impl fmt::Display for AdmitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AdmitError::Map(e) => write!(f, "mapping failed: {e}"),
-            AdmitError::CapacityExhausted {
-                needed_ncs,
-                free_ncs,
-                largest_free_run,
-            } => write!(
-                f,
-                "capacity exhausted: tenant needs {needed_ncs} contiguous NeuroCell(s), pool has \
-                 {free_ncs} free ({largest_free_run} contiguous)"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for AdmitError {}
-
-/// One network resident on the pool: its mapping is placed in pool
-/// coordinates (spans carry the NC-run offset the pool allocated).
-#[derive(Debug, Clone)]
-pub struct Tenant {
-    /// Admission handle.
-    pub id: TenantId,
-    /// Caller-supplied label (reports, figures).
-    pub name: String,
-    /// The tenant's mapping, placed at its allocated NC origin.
-    pub mapping: Mapping,
-}
-
-impl Tenant {
-    /// First NeuroCell this tenant occupies.
-    pub fn first_nc(&self) -> usize {
-        self.mapping.placement.origin_nc
-    }
-
-    /// One past the last NeuroCell this tenant occupies.
-    pub fn end_nc(&self) -> usize {
-        self.mapping.placement.end_nc()
-    }
-
-    /// NeuroCells this tenant occupies.
-    pub fn nc_count(&self) -> usize {
-        self.mapping.placement.ncs_used
-    }
-}
-
-/// The physical NC/mPE inventory of one chip, shared by many tenants.
-#[derive(Debug, Clone)]
-pub struct FabricPool {
-    config: ResparcConfig,
-    /// Per-physical-NC owner; `None` = free. This *is* the free list:
-    /// eviction must restore it exactly (property-tested).
-    occupancy: Vec<Option<TenantId>>,
-    tenants: Vec<Tenant>,
-    next_id: u32,
-}
-
-impl FabricPool {
-    /// Creates an empty pool over the machine's `physical_ncs`
-    /// NeuroCells.
-    pub fn new(config: ResparcConfig) -> Self {
-        let slots = config.physical_ncs;
-        Self {
-            config,
-            occupancy: vec![None; slots],
-            tenants: Vec::new(),
-            next_id: 0,
-        }
-    }
-
-    /// The machine configuration every tenant is mapped against.
-    pub fn config(&self) -> &ResparcConfig {
-        &self.config
-    }
-
-    /// Physical NeuroCells on the chip.
-    pub fn physical_ncs(&self) -> usize {
-        self.occupancy.len()
-    }
-
-    /// Per-NC ownership (`None` = free), in NC order.
-    pub fn occupancy(&self) -> &[Option<TenantId>] {
-        &self.occupancy
-    }
-
-    /// Free NeuroCells (any position).
-    pub fn free_ncs(&self) -> usize {
-        self.occupancy.iter().filter(|s| s.is_none()).count()
-    }
-
-    /// NeuroCells currently owned by tenants.
-    pub fn occupied_ncs(&self) -> usize {
-        self.physical_ncs() - self.free_ncs()
-    }
-
-    /// Fraction of the pool's NeuroCells owned by tenants.
-    pub fn utilization(&self) -> f64 {
-        if self.occupancy.is_empty() {
-            return 0.0;
-        }
-        self.occupied_ncs() as f64 / self.physical_ncs() as f64
-    }
-
-    /// Longest contiguous free NC run (what the next admission can get).
-    pub fn largest_free_run(&self) -> usize {
-        let mut best = 0usize;
-        let mut run = 0usize;
-        for slot in &self.occupancy {
-            if slot.is_none() {
-                run += 1;
-                best = best.max(run);
-            } else {
-                run = 0;
-            }
-        }
-        best
-    }
-
-    /// Resident tenants, in admission order.
-    pub fn tenants(&self) -> &[Tenant] {
-        &self.tenants
-    }
-
-    /// Looks up a resident tenant by id.
-    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
-        self.tenants.iter().find(|t| t.id == id)
-    }
-
-    /// Admits a trained network: maps it with the pool's configuration,
-    /// allocates the first contiguous free NC run that fits (first-fit)
-    /// and places the mapping there in pool coordinates.
-    ///
-    /// # Errors
-    ///
-    /// [`AdmitError::Map`] if mapping fails,
-    /// [`AdmitError::CapacityExhausted`] if no free run is large enough.
-    pub fn admit(&mut self, network: &Network, name: &str) -> Result<TenantId, AdmitError> {
-        let probe = Mapper::new(self.config.clone())
-            .map_network(network)
-            .map_err(AdmitError::Map)?;
-        self.admit_mapping(probe, name)
-    }
-
-    /// Admits a bare topology (mean |weight| 0.5 per layer, as
-    /// [`Mapper::map`]); see [`FabricPool::admit`].
-    ///
-    /// # Errors
-    ///
-    /// Same as [`FabricPool::admit`].
-    pub fn admit_topology(
-        &mut self,
-        topology: &Topology,
-        name: &str,
-    ) -> Result<TenantId, AdmitError> {
-        let probe = Mapper::new(self.config.clone())
-            .map(topology)
-            .map_err(AdmitError::Map)?;
-        self.admit_mapping(probe, name)
-    }
-
-    fn admit_mapping(&mut self, probe: Mapping, name: &str) -> Result<TenantId, AdmitError> {
-        // The origin-0 probe sizes the tenant; translating it into the
-        // allocated run is a pure coordinate shift (identical to
-        // re-placing there — property-tested), so the expensive
-        // partitioning runs exactly once per admission.
-        let needed = probe.placement.ncs_used.max(1);
-        let origin = self
-            .find_free_run(needed)
-            .ok_or_else(|| AdmitError::CapacityExhausted {
-                needed_ncs: needed,
-                free_ncs: self.free_ncs(),
-                largest_free_run: self.largest_free_run(),
-            })?;
-        let mut mapping = probe;
-        if origin > 0 {
-            mapping.placement = mapping.placement.translated(origin, &self.config);
-        }
-        let id = TenantId(self.next_id);
-        self.next_id += 1;
-        for slot in &mut self.occupancy[origin..origin + needed] {
-            *slot = Some(id);
-        }
-        self.tenants.push(Tenant {
-            id,
-            name: name.to_string(),
-            mapping,
-        });
-        Ok(id)
-    }
-
-    /// Evicts a tenant, freeing its NC run; returns it (with its
-    /// pool-coordinate mapping) or `None` if the id is not resident.
-    pub fn evict(&mut self, id: TenantId) -> Option<Tenant> {
-        let at = self.tenants.iter().position(|t| t.id == id)?;
-        let tenant = self.tenants.remove(at);
-        for slot in &mut self.occupancy {
-            if *slot == Some(id) {
-                *slot = None;
-            }
-        }
-        Some(tenant)
-    }
-
-    /// First-fit: the start of the leftmost contiguous free run of
-    /// `len` NCs.
-    fn find_free_run(&self, len: usize) -> Option<usize> {
-        let mut start = 0usize;
-        let mut run = 0usize;
-        for (i, slot) in self.occupancy.iter().enumerate() {
-            if slot.is_none() {
-                if run == 0 {
-                    start = i;
-                }
-                run += 1;
-                if run == len {
-                    return Some(start);
-                }
-            } else {
-                run = 0;
-            }
-        }
-        None
-    }
-}
-
-/// Leakage power of `mpes` mPEs plus the switch fabric of `switch_ncs`
-/// NeuroCells — the one composition every leakage domain (dedicated
-/// chip, occupied pool, idle remainder, whole pool) is built from, so
-/// the domains can never drift apart term-by-term.
-pub(crate) fn logic_leakage_power(config: &ResparcConfig, mpes: usize, switch_ncs: usize) -> Power {
-    config.catalog.mpe_leakage * mpes as f64
-        + config.catalog.switch_leakage * (switch_ncs * config.switches_per_nc()) as f64
-}
-
-/// Leakage power of the whole powered pool: every physical mPE and
-/// switch plus the shared input SRAM. This is what a serially-executed
-/// tenant bills for its entire latency — and what co-residency amortizes.
-pub fn pool_leakage_power(config: &ResparcConfig) -> Power {
-    let sram = SramSpec::new(config.input_sram_bytes, config.packet_bits).build();
-    logic_leakage_power(
-        config,
-        config.physical_ncs * config.mpes_per_nc(),
-        config.physical_ncs,
-    ) + sram.leakage()
-}
 
 /// One tenant's slice of a shared replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -338,6 +34,9 @@ pub struct TenantReport {
     pub tenant: TenantId,
     /// The tenant's label at admission.
     pub name: String,
+    /// The tenant's bus-arbitration weight, gcd-normalised (equal
+    /// weights always report as 1).
+    pub weight: u32,
     /// Dynamic energy this tenant's trace charged (no leakage).
     pub energy: EnergyBreakdown,
     /// This tenant's amortized share of the whole pool's leakage over
@@ -351,6 +50,20 @@ pub struct TenantReport {
     pub steps: usize,
     /// Steps in which the tenant fired at least one crossbar read.
     pub active_steps: usize,
+    /// Cycles of the shared timeline this tenant's own work spanned:
+    /// per step, its local (compute + switch) cycles plus the cycle at
+    /// which the arbitrated bus finished serving its transactions.
+    /// Always ≤ the round's total cycles.
+    pub tenant_cycles: u64,
+    /// Bus cycles this tenant's transactions spent queued behind other
+    /// tenants under the weighted round-robin arbiter (0 with one
+    /// tenant: an uncontended bus never stalls).
+    pub bus_stall_cycles: u64,
+    /// The tenant's perceived completion time
+    /// ([`tenant_cycles`](Self::tenant_cycles) at the pool clock) —
+    /// what this tenant's inference latency looks like from inside the
+    /// shared round. Never exceeds [`SharedReport::latency`].
+    pub latency: Time,
     /// Per-layer event tallies (identical to a dedicated-fabric replay).
     pub layers: Vec<EventLayerStats>,
 }
@@ -375,7 +88,8 @@ pub struct SharedReport {
     /// Leakage of the NeuroCells no resident tenant owns, over the
     /// makespan — the cost of owning a bigger chip than the resident
     /// tenants need. Ledger leakage plus this always equals
-    /// [`pool_leakage_power`]` × latency`.
+    /// [`pool_leakage_power`](crate::fabric::pool_leakage_power)` ×
+    /// latency`.
     pub idle_leakage: Energy,
     /// Makespan in timesteps (longest tenant trace).
     pub steps: usize,
@@ -384,7 +98,8 @@ pub struct SharedReport {
     /// Total cycles of the shared timeline.
     pub total_cycles: u64,
     /// Cycles the shared global bus was busy (summed tenant
-    /// transactions — the contention signal).
+    /// transactions — the contention signal). Arbitration-weight
+    /// independent: the bus is work-conserving.
     pub bus_busy_cycles: u64,
     /// Wall-clock makespan.
     pub latency: Time,
@@ -433,6 +148,12 @@ impl SharedReport {
         }
         self.bus_busy_cycles as f64 / self.total_cycles as f64
     }
+
+    /// Total bus cycles tenants spent queued behind each other — the
+    /// whole round's arbitration cost, however the weights split it.
+    pub fn total_bus_stall_cycles(&self) -> u64 {
+        self.tenants.iter().map(|t| t.bus_stall_cycles).sum()
+    }
 }
 
 /// Trace-driven event simulator over a [`FabricPool`]: replays one trace
@@ -448,17 +169,9 @@ impl<'p> SharedEventSimulator<'p> {
         Self { pool }
     }
 
-    /// Replays one trace per tenant through the shared fabric.
-    ///
-    /// Per timestep, tenants on their disjoint NC runs compute and
-    /// switch concurrently (the step pays the maximum of their local
-    /// cycles) while their global-bus transactions serialise on the
-    /// shared bus/SRAM (the step sums them). Dynamic energy is charged
-    /// through the same replay core as the single-tenant
-    /// [`EventSimulator`](crate::sim::event::EventSimulator); leakage of
-    /// the occupied fabric goes to the ledger and the idle remainder of
-    /// the pool is reported separately, amortized across tenants in
-    /// [`TenantReport::leakage_share`].
+    /// Replays one trace per tenant through the shared fabric under
+    /// fair (equal-weight) bus arbitration — exactly
+    /// [`run_weighted`](Self::run_weighted) with every weight 1.
     ///
     /// # Panics
     ///
@@ -466,9 +179,54 @@ impl<'p> SharedEventSimulator<'p> {
     /// pool, lists a tenant twice, or a trace's boundary structure does
     /// not match its tenant's mapping.
     pub fn run(&self, traces: &[(TenantId, &SpikeTrace)]) -> SharedReport {
+        self.run_weighted(traces, &vec![1; traces.len()])
+    }
+
+    /// Replays one trace per tenant through the shared fabric,
+    /// apportioning the serialised bus by **weighted round-robin**.
+    ///
+    /// Per timestep, tenants on their disjoint NC runs compute and
+    /// switch concurrently (the step pays the maximum of their local
+    /// cycles) while their global-bus transactions serialise on the
+    /// shared bus/SRAM (the step sums them). The arbiter grants tenant
+    /// `i` up to `weights[i] / gcd(weights)` bus cycles per round-robin
+    /// round; a tenant's transactions therefore finish earlier the
+    /// heavier its weight, which the report exposes as per-tenant
+    /// [`bus_stall_cycles`](TenantReport::bus_stall_cycles) and
+    /// perceived [`latency`](TenantReport::latency). The bus is
+    /// work-conserving, so every aggregate (ledger, makespan, bus
+    /// occupancy) is weight-independent — with one tenant or equal
+    /// weights the whole report is bit-identical to [`run`](Self::run).
+    ///
+    /// Dynamic energy is charged through the same replay core as the
+    /// single-tenant
+    /// [`EventSimulator`](crate::sim::event::EventSimulator); leakage of
+    /// the occupied fabric goes to the ledger and the idle remainder of
+    /// the pool is reported separately, amortized across tenants in
+    /// [`TenantReport::leakage_share`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run), and
+    /// additionally if `weights.len() != traces.len()` or any weight is
+    /// zero.
+    pub fn run_weighted(
+        &self,
+        traces: &[(TenantId, &SpikeTrace)],
+        weights: &[u32],
+    ) -> SharedReport {
         assert!(
             !traces.is_empty(),
             "shared replay needs at least one tenant trace"
+        );
+        assert_eq!(
+            weights.len(),
+            traces.len(),
+            "one arbitration weight per tenant trace"
+        );
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "arbitration weights must be positive"
         );
         let mut entries: Vec<(&Tenant, &SpikeTrace)> = Vec::with_capacity(traces.len());
         for (id, trace) in traces {
@@ -482,8 +240,12 @@ impl<'p> SharedEventSimulator<'p> {
             );
             entries.push((tenant, trace));
         }
+        // Weights are ratios: gcd-normalise so [2, 2] and [1, 1] run the
+        // identical arbitration schedule (asserted in tests).
+        let g = weights.iter().copied().fold(0, gcd);
+        let quanta: Vec<u64> = weights.iter().map(|&w| u64::from(w / g)).collect();
 
-        let cfg = &self.pool.config;
+        let cfg = self.pool.config();
         let replays: Vec<TraceReplay> = entries
             .iter()
             .map(|(tenant, trace)| replay_trace(&tenant.mapping, trace))
@@ -498,19 +260,76 @@ impl<'p> SharedEventSimulator<'p> {
             .max()
             .unwrap_or(0);
 
-        // --- Shared timeline: max over disjoint NC runs, sum on the bus.
+        // --- Shared timeline: max over disjoint NC runs, sum on the
+        // bus, weighted round-robin deciding who waits for whom.
+        let n = entries.len();
         let mut total_cycles = 0u64;
         let mut bus_busy_cycles = 0u64;
         let mut active_steps = 0usize;
+        let mut tenant_cycles = vec![0u64; n];
+        let mut stall_cycles = vec![0u64; n];
+        let mut pending = vec![0u64; n];
+        let mut finish = vec![0u64; n];
         for t in 0..steps {
             let mut local = 0u64;
             let mut bus = 0u64;
             let mut any_active = false;
-            for (replay, &fold) in replays.iter().zip(&folds) {
+            for (i, (replay, &fold)) in replays.iter().zip(&folds).enumerate() {
+                pending[i] = 0;
                 if t < replay.compute_cycles.len() {
                     local = local.max((replay.compute_cycles[t] + replay.comm_cycles[t]) * fold);
+                    pending[i] = replay.bus_cycles[t];
                     bus += replay.bus_cycles[t];
                     any_active |= replay.compute_cycles[t] > 0;
+                }
+            }
+            // Work-conserving WRR service of this step's bus
+            // transactions, in tenant order: tenant i is granted up to
+            // quanta[i] cycles per round until its backlog drains, and
+            // its finish time is the arbitration cycle its last
+            // transaction was served at. Full rounds in which nobody
+            // drains are batched (no per-tenant finish can land inside
+            // them and elapsed only accumulates whole grants, so the
+            // skip is bit-identical to iterating them), keeping the
+            // arbiter O(drain events × tenants) per step instead of
+            // O(bus cycles × tenants).
+            finish[..n].fill(0);
+            let mut elapsed = 0u64;
+            loop {
+                let rounds_to_drain = pending
+                    .iter()
+                    .zip(&quanta)
+                    .filter(|(&p, _)| p > 0)
+                    .map(|(&p, &q)| p.div_ceil(q))
+                    .min();
+                let Some(rounds) = rounds_to_drain else { break };
+                if rounds > 1 {
+                    let whole = rounds - 1;
+                    for (p, &q) in pending.iter_mut().zip(&quanta) {
+                        if *p > 0 {
+                            *p -= whole * q;
+                            elapsed += whole * q;
+                        }
+                    }
+                }
+                // One explicit round in tenant order — at least one
+                // tenant drains here and records its finish time.
+                for i in 0..n {
+                    if pending[i] > 0 {
+                        let served = pending[i].min(quanta[i]);
+                        pending[i] -= served;
+                        elapsed += served;
+                        if pending[i] == 0 {
+                            finish[i] = elapsed;
+                        }
+                    }
+                }
+            }
+            for (i, replay) in replays.iter().enumerate() {
+                if t < replay.compute_cycles.len() {
+                    let own_local = (replay.compute_cycles[t] + replay.comm_cycles[t]) * folds[i];
+                    stall_cycles[i] += finish[i] - replay.bus_cycles[t];
+                    tenant_cycles[i] += (own_local + finish[i]).max(1);
                 }
             }
             total_cycles += (local + bus).max(1);
@@ -565,7 +384,8 @@ impl<'p> SharedEventSimulator<'p> {
         let tenants = entries
             .iter()
             .zip(replays)
-            .map(|((tenant, _), replay)| {
+            .enumerate()
+            .map(|(i, ((tenant, _), replay))| {
                 // NC-proportional amortization over *residents*: replaying
                 // a subset of the pool bills each replayed tenant its own
                 // floorplan share and leaves the absent residents' shares
@@ -575,9 +395,13 @@ impl<'p> SharedEventSimulator<'p> {
                 TenantReport {
                     tenant: tenant.id,
                     name: tenant.name.clone(),
+                    weight: (quanta[i] as u32),
                     leakage_share: pool_leakage * nc_share,
                     steps: replay.compute_cycles.len(),
                     active_steps: replay.compute_cycles.iter().filter(|&&c| c > 0).count(),
+                    tenant_cycles: tenant_cycles[i],
+                    bus_stall_cycles: stall_cycles[i],
+                    latency: cfg.frequency.cycles_to_time(tenant_cycles[i]),
                     energy: replay.energy,
                     layers: replay.layers,
                 }
@@ -598,11 +422,27 @@ impl<'p> SharedEventSimulator<'p> {
     }
 }
 
+/// Greatest common divisor (`gcd(0, x) == x`, so a fold seeded with 0
+/// yields the gcd of the whole weight list).
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ResparcConfig;
+    use crate::map::Mapper;
+    use resparc_energy::units::Energy;
     use resparc_neuro::encoding::RegularEncoder;
+    use resparc_neuro::network::Network;
     use resparc_neuro::topology::Topology;
+
+    use crate::fabric::pool_leakage_power;
 
     fn small_net(seed: u64) -> Network {
         Network::random(Topology::mlp(96, &[64, 10]), seed, 1.0)
@@ -614,55 +454,6 @@ mod tests {
         let raster = RegularEncoder::new(1.0).encode(&stimulus, steps);
         let (_, trace) = net.spiking().run_traced(&raster);
         trace
-    }
-
-    #[test]
-    fn admits_tenants_on_disjoint_nc_runs() {
-        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
-        let a = pool.admit(&small_net(1), "a").unwrap();
-        let b = pool.admit(&small_net(2), "b").unwrap();
-        assert_ne!(a, b);
-        let ta = pool.tenant(a).unwrap();
-        let tb = pool.tenant(b).unwrap();
-        assert!(ta.end_nc() <= tb.first_nc() || tb.end_nc() <= ta.first_nc());
-        assert_eq!(pool.occupied_ncs(), ta.nc_count() + tb.nc_count());
-        assert!(pool.utilization() > 0.0);
-    }
-
-    #[test]
-    fn admission_rejects_when_capacity_exhausted() {
-        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
-        // The paper's MNIST MLP occupies 8 NCs on RESPARC-64; a third
-        // copy cannot fit the 16-NC pool.
-        let big = resparc_neuro::topology::Topology::mlp(784, &[800, 800, 10]);
-        pool.admit_topology(&big, "one").unwrap();
-        pool.admit_topology(&big, "two").unwrap();
-        let err = pool.admit_topology(&big, "three").unwrap_err();
-        match err {
-            AdmitError::CapacityExhausted {
-                needed_ncs,
-                free_ncs,
-                largest_free_run,
-            } => {
-                assert!(needed_ncs > largest_free_run);
-                assert!(largest_free_run <= free_ncs);
-            }
-            other => panic!("expected CapacityExhausted, got {other}"),
-        }
-    }
-
-    #[test]
-    fn evict_restores_free_list_exactly() {
-        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
-        let a = pool.admit(&small_net(1), "a").unwrap();
-        let before = pool.occupancy().to_vec();
-        let b = pool.admit(&small_net(2), "b").unwrap();
-        let evicted = pool.evict(b).expect("b resident");
-        assert_eq!(evicted.id, b);
-        assert_eq!(pool.occupancy(), &before[..]);
-        assert!(pool.tenant(b).is_none());
-        assert!(pool.tenant(a).is_some());
-        assert!(pool.evict(b).is_none(), "double evict must be None");
     }
 
     #[test]
@@ -687,6 +478,11 @@ mod tests {
         assert_eq!(shared.active_steps, single.active_steps);
         assert_eq!(shared.throughput, single.throughput);
         assert_eq!(shared.tenants[0].layers, single.layers);
+        // An uncontended bus never stalls, and a lone tenant's perceived
+        // latency is the makespan.
+        assert_eq!(shared.tenants[0].bus_stall_cycles, 0);
+        assert_eq!(shared.tenants[0].tenant_cycles, single.total_cycles);
+        assert_eq!(shared.tenants[0].latency, single.latency);
     }
 
     #[test]
@@ -729,6 +525,13 @@ mod tests {
             serial_cycles
         );
         assert!(shared.bus_occupancy() > 0.0 && shared.bus_occupancy() <= 1.0);
+        // Contention is real: somebody waited for the bus, and every
+        // tenant's perceived latency fits inside the makespan.
+        assert!(shared.total_bus_stall_cycles() > 0);
+        for t in &shared.tenants {
+            assert!(t.tenant_cycles <= shared.total_cycles);
+            assert!(t.latency <= shared.latency);
+        }
         // Leakage shares amortize the entire powered pool.
         let shares: Energy = shared.tenants.iter().map(|t| t.leakage_share).sum();
         let pool_leak = pool_leakage_power(pool.config()) * shared.latency;
@@ -749,6 +552,68 @@ mod tests {
                 .abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn equal_weights_of_any_magnitude_match_the_fair_run_bit_identically() {
+        let nets: Vec<Network> = (0..3).map(small_net).collect();
+        let traces: Vec<SpikeTrace> = nets.iter().map(|n| traced(n, 0.7, 16)).collect();
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let ids: Vec<TenantId> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| pool.admit(n, &format!("t{i}")).unwrap())
+            .collect();
+        let pairs: Vec<(TenantId, &SpikeTrace)> = ids.iter().copied().zip(traces.iter()).collect();
+
+        let sim = SharedEventSimulator::new(&pool);
+        let fair = sim.run(&pairs);
+        // gcd normalisation: [5, 5, 5] is the same schedule as [1, 1, 1]
+        // — the whole report (stall and latency accounting included) is
+        // bit-identical, not merely the aggregates.
+        assert_eq!(sim.run_weighted(&pairs, &[5, 5, 5]), fair);
+        assert_eq!(sim.run_weighted(&pairs, &[1, 1, 1]), fair);
+        for t in &fair.tenants {
+            assert_eq!(t.weight, 1);
+        }
+    }
+
+    #[test]
+    fn weights_shift_stalls_but_never_the_aggregates() {
+        let nets: Vec<Network> = (0..2).map(small_net).collect();
+        let traces: Vec<SpikeTrace> = nets.iter().map(|n| traced(n, 0.9, 16)).collect();
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let ids: Vec<TenantId> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| pool.admit(n, &format!("t{i}")).unwrap())
+            .collect();
+        let pairs: Vec<(TenantId, &SpikeTrace)> = ids.iter().copied().zip(traces.iter()).collect();
+
+        let sim = SharedEventSimulator::new(&pool);
+        let fair = sim.run(&pairs);
+        let favoured = sim.run_weighted(&pairs, &[6, 1]);
+
+        // The bus is work-conserving: every aggregate is
+        // weight-independent.
+        assert_eq!(favoured.energy, fair.energy);
+        assert_eq!(favoured.total_cycles, fair.total_cycles);
+        assert_eq!(favoured.bus_busy_cycles, fair.bus_busy_cycles);
+        assert_eq!(favoured.latency, fair.latency);
+        assert_eq!(favoured.idle_leakage, fair.idle_leakage);
+        // QoS is zero-sum: the favoured tenant waits less than under
+        // fair arbitration, the other at least as much.
+        assert!(
+            favoured.tenants[0].bus_stall_cycles < fair.tenants[0].bus_stall_cycles,
+            "favoured stall {} vs fair {}",
+            favoured.tenants[0].bus_stall_cycles,
+            fair.tenants[0].bus_stall_cycles
+        );
+        assert!(favoured.tenants[1].bus_stall_cycles >= fair.tenants[1].bus_stall_cycles);
+        assert!(favoured.tenants[0].tenant_cycles <= fair.tenants[0].tenant_cycles);
+        assert!(favoured.tenants[0].latency <= fair.tenants[0].latency);
+        assert_eq!(favoured.tenants[0].weight, 6);
+        assert_eq!(favoured.tenants[1].weight, 1);
     }
 
     #[test]
@@ -801,5 +666,16 @@ mod tests {
             SharedEventSimulator::new(&pool).run(&[(id, &bad)]);
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_or_mismatched_weights_panic() {
+        let net = small_net(3);
+        let trace = traced(&net, 0.5, 6);
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let id = pool.admit(&net, "a").unwrap();
+        let sim = SharedEventSimulator::new(&pool);
+        assert!(std::panic::catch_unwind(|| sim.run_weighted(&[(id, &trace)], &[0])).is_err());
+        assert!(std::panic::catch_unwind(|| sim.run_weighted(&[(id, &trace)], &[1, 1])).is_err());
     }
 }

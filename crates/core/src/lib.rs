@@ -17,9 +17,12 @@
 //!   through the fabric packet-by-packet,
 //! * [`fabric`] — the multi-tenant view: a [`FabricPool`] admitting many
 //!   mapped networks onto one physical NeuroCell pool (NC-granular
-//!   free-list, typed admission errors) and the [`SharedEventSimulator`]
-//!   interleaving their traces per timestep through the shared
-//!   switches/bus/SRAM,
+//!   free-list, first-fit/best-fit/defragmenting [`PackingPolicy`],
+//!   typed admission errors), the [`SharedEventSimulator`] interleaving
+//!   their traces per timestep through the shared switches/bus/SRAM
+//!   with weighted-round-robin bus QoS, and the [`FabricScheduler`]
+//!   churning tenants mid-stream (FIFO admission queue, departure-driven
+//!   eviction),
 //! * [`mpe`] — the macro Processing Engine's digital shell: per-MCA
 //!   buffers (iBUFF/oBUFF/tBUFF), phase scheduling and the CCU
 //!   request/wait handshake (Fig. 4),
@@ -62,7 +65,8 @@ pub mod switch;
 pub use bus::{BroadcastOutcome, GlobalBus, NcTag};
 pub use config::ResparcConfig;
 pub use fabric::{
-    AdmitError, FabricPool, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
+    AdmitError, FabricPool, FabricScheduler, PackingPolicy, RequestId, ScheduledTenant,
+    ServiceRecord, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
 };
 pub use hw::{HwBuildError, HwCore};
 pub use map::{
@@ -79,7 +83,8 @@ pub mod prelude {
     pub use crate::bus::{BroadcastOutcome, GlobalBus, NcTag};
     pub use crate::config::ResparcConfig;
     pub use crate::fabric::{
-        AdmitError, FabricPool, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
+        AdmitError, FabricPool, FabricScheduler, PackingPolicy, RequestId, ScheduledTenant,
+        ServiceRecord, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
     };
     pub use crate::hw::{HwBuildError, HwCore};
     pub use crate::map::{

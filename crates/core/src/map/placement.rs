@@ -90,21 +90,36 @@ impl Placement {
     /// a [`FabricPool`](crate::fabric::FabricPool) moves a probe mapping
     /// into its allocated run without re-partitioning the network.
     pub fn translated(&self, delta_nc: usize, config: &ResparcConfig) -> Placement {
-        let delta_mpe = delta_nc * config.mpes_per_nc();
+        self.translated_to(self.origin_nc + delta_nc, config)
+    }
+
+    /// This placement re-anchored at `new_origin_nc` — the signed
+    /// generalisation of [`Placement::translated`] that can also move a
+    /// placement *left*. A defragmenting
+    /// [`FabricPool`](crate::fabric::FabricPool) compaction slides
+    /// resident tenants toward NC 0 with exactly this operation: like
+    /// `translated`, it is a whole-NC coordinate shift (no
+    /// re-partitioning), so every span width, tile assignment and
+    /// boundary-crossing classification — and therefore every replayed
+    /// energy/cycle charge — is preserved bit-for-bit.
+    pub fn translated_to(&self, new_origin_nc: usize, config: &ResparcConfig) -> Placement {
+        let mpes_per_nc = config.mpes_per_nc();
+        let old_mpe = self.origin_nc * mpes_per_nc;
+        let new_mpe = new_origin_nc * mpes_per_nc;
         let layers = self
             .layers
             .iter()
             .map(|s| LayerSpan {
-                first_mpe: s.first_mpe + delta_mpe,
-                end_mpe: s.end_mpe + delta_mpe,
-                first_nc: s.first_nc + delta_nc,
-                end_nc: s.end_nc + delta_nc,
+                first_mpe: s.first_mpe - old_mpe + new_mpe,
+                end_mpe: s.end_mpe - old_mpe + new_mpe,
+                first_nc: s.first_nc - self.origin_nc + new_origin_nc,
+                end_nc: s.end_nc - self.origin_nc + new_origin_nc,
                 ..s.clone()
             })
             .collect();
         Placement {
             layers,
-            origin_nc: self.origin_nc + delta_nc,
+            origin_nc: new_origin_nc,
             ..self.clone()
         }
     }
@@ -303,6 +318,26 @@ mod tests {
         let base = place(&parts, &cfg);
         assert_eq!(base.translated(5, &cfg), place_with_origin(&parts, &cfg, 5));
         assert_eq!(base.translated(0, &cfg), base);
+    }
+
+    #[test]
+    fn translated_to_moves_left_as_well_as_right() {
+        let cfg = ResparcConfig::resparc_64();
+        let parts = vec![
+            dense_partition(784, 800, 64, 0),
+            dense_partition(800, 10, 64, 1),
+        ];
+        let at7 = place_with_origin(&parts, &cfg, 7);
+        // Leftward re-anchoring (the defragmentation move) is exactly
+        // re-placing at the lower origin.
+        assert_eq!(
+            at7.translated_to(2, &cfg),
+            place_with_origin(&parts, &cfg, 2)
+        );
+        assert_eq!(at7.translated_to(0, &cfg), place(&parts, &cfg));
+        // Round trip is the identity.
+        assert_eq!(at7.translated_to(3, &cfg).translated_to(7, &cfg), at7);
+        assert_eq!(at7.translated_to(7, &cfg), at7);
     }
 
     #[test]

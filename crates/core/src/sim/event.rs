@@ -33,6 +33,22 @@
 //! bursty or silent stimuli the event report is the truth the stationary
 //! model cannot represent.
 //!
+//! # The replay core and the multi-tenant contract
+//!
+//! The per-event walk lives in one place — the crate-private
+//! `replay_trace` — which returns the dynamic ledger plus *per-timestep*
+//! compute/switch/bus cycle vectors. [`EventSimulator`] folds those into
+//! a dedicated-fabric timeline (`(compute + comm) × fold + bus` per
+//! step, floor one cycle); the multi-tenant
+//! [`SharedEventSimulator`](crate::fabric::SharedEventSimulator)
+//! interleaves several tenants' vectors instead — the **maximum** of the
+//! local (compute + switch) cycles across the disjoint NC runs, plus the
+//! **sum** of the serialised shared-bus cycles, apportioned by weighted
+//! round-robin. Because both simulators consume the identical per-event
+//! charges, a pool with a single tenant is guaranteed to reproduce this
+//! module's [`EventReport`] bit-for-bit — the regression contract
+//! `tests/multi_tenant.rs` pins.
+//!
 //! [`SpikeTrace`]: resparc_neuro::trace::SpikeTrace
 
 use resparc_device::energy_model::McaEnergyModel;
@@ -122,6 +138,32 @@ pub struct EventLayerStats {
 }
 
 /// Trace-driven event simulator over a [`Mapping`].
+///
+/// # Examples
+///
+/// Capture a functional run's spike trace and price it on the mapped
+/// fabric — the sparser the trace, the less it costs:
+///
+/// ```
+/// use resparc_core::map::Mapper;
+/// use resparc_core::sim::event::EventSimulator;
+/// use resparc_core::ResparcConfig;
+/// use resparc_neuro::encoding::RegularEncoder;
+/// use resparc_neuro::network::Network;
+/// use resparc_neuro::topology::Topology;
+///
+/// let net = Network::random(Topology::mlp(96, &[64, 10]), 7, 1.0);
+/// let stimulus: Vec<f32> = (0..96).map(|i| (i % 5) as f32 / 4.0).collect();
+/// let raster = RegularEncoder::new(0.8).encode(&stimulus, 12);
+/// let (_, trace) = net.spiking().run_traced(&raster);
+///
+/// let mapping = Mapper::new(ResparcConfig::resparc_64()).map_network(&net)?;
+/// let report = EventSimulator::new(&mapping).run(&trace);
+/// assert_eq!(report.steps, 12);
+/// assert!(report.total_energy().picojoules() > 0.0);
+/// assert!(report.active_steps <= report.steps);
+/// # Ok::<(), resparc_core::map::MapError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct EventSimulator<'m> {
     mapping: &'m Mapping,

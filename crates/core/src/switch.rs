@@ -23,8 +23,8 @@ pub struct PacketAddress {
 }
 
 impl PacketAddress {
-    /// Packs the address into the wire format (SW_ID[23:16] |
-    /// mPE_ID[15:8] | MCA_ID[7:0]).
+    /// Packs the address into the wire format (SW_ID\[23:16\] |
+    /// mPE_ID\[15:8\] | MCA_ID\[7:0\]).
     pub fn pack(self) -> u32 {
         (u32::from(self.switch) << 16) | (u32::from(self.mpe) << 8) | u32::from(self.mca)
     }

@@ -3,7 +3,7 @@
 //! The paper's crossbars use devices with a resistance range of
 //! "20 kΩ – 200 kΩ with 16 levels (4 bits) for weight-discretization,
 //! typical of memristive technologies such as PCM, Ag-Si" (§4.2), operated
-//! at `Vdd/2` when interfaced with CMOS neurons [17]. A [`MemristorSpec`]
+//! at `Vdd/2` when interfaced with CMOS neurons \[17\]. A [`MemristorSpec`]
 //! captures exactly those knobs plus a device-to-device variation figure
 //! used by the non-ideality models.
 //!
@@ -19,11 +19,11 @@
 /// Which emerging-device family a spec models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceFamily {
-    /// Phase-change memory (Jackson et al. [9]).
+    /// Phase-change memory (Jackson et al. \[9\]).
     Pcm,
-    /// Ag-Si metal-filament memristors (Jo et al. [6]).
+    /// Ag-Si metal-filament memristors (Jo et al. \[6\]).
     AgSi,
-    /// Spintronic / domain-wall devices (Sengupta et al. [10]).
+    /// Spintronic / domain-wall devices (Sengupta et al. \[10\]).
     Spintronic,
 }
 
@@ -122,7 +122,7 @@ impl MemristorSpec {
         self.r_off_ohm / self.r_on_ohm
     }
 
-    /// Quantizes a normalized magnitude `m ∈ [0, 1]` onto `levels`
+    /// Quantizes a normalized magnitude `m ∈ \[0, 1\]` onto `levels`
     /// conductance levels; returns the device conductance in Siemens.
     ///
     /// # Panics

@@ -5,7 +5,7 @@
 //! technology" (abstract). The feasibility side of that claim lives here:
 //! given a device's non-ideality figures, which array sizes still compute
 //! reliably? The answer bounds the sizes the mapper may choose from
-//! (§3.1.1 cites 64×64 as the typical reliable size [11]).
+//! (§3.1.1 cites 64×64 as the typical reliable size \[11\]).
 //!
 //! # Examples
 //!

@@ -96,7 +96,7 @@ impl ComponentCatalog {
     ///
     /// Sources for the ballparks: 45 nm standard-cell energies (flip-flop
     /// ≈ 2–5 fJ/bit, adder ≈ 3–6 fJ/bit), on-chip wire ≈ 0.1–0.3 pJ/bit/mm,
-    /// mixed-signal IF neurons ≈ 0.4–4 pJ/event (Joubert et al. [17]).
+    /// mixed-signal IF neurons ≈ 0.4–4 pJ/event (Joubert et al. \[17\]).
     pub fn ibm45() -> Self {
         Self {
             node: TechnologyNode::ibm45(),

@@ -1,7 +1,7 @@
 //! CACTI-mini: an analytic SRAM energy / leakage / area model.
 //!
 //! The RESPARC paper models its input memory (and the CMOS baseline's weight
-//! memory) with CACTI 6.0 [18]. CACTI itself is a large C++ tool; this
+//! memory) with CACTI 6.0 \[18\]. CACTI itself is a large C++ tool; this
 //! module substitutes a compact analytic model whose outputs sit in the
 //! published CACTI 45 nm ranges:
 //!

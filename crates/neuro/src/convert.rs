@@ -1,7 +1,7 @@
 //! ANN → SNN conversion by data-based weight/threshold balancing.
 //!
 //! The paper's benchmarks are "trained using the supervised learning
-//! algorithm proposed in [4]" (Diehl et al., IJCNN 2015): train a ReLU ANN,
+//! algorithm proposed in \[4\]" (Diehl et al., IJCNN 2015): train a ReLU ANN,
 //! then rescale each layer so that an Integrate-and-Fire network with unit
 //! thresholds reproduces the ANN's activation ratios as firing rates. The
 //! balancing used here is the data-based variant: for each layer, find the

@@ -16,7 +16,7 @@
 //! [`Network`] and shared by every runner, batch call and sweep.
 //! Mutating weights or thresholds through [`Network::layers_mut`]
 //! invalidates the cache; the next execution recompiles. The original
-//! closure-walk implementation is preserved in [`reference`] as the
+//! closure-walk implementation is preserved in [`reference`](mod@reference) as the
 //! equivalence oracle and benchmark baseline — compiled results are
 //! bit-identical to it.
 //!

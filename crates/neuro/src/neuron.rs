@@ -24,7 +24,7 @@ pub enum ResetMode {
     #[default]
     ToZero,
     /// Subtract the threshold, preserving the residue. This is the reset
-    /// used for rate-faithful ANN→SNN conversion (Diehl et al. [4]).
+    /// used for rate-faithful ANN→SNN conversion (Diehl et al. \[4\]).
     Subtract,
 }
 

@@ -3,7 +3,7 @@
 //! replays.
 //!
 //! The stationary architecture simulator consumes an
-//! [`ActivityProfile`](crate::stats::ActivityProfile): *expected* rates and
+//! [`ActivityProfile`]: *expected* rates and
 //! zero-packet probabilities, stationary across timesteps. A
 //! [`SpikeTrace`] is the exact record instead — one [`SpikeRaster`] per
 //! boundary (the network input plus every layer output), aligned on the

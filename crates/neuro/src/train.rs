@@ -1,7 +1,7 @@
 //! Offline supervised training.
 //!
 //! The paper assumes its SNNs "have been trained offline using supervised
-//! training algorithms" (Diehl et al. [4]: train a conventional ANN, then
+//! training algorithms" (Diehl et al. \[4\]: train a conventional ANN, then
 //! convert). This module provides the offline side: a small but complete
 //! mini-batch SGD trainer for MLPs (ReLU hidden layers, softmax
 //! cross-entropy output) plus a fixed-random convolutional frontend for

@@ -1,8 +1,8 @@
 //! Synthetic image datasets standing in for MNIST, SVHN and CIFAR-10.
 //!
 //! The paper's benchmarks span three recognition applications: digit
-//! recognition (MNIST [20]), house-number recognition (SVHN [19]) and
-//! object classification (CIFAR-10 [21]). Those datasets are not
+//! recognition (MNIST \[20\]), house-number recognition (SVHN \[19\]) and
+//! object classification (CIFAR-10 \[21\]). Those datasets are not
 //! available offline, so this module synthesises stand-ins that preserve
 //! the *statistics the experiments depend on*:
 //!

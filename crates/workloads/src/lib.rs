@@ -11,7 +11,11 @@
 //! * [`sweep`] — batched accuracy sweeps running whole test sets on a
 //!   network's compiled kernels, parallel across stimuli, plus the
 //!   trace-driven energy sweep that meters the mapped fabric on each
-//!   stimulus's actual spike trace.
+//!   stimulus's actual spike trace,
+//! * [`churn`] — the dynamic-fabric comparison: an arrival/departure
+//!   schedule of tenant requests run through a `FabricScheduler`
+//!   (admit / queue / evict mid-stream, any packing policy) against the
+//!   static co-resident batching baseline, on identical spike traces.
 //!
 //! # Examples
 //!
@@ -28,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod benchmarks;
+pub mod churn;
 pub mod dataset;
 pub(crate) mod seed;
 pub mod sweep;
@@ -36,6 +41,7 @@ pub use benchmarks::{
     all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn, mnist_mlp,
     svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
 };
+pub use churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
 pub use sweep::{
     analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
@@ -49,6 +55,7 @@ pub mod prelude {
         all_benchmarks, cifar10_cnn, cifar10_mlp, cnn_benchmarks, mlp_benchmarks, mnist_cnn,
         mnist_mlp, svhn_cnn, svhn_mlp, Benchmark, NetStyle, PaperSpec,
     };
+    pub use crate::churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::sweep::{
         analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,

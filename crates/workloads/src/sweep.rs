@@ -16,9 +16,9 @@
 //! for TTFS).
 //!
 //! [`trace_energy_sweep`] additionally captures each stimulus's
-//! [`SpikeTrace`](resparc_neuro::trace::SpikeTrace) and replays it through
+//! [`SpikeTrace`] and replays it through
 //! the mapped fabric's trace-driven
-//! [`EventSimulator`](resparc_core::sim::event::EventSimulator), so one
+//! [`EventSimulator`], so one
 //! batched, rayon-parallel pass yields *accuracy and per-inference
 //! energy* from the very same spike trains. [`encoding_energy_sweep`]
 //! runs that pass once per coding scheme over the same labelled set —
@@ -102,9 +102,10 @@ impl SweepConfig {
 }
 
 /// Fraction of correct classifications, guarded for the empty sweep.
-/// Every report type's `accuracy()` routes through here so the
-/// zero-total behaviour cannot diverge between them.
-fn accuracy_fraction(correct: usize, total: usize) -> f64 {
+/// Every report type's `accuracy()` routes through here (the churn
+/// sweep included) so the zero-total behaviour cannot diverge between
+/// them.
+pub(crate) fn accuracy_fraction(correct: usize, total: usize) -> f64 {
     if total == 0 {
         0.0
     } else {

@@ -1,0 +1,141 @@
+//! Dynamic fabric scheduling walkthrough: tenants arriving, queueing,
+//! departing — and the pool defragmenting itself to admit through
+//! fragmentation — while replay traffic is in flight.
+//!
+//! The demo drives a `FabricScheduler` round by round over a RESPARC-64
+//! pool with a `Defragment` packing policy: eight 2-NC tenants fill the
+//! pool, two depart early leaving non-adjacent holes, and a 4-NC
+//! request that no contiguous hole can hold is admitted anyway after
+//! compaction. Each round's residents replay through the
+//! `SharedEventSimulator` under weighted round-robin bus arbitration,
+//! so the printout also shows who absorbs the bus contention.
+//! `churn_sweep` then runs the same schedule end to end against the
+//! static co-resident batching baseline.
+//!
+//! Run with: `cargo run --release --example fabric_churn`
+
+use resparc_suite::prelude::*;
+use resparc_suite::resparc_workloads::churn_sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ResparcConfig::resparc_64();
+    println!(
+        "FabricScheduler over RESPARC-64: {} physical NeuroCells, {:?} packing\n",
+        cfg.physical_ncs,
+        PackingPolicy::Defragment
+    );
+
+    // Eight 2-NC tenants (t0/t2 depart after one round), then a 4-NC
+    // request that must wait for compaction.
+    let mut nets: Vec<Network> = (0..8u64)
+        .map(|s| Network::random(Topology::mlp(144, &[576, 576, 10]), 40 + s, 1.0))
+        .collect();
+    nets.push(Network::random(
+        Topology::mlp(144, &[576, 576, 576, 10]),
+        99,
+        1.0,
+    ));
+    let traces: Vec<SpikeTrace> = nets
+        .iter()
+        .map(|net| {
+            let stimulus: Vec<f32> = (0..144).map(|i| (i % 7) as f32 / 7.0).collect();
+            let raster = RegularEncoder::new(0.8).encode(&stimulus, 15);
+            net.spiking().run_traced(&raster).1
+        })
+        .collect();
+
+    // --- Round-by-round churn ----------------------------------------
+    let pool = FabricPool::new(cfg.clone()).with_policy(PackingPolicy::Defragment);
+    let mut sched = FabricScheduler::new(pool);
+    for (i, net) in nets.iter().enumerate().take(8) {
+        let rounds = if i == 0 || i == 2 { 1 } else { 3 };
+        sched.submit(net, &format!("t{i}"), rounds, 1)?;
+    }
+    sched.submit(&nets[8], "wide-4nc", 2, 4)?; // heavier bus weight, too
+
+    while !sched.is_idle() {
+        let round = sched.round();
+        let residents = sched.begin_round();
+        let pairs: Vec<(TenantId, &SpikeTrace)> = residents
+            .iter()
+            .map(|st| (st.tenant, &traces[st.request.index() as usize]))
+            .collect();
+        let weights: Vec<u32> = residents.iter().map(|st| st.weight).collect();
+        let report = SharedEventSimulator::new(sched.pool()).run_weighted(&pairs, &weights);
+        println!(
+            "round {round}: {} resident ({} queued), {:>2}/{} NCs busy, makespan {:.2} us, \
+             bus busy {:.0}%",
+            residents.len(),
+            sched.queue_len(),
+            sched.pool().occupied_ncs(),
+            sched.pool().physical_ncs(),
+            report.latency.microseconds(),
+            100.0 * report.bus_occupancy(),
+        );
+        for t in &report.tenants {
+            println!(
+                "    {:<9} weight {} -> stalled {:>4} bus cycles, perceived latency {:.2} us",
+                t.name,
+                t.weight,
+                t.bus_stall_cycles,
+                t.latency.microseconds()
+            );
+        }
+        sched.end_round();
+    }
+    println!("\ncompleted requests (submission -> admission -> departure):");
+    for r in sched.completed() {
+        println!(
+            "  {:<9} {} NCs  round {} -> {} -> {}  (waited {} round(s))",
+            r.name,
+            r.ncs,
+            r.submitted_round,
+            r.admitted_round,
+            r.departed_round.expect("completed"),
+            r.wait_rounds(),
+        );
+    }
+
+    // --- The end-to-end comparison -----------------------------------
+    let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+    let samples = gen.labelled_set(3, 700);
+    let mut specs: Vec<ChurnSpec> = (0..8)
+        .map(|i| ChurnSpec::new(0, if i == 0 || i == 2 { 1 } else { 4 }))
+        .collect();
+    specs.push(ChurnSpec::new(0, 2).with_weight(4));
+
+    println!("\ndynamic churn vs static co-resident batches (same traces, per policy):");
+    println!(
+        "  {:<12} {:>17} {:>13} {:>15} {:>12} {:>8}",
+        "policy", "rounds dyn/static", "active util", "wait mean (max)", "E/inf (nJ)", "gain"
+    );
+    for policy in [PackingPolicy::FirstFit, PackingPolicy::Defragment] {
+        let r = churn_sweep(
+            &nets,
+            &specs,
+            &samples,
+            &SweepConfig::rate(15, 0.7, 13),
+            &cfg,
+            policy,
+        )?;
+        println!(
+            "  {:<12} {:>8} / {:<6} {:>5.0}% / {:.0}% {:>9.1} ({}) {:>13.1} {:>7.2}x",
+            format!("{policy:?}"),
+            r.churned.rounds,
+            r.static_baseline.rounds,
+            100.0 * r.churned.mean_active_utilization,
+            100.0 * r.static_baseline.mean_active_utilization,
+            r.churned.mean_queue_wait,
+            r.churned.max_queue_wait,
+            r.churned.tenancy.energy_per_inference().nanojoules(),
+            r.energy_per_inference_gain(),
+        );
+    }
+    println!(
+        "\nthe defragmenting scheduler turns a CapacityExhausted rejection into an \
+         admission:\nresident tenants slide toward NC 0 (pure coordinate translation, \
+         bit-identical replay),\nthe freed tail becomes contiguous, and the wide tenant \
+         starts rounds earlier."
+    );
+    Ok(())
+}

@@ -103,6 +103,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // --- Weighted bus QoS: same replay, tenant 0 gets a 6x bus weight.
+    let mut weights = vec![1u32; pairs.len()];
+    weights[0] = 6;
+    let weighted = SharedEventSimulator::new(&pool).run_weighted(&pairs, &weights);
+    assert_eq!(
+        weighted.latency, shared.latency,
+        "the bus is work-conserving"
+    );
+    println!(
+        "\nweighted bus QoS (tenant0 at weight 6, makespan unchanged at {:.2} us):",
+        weighted.latency.microseconds()
+    );
+    for (fair, qos) in shared.tenants.iter().zip(&weighted.tenants) {
+        println!(
+            "  {:<18} weight {} -> bus stall {:>5} cycles (fair: {:>5}), perceived latency \
+             {:.2} us (fair: {:.2})",
+            qos.name,
+            qos.weight,
+            qos.bus_stall_cycles,
+            fair.bus_stall_cycles,
+            qos.latency.microseconds(),
+            fair.latency.microseconds(),
+        );
+    }
+
+    // --- Defragmenting admission: evict to fragment, admit through it.
+    // The three 1-NC tenants at NCs 0..3 and the one at NC 9 leave, so
+    // the two big residents pin a 3-NC hole and a 1-NC hole apart.
+    let mut frag = pool.clone().with_policy(PackingPolicy::Defragment);
+    let leavers: Vec<TenantId> = [0usize, 1, 2, 4]
+        .iter()
+        .map(|&i| frag.tenants()[i].id)
+        .collect();
+    for id in leavers {
+        frag.evict(id);
+    }
+    println!(
+        "\nafter four departures: {} NCs free but largest contiguous run is {}",
+        frag.free_ncs(),
+        frag.largest_free_run()
+    );
+    let wide = Topology::mlp(144, &[576, 576, 576, 10]); // 4 NCs
+    match frag
+        .clone()
+        .with_policy(PackingPolicy::FirstFit)
+        .admit_topology(&wide, "wide")
+    {
+        Err(e) => println!("  first-fit rejects the 4-NC tenant -- {e}"),
+        Ok(_) => println!("  first-fit unexpectedly admitted"),
+    }
+    let residents = frag.tenants().len();
+    match frag.admit_topology(&wide, "wide") {
+        Ok(id) => {
+            let t = frag.tenant(id).expect("admitted");
+            println!(
+                "  defragmenting pool compacts the {} big resident(s) and admits it at NCs \
+                 {}..{}",
+                residents,
+                t.first_nc(),
+                t.end_nc()
+            );
+        }
+        Err(e) => println!("  defragmentation could not help -- {e}"),
+    }
+
     // --- Serial vs co-resident, end to end ----------------------------
     let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
     let samples = gen.labelled_set(4, 700);

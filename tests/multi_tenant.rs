@@ -120,6 +120,113 @@ fn co_residency_beats_serial_execution_on_pool_energy_and_edp() {
 }
 
 #[test]
+fn weighted_qos_with_one_tenant_or_equal_weights_matches_pr4_replay_bit_identically() {
+    // The acceptance criterion for the QoS refactor: weighted
+    // arbitration must be free when unused. One tenant at any weight
+    // reproduces the dedicated-fabric EventSimulator (the PR-4
+    // contract), and equal weights of any magnitude reproduce the fair
+    // `run()` — full-report equality, stall/latency fields included.
+    let steps = 30;
+    let (net, trace) = mnist_mlp_trace(steps);
+    let cfg = ResparcConfig::resparc_64().with_timesteps(steps as u32);
+
+    let dedicated = Mapper::new(cfg.clone()).map_network(&net).unwrap();
+    let single = EventSimulator::new(&dedicated).run(&trace);
+
+    let mut pool = FabricPool::new(cfg.clone());
+    let id = pool.admit(&net, "mnist-mlp").unwrap();
+    let sim = SharedEventSimulator::new(&pool);
+    let weighted = sim.run_weighted(&[(id, &trace)], &[7]);
+    assert_eq!(weighted.energy, single.energy);
+    assert_eq!(weighted.total_cycles, single.total_cycles);
+    assert_eq!(weighted.latency, single.latency);
+    assert_eq!(weighted.tenants[0].layers, single.layers);
+    assert_eq!(weighted.tenants[0].bus_stall_cycles, 0);
+    assert_eq!(weighted.tenants[0].latency, single.latency);
+    assert_eq!(weighted, sim.run(&[(id, &trace)]));
+
+    // Two co-resident tenants, equal weights at different magnitudes.
+    let other = Network::random(Topology::mlp(144, &[96, 10]), 9, 1.0);
+    let stimulus: Vec<f32> = (0..144).map(|i| (i % 5) as f32 / 4.0).collect();
+    let raster = RegularEncoder::new(1.0).encode(&stimulus, 16);
+    let (_, other_trace) = other.spiking().run_traced(&raster);
+    let mut duo = FabricPool::new(ResparcConfig::resparc_64());
+    let a = duo.admit(&net, "a").unwrap();
+    let b = duo.admit(&other, "b").unwrap();
+    let duo_sim = SharedEventSimulator::new(&duo);
+    let pairs = [(a, &trace), (b, &other_trace)];
+    let fair = duo_sim.run(&pairs);
+    assert_eq!(duo_sim.run_weighted(&pairs, &[4, 4]), fair);
+    assert_eq!(duo_sim.run_weighted(&pairs, &[1, 1]), fair);
+}
+
+#[test]
+fn defragmenting_admission_succeeds_where_first_fit_exhausts() {
+    // The acceptance criterion for the packing refactor, end to end
+    // through the public API: a fragmented pool with enough total — but
+    // not contiguous — capacity rejects under first-fit and admits
+    // under `PackingPolicy::Defragment`, and the compacted tenants
+    // replay bit-identically to their pre-compaction placements.
+    let two_nc = Topology::mlp(144, &[576, 576, 10]);
+    let wide = Topology::mlp(144, &[576, 576, 576, 10]);
+    let fragment = |pool: &mut FabricPool| {
+        let ids: Vec<TenantId> = (0..8)
+            .map(|i| pool.admit_topology(&two_nc, &format!("t{i}")).unwrap())
+            .collect();
+        for id in ids.iter().step_by(2) {
+            pool.evict(*id);
+        }
+    };
+
+    let mut first_fit = FabricPool::new(ResparcConfig::resparc_64());
+    fragment(&mut first_fit);
+    let err = first_fit.admit_topology(&wide, "wide").unwrap_err();
+    match err {
+        AdmitError::CapacityExhausted {
+            needed_ncs,
+            free_ncs,
+            largest_free_run,
+        } => {
+            assert!(free_ncs >= needed_ncs, "total capacity suffices");
+            assert!(largest_free_run < needed_ncs, "but no contiguous run does");
+        }
+        other => panic!("expected CapacityExhausted, got {other}"),
+    }
+
+    let mut pool =
+        FabricPool::new(ResparcConfig::resparc_64()).with_policy(PackingPolicy::Defragment);
+    fragment(&mut pool);
+    // Replay one survivor before compaction...
+    let survivor = pool.tenants()[0].id;
+    let survivor_net = Network::random(two_nc.clone(), 5, 1.0);
+    // (the pool mapped a bare topology; rebuild the matching trace shape)
+    let stimulus: Vec<f32> = (0..144).map(|i| (i % 5) as f32 / 4.0).collect();
+    let raster = RegularEncoder::new(0.9).encode(&stimulus, 10);
+    let (_, trace) = survivor_net.spiking().run_traced(&raster);
+    let before = SharedEventSimulator::new(&pool).run(&[(survivor, &trace)]);
+
+    let id = pool
+        .admit_topology(&wide, "wide")
+        .expect("defrag makes room");
+    let wide_tenant = pool.tenant(id).unwrap();
+    assert_eq!(wide_tenant.nc_count(), 4);
+    assert_eq!(pool.free_ncs(), 4);
+
+    // ...and after: admission via compaction moved the survivor to a
+    // new origin, but dynamic charges, tallies and cycles are
+    // untouched (leakage now includes the new resident, so compare the
+    // per-tenant dynamic slice).
+    let after = SharedEventSimulator::new(&pool).run(&[(survivor, &trace)]);
+    assert_eq!(after.tenants[0].energy, before.tenants[0].energy);
+    assert_eq!(after.tenants[0].layers, before.tenants[0].layers);
+    assert_eq!(after.total_cycles, before.total_cycles);
+    assert_eq!(
+        after.tenants[0].tenant_cycles,
+        before.tenants[0].tenant_cycles
+    );
+}
+
+#[test]
 fn early_exit_trace_prices_exactly_the_truncated_presentation() {
     // The temporal-coding early exit: stop at the first output spike,
     // decode by first spike, and pay the event simulator only for the

@@ -459,6 +459,124 @@ proptest! {
         prop_assert_eq!(pool.free_ncs(), pool.physical_ncs());
     }
 
+    /// Defragmenting compaction is invisible to replay: with the same
+    /// residents (so the same leakage domains), the whole
+    /// [`SharedReport`] — per-tenant dynamic ledgers, per-layer event
+    /// tallies (the quantities decoded labels and billing are built
+    /// from), cycles, latency, leakage shares — is **bit-identical**
+    /// before and after `defragment()` moves tenants to new NC origins.
+    /// Compaction itself must leave every resident's footprint intact,
+    /// pack the occupancy into a contiguous prefix and fuse all free
+    /// NCs into one run.
+    #[test]
+    fn defragmentation_preserves_replay_bit_identically(
+        hiddens in proptest::collection::vec(8usize..200, 3..6),
+        inputs in 16usize..120,
+        evict_mask in 1u8..15,
+        steps in 3usize..9,
+    ) {
+        use resparc_suite::resparc_core::fabric::PackingPolicy;
+
+        let cfg = ResparcConfig::resparc_64();
+        let mut pool = FabricPool::new(cfg.clone()).with_policy(PackingPolicy::Defragment);
+        let mut admitted: Vec<(TenantId, Network)> = Vec::new();
+        for (k, &h) in hiddens.iter().enumerate() {
+            let net = Network::random(Topology::mlp(inputs, &[h, 10]), 100 + k as u64, 1.0);
+            match pool.admit(&net, &format!("t{k}")) {
+                Ok(id) => admitted.push((id, net)),
+                Err(_) => break,
+            }
+        }
+        // Evict the masked subset, keeping at least one resident.
+        let mut resident: Vec<(TenantId, Network)> = Vec::new();
+        for (k, (id, net)) in admitted.into_iter().enumerate() {
+            if evict_mask & (1 << (k % 4)) != 0 && pool.tenants().len() > 1 {
+                prop_assert!(pool.evict(id).is_some());
+            } else {
+                resident.push((id, net));
+            }
+        }
+        let footprints: Vec<(TenantId, usize)> = pool
+            .tenants()
+            .iter()
+            .map(|t| (t.id, t.nc_count()))
+            .collect();
+
+        let traces: Vec<SpikeTrace> = resident
+            .iter()
+            .map(|(_, net)| {
+                let stimulus: Vec<f32> =
+                    (0..inputs).map(|i| (i % 5) as f32 / 4.0).collect();
+                let raster = RegularEncoder::new(0.9).encode(&stimulus, steps);
+                net.spiking().run_traced(&raster).1
+            })
+            .collect();
+        let pairs: Vec<(TenantId, &SpikeTrace)> = resident
+            .iter()
+            .map(|(id, _)| *id)
+            .zip(traces.iter())
+            .collect();
+
+        let before = SharedEventSimulator::new(&pool).run(&pairs);
+        pool.defragment();
+        let after = SharedEventSimulator::new(&pool).run(&pairs);
+        prop_assert_eq!(before, after);
+
+        // Compaction invariants: footprints preserved, occupancy is a
+        // packed prefix, all free NCs fused into one contiguous run.
+        for (id, ncs) in footprints {
+            let t = pool.tenant(id).expect("resident survived compaction");
+            prop_assert_eq!(t.nc_count(), ncs);
+        }
+        prop_assert_eq!(pool.largest_free_run(), pool.free_ncs());
+        let occupied = pool.occupied_ncs();
+        prop_assert!(pool.occupancy()[..occupied].iter().all(|s| s.is_some()));
+        prop_assert!(pool.occupancy()[occupied..].iter().all(|s| s.is_none()));
+    }
+
+    /// Weighted-QoS arbitration at *equal* weights — whatever their
+    /// magnitude — reproduces the fair `run()` (the PR-4
+    /// `SharedEventSimulator` semantics) bit-identically: same ledger,
+    /// cycles, latency, and per-tenant stall/latency accounting.
+    #[test]
+    fn equal_weight_qos_reproduces_fair_arbitration_bit_identically(
+        count in 1usize..4,
+        weight in 1u32..64,
+        hidden in 8usize..150,
+        steps in 3usize..9,
+    ) {
+        let cfg = ResparcConfig::resparc_64();
+        let mut pool = FabricPool::new(cfg);
+        let nets: Vec<Network> = (0..count)
+            .map(|k| Network::random(Topology::mlp(96, &[hidden, 10]), 200 + k as u64, 1.0))
+            .collect();
+        let ids: Vec<TenantId> = nets
+            .iter()
+            .enumerate()
+            .map(|(k, n)| pool.admit(n, &format!("t{k}")).expect("small tenants fit"))
+            .collect();
+        let traces: Vec<SpikeTrace> = nets
+            .iter()
+            .map(|net| {
+                let stimulus: Vec<f32> = (0..96).map(|i| (i % 5) as f32 / 4.0).collect();
+                let raster = RegularEncoder::new(0.8).encode(&stimulus, steps);
+                net.spiking().run_traced(&raster).1
+            })
+            .collect();
+        let pairs: Vec<(TenantId, &SpikeTrace)> =
+            ids.iter().copied().zip(traces.iter()).collect();
+
+        let sim = SharedEventSimulator::new(&pool);
+        let fair = sim.run(&pairs);
+        let weighted = sim.run_weighted(&pairs, &vec![weight; count]);
+        prop_assert_eq!(&weighted, &fair);
+        // A lone tenant never stalls on an uncontended bus.
+        if count == 1 {
+            prop_assert_eq!(weighted.tenants[0].bus_stall_cycles, 0);
+            prop_assert_eq!(weighted.tenants[0].tenant_cycles, weighted.total_cycles);
+        }
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

@@ -7,7 +7,7 @@ use rand::RngExt;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: an exact `usize` or a `usize`
+/// A length specification for [`vec`](fn@vec): an exact `usize` or a `usize`
 /// range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -43,7 +43,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy produced by [`vec`].
+/// Strategy produced by [`vec`](fn@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -228,9 +228,44 @@ fn bench_multi_tenant(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-injected replay: `clean_plan` replays the trace captured from
+/// kernels passed through an *empty* [`FaultPlan`] — by the bit-identity
+/// contract that trace equals the plain one, so CI gates
+/// `fault_replay/clean_plan = event_replay/event_mnist_mlp_20steps`
+/// at a tight (<5%) ratio threshold: the fault path must cost nothing
+/// when no fault is configured. `stuck_at_2pct` replays the trace from a
+/// 2% stuck-at plan — damaged weights change spike traffic, so this id
+/// tracks the faulted replay's cost without a tight gate.
+fn bench_fault_replay(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    let net = mnist_mlp_net();
+    let mut enc = PoissonEncoder::new(0.4, 5);
+    let raster = enc.encode(&mnist_stimulus(), STEPS);
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .unwrap();
+    let clean = Arc::new(net.compiled().with_faults(&FaultPlan::none()));
+    let (_, clean_trace) = SnnRunner::from_compiled(clean).run_traced(&raster);
+    let damaged = Arc::new(net.compiled().with_faults(&FaultPlan::stuck_at(13, 0.02)));
+    let (_, damaged_trace) = SnnRunner::from_compiled(damaged).run_traced(&raster);
+
+    let mut group = c.benchmark_group("fault_replay");
+    group.sample_size(10);
+    group.bench_function("clean_plan", |b| {
+        b.iter(|| black_box(EventSimulator::new(black_box(&mapping)).run(black_box(&clean_trace))))
+    });
+    group.bench_function("stuck_at_2pct", |b| {
+        b.iter(|| {
+            black_box(EventSimulator::new(black_box(&mapping)).run(black_box(&damaged_trace)))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = trace_energy;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant
+    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant, bench_fault_replay
 }
 criterion_main!(trace_energy);

@@ -1,0 +1,5 @@
+//! Prints the resilience figure: device-fault degradation per coding
+//! scheme and the NC-failure recovery drill per packing policy.
+fn main() {
+    println!("{}", resparc_bench::fig_resilience());
+}

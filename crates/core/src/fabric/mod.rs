@@ -23,7 +23,12 @@
 //!   [`Mapper::map_network_at`](crate::map::Mapper::map_network_at)
 //!   there, without re-partitioning), and admission fails with a typed
 //!   [`AdmitError`] when the policy finds no run. Evicting a tenant
-//!   restores the free list exactly.
+//!   restores the free list exactly. Every NC also carries an
+//!   [`NcHealth`] state: [`FabricPool::fail_nc`] /
+//!   [`FabricPool::drain_nc`] take cells out of service (evicting the
+//!   occupant tenant), admission and defragmentation route around
+//!   unhealthy cells, and [`AdmitError::NoHealthyCapacity`] reports
+//!   rejections that only exist because cells are sick.
 //! * [`SharedEventSimulator`] ([`shared`]) replays one
 //!   [`SpikeTrace`](resparc_neuro::trace::SpikeTrace) per tenant
 //!   through the pool **concurrently**.
@@ -76,7 +81,7 @@ pub mod pool;
 pub mod scheduler;
 pub mod shared;
 
-pub use pool::{FabricPool, PackingPolicy};
+pub use pool::{FabricPool, NcHealth, PackingPolicy};
 pub use scheduler::{FabricScheduler, RequestId, ScheduledTenant, ServiceRecord};
 pub use shared::{SharedEventSimulator, SharedReport, TenantReport};
 
@@ -112,6 +117,18 @@ pub enum AdmitError {
         /// Longest contiguous free run currently available.
         largest_free_run: usize,
     },
+    /// Admission failed *because of unhealthy NeuroCells*: the pool's
+    /// healthy free capacity cannot cover the request, but restoring
+    /// the quarantined/failed cells to healthy free capacity would.
+    /// Pools without faults never return this variant.
+    NoHealthyCapacity {
+        /// NeuroCells the tenant needs (contiguously).
+        needed_ncs: usize,
+        /// NeuroCells currently quarantined (drained, restorable).
+        quarantined: usize,
+        /// NeuroCells permanently failed.
+        failed: usize,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -126,6 +143,16 @@ impl fmt::Display for AdmitError {
                 f,
                 "capacity exhausted: tenant needs {needed_ncs} contiguous NeuroCell(s), pool has \
                  {free_ncs} free ({largest_free_run} contiguous)"
+            ),
+            AdmitError::NoHealthyCapacity {
+                needed_ncs,
+                quarantined,
+                failed,
+            } => write!(
+                f,
+                "no healthy capacity: tenant needs {needed_ncs} NeuroCell(s) the pool could \
+                 cover if its {quarantined} quarantined and {failed} failed NeuroCell(s) were \
+                 healthy"
             ),
         }
     }

@@ -7,6 +7,17 @@
 //! coordinate shift, so the expensive partitioning runs exactly once per
 //! admission. Eviction restores the free list exactly (property-tested
 //! in `tests/proptests.rs`).
+//!
+//! Every NC additionally carries an [`NcHealth`] state. A *free* NC is
+//! one that is both unoccupied **and** healthy: quarantined
+//! ([`FabricPool::drain_nc`]) and failed ([`FabricPool::fail_nc`])
+//! cells are invisible to free-run admission and to
+//! [`FabricPool::largest_free_run`], and
+//! [`FabricPool::defragment`] compacts resident tenants *around* them
+//! (tenants pack into the earliest healthy segments instead of one
+//! leftmost prefix). Taking out an **occupied** cell evicts the
+//! resident tenant — its whole run frees — and returns it so a
+//! scheduler can re-queue it for recovery.
 
 use resparc_neuro::network::Network;
 use resparc_neuro::topology::Topology;
@@ -14,6 +25,38 @@ use resparc_neuro::topology::Topology;
 use crate::config::ResparcConfig;
 use crate::fabric::{AdmitError, Tenant, TenantId};
 use crate::map::{Mapper, Mapping};
+
+/// A contiguous NC run as `(start_nc, len)`.
+type NcRun = (usize, usize);
+
+/// Health of one physical NeuroCell.
+///
+/// Lifecycle: `Healthy ⇄ Quarantined` via [`FabricPool::drain_nc`] /
+/// [`FabricPool::restore_nc`] (maintenance that is expected to end),
+/// and `Healthy | Quarantined → Failed` via [`FabricPool::fail_nc`]
+/// (permanent — there is no way back from `Failed`). Only `Healthy`
+/// cells participate in admission; an occupied cell is always
+/// `Healthy`, because taking a cell out of service evicts its tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum NcHealth {
+    /// In service: admissible when unoccupied.
+    #[default]
+    Healthy,
+    /// Drained for maintenance: not admissible, restorable.
+    Quarantined,
+    /// Permanently dead: never admissible again.
+    Failed,
+}
+
+impl std::fmt::Display for NcHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NcHealth::Healthy => "healthy",
+            NcHealth::Quarantined => "quarantined",
+            NcHealth::Failed => "failed",
+        })
+    }
+}
 
 /// How a [`FabricPool`] chooses the free NC run an admission receives.
 ///
@@ -104,9 +147,14 @@ pub enum PackingPolicy {
 pub struct FabricPool {
     config: ResparcConfig,
     policy: PackingPolicy,
-    /// Per-physical-NC owner; `None` = free. This *is* the free list:
-    /// eviction must restore it exactly (property-tested).
+    /// Per-physical-NC owner; `None` = unoccupied. Together with
+    /// `health` this *is* the free list (free = unoccupied **and**
+    /// healthy): eviction must restore it exactly (property-tested).
     occupancy: Vec<Option<TenantId>>,
+    /// Per-physical-NC health, parallel to `occupancy`. Invariant: an
+    /// occupied cell is `Healthy` — `fail_nc`/`drain_nc` evict the
+    /// occupant and admission only lands on healthy runs.
+    health: Vec<NcHealth>,
     tenants: Vec<Tenant>,
     next_id: u32,
 }
@@ -120,6 +168,7 @@ impl FabricPool {
             config,
             policy: PackingPolicy::FirstFit,
             occupancy: vec![None; slots],
+            health: vec![NcHealth::Healthy; slots],
             tenants: Vec::new(),
             next_id: 0,
         }
@@ -153,14 +202,42 @@ impl FabricPool {
         &self.occupancy
     }
 
-    /// Free NeuroCells (any position).
+    /// Per-NC health, in NC order (parallel to
+    /// [`occupancy`](Self::occupancy)).
+    pub fn nc_health(&self) -> &[NcHealth] {
+        &self.health
+    }
+
+    /// Free NeuroCells (any position): unoccupied **and** healthy — the
+    /// capacity admission can actually use. Quarantined and failed
+    /// cells are not free.
     pub fn free_ncs(&self) -> usize {
-        self.occupancy.iter().filter(|s| s.is_none()).count()
+        self.occupancy
+            .iter()
+            .zip(&self.health)
+            .filter(|(s, h)| s.is_none() && **h == NcHealth::Healthy)
+            .count()
     }
 
     /// NeuroCells currently owned by tenants.
     pub fn occupied_ncs(&self) -> usize {
-        self.physical_ncs() - self.free_ncs()
+        self.occupancy.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// NeuroCells currently quarantined (drained, restorable).
+    pub fn quarantined_ncs(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| **h == NcHealth::Quarantined)
+            .count()
+    }
+
+    /// NeuroCells permanently failed.
+    pub fn failed_ncs(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| **h == NcHealth::Failed)
+            .count()
     }
 
     /// Fraction of the pool's NeuroCells owned by tenants.
@@ -172,9 +249,25 @@ impl FabricPool {
     }
 
     /// Longest contiguous free NC run (what the next admission can get
-    /// without compaction).
+    /// without compaction). Runs never span unhealthy cells.
     pub fn largest_free_run(&self) -> usize {
         self.free_runs()
+            .into_iter()
+            .map(|(_, len)| len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Longest contiguous run of **healthy** NCs, occupied or not — the
+    /// hard ceiling on what any future admission could ever receive,
+    /// however many tenants depart and however the pool compacts. A
+    /// request needing more can never be served while the unhealthy
+    /// cells stay out (a [`FabricScheduler`] uses this to abort
+    /// unservable queued requests instead of waiting forever).
+    ///
+    /// [`FabricScheduler`]: crate::fabric::FabricScheduler
+    pub fn max_admissible_run(&self) -> usize {
+        self.healthy_segments()
             .into_iter()
             .map(|(_, len)| len)
             .max()
@@ -202,7 +295,13 @@ impl FabricPool {
         let needed = needed_ncs.max(1);
         match self.policy {
             PackingPolicy::FirstFit | PackingPolicy::BestFit => self.find_run(needed).is_some(),
-            PackingPolicy::Defragment => self.free_ncs() >= needed,
+            // Compaction packs tenants into healthy segments: the
+            // admissible room is the largest *post-compaction* free
+            // tail, not the raw free total (free cells split across
+            // dead-NC boundaries cannot be fused).
+            PackingPolicy::Defragment => {
+                self.find_run(needed).is_some() || self.post_defrag_largest_run() >= needed
+            }
         }
     }
 
@@ -214,7 +313,10 @@ impl FabricPool {
     ///
     /// [`AdmitError::Map`] if mapping fails,
     /// [`AdmitError::CapacityExhausted`] if the policy finds no run
-    /// (even after defragmentation, when the policy compacts).
+    /// (even after defragmentation, when the policy compacts), or
+    /// [`AdmitError::NoHealthyCapacity`] when the rejection exists only
+    /// because quarantined/failed NCs hold the capacity the request
+    /// needs.
     pub fn admit(&mut self, network: &Network, name: &str) -> Result<TenantId, AdmitError> {
         let probe = Mapper::new(self.config.clone())
             .map_network(network)
@@ -249,7 +351,9 @@ impl FabricPool {
     ///
     /// # Errors
     ///
-    /// [`AdmitError::CapacityExhausted`] if the policy finds no run.
+    /// [`AdmitError::CapacityExhausted`] if the policy finds no run, or
+    /// [`AdmitError::NoHealthyCapacity`] when only unhealthy NCs stand
+    /// between the request and the capacity it needs.
     ///
     /// [`FabricScheduler`]: crate::fabric::FabricScheduler
     pub fn admit_mapped(&mut self, probe: Mapping, name: &str) -> Result<TenantId, AdmitError> {
@@ -260,18 +364,14 @@ impl FabricPool {
         let needed = probe.placement.ncs_used.max(1);
         let origin = match self.find_run(needed) {
             Some(origin) => origin,
-            None if self.policy == PackingPolicy::Defragment && self.free_ncs() >= needed => {
+            None if self.policy == PackingPolicy::Defragment
+                && self.post_defrag_largest_run() >= needed =>
+            {
                 self.defragment();
                 self.find_run(needed)
-                    .expect("compaction leaves all free NCs in one contiguous tail")
+                    .expect("the compaction plan guaranteed a fitting free run")
             }
-            None => {
-                return Err(AdmitError::CapacityExhausted {
-                    needed_ncs: needed,
-                    free_ncs: self.free_ncs(),
-                    largest_free_run: self.largest_free_run(),
-                })
-            }
+            None => return Err(self.capacity_error(needed)),
         };
         let mut mapping = probe;
         if origin != mapping.placement.origin_nc {
@@ -303,27 +403,75 @@ impl FabricPool {
         Some(tenant)
     }
 
-    /// Compacts every resident tenant leftward into one contiguous
-    /// prefix, leaving all free NCs in a single tail run. Tenants slide
-    /// in NC order (their relative layout is preserved) via
+    /// Marks NC `nc` permanently [`NcHealth::Failed`]. If the cell is
+    /// occupied, the resident tenant is **evicted** (its whole run
+    /// frees — the failure costs the tenant its residency, not just one
+    /// cell) and returned so the caller can re-queue it for recovery.
+    /// Failing an already-unhealthy or free cell returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nc` is out of range.
+    pub fn fail_nc(&mut self, nc: usize) -> Option<Tenant> {
+        assert!(nc < self.physical_ncs(), "NC {nc} out of range");
+        self.health[nc] = NcHealth::Failed;
+        self.occupancy[nc].and_then(|id| self.evict(id))
+    }
+
+    /// Quarantines NC `nc` ([`NcHealth::Quarantined`]): the cell leaves
+    /// service — evicting and returning the occupant tenant like
+    /// [`fail_nc`](Self::fail_nc) — but can re-enter it via
+    /// [`restore_nc`](Self::restore_nc). Draining a failed cell is a
+    /// no-op (`Failed` is permanent) and returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nc` is out of range.
+    pub fn drain_nc(&mut self, nc: usize) -> Option<Tenant> {
+        assert!(nc < self.physical_ncs(), "NC {nc} out of range");
+        if self.health[nc] == NcHealth::Failed {
+            return None;
+        }
+        self.health[nc] = NcHealth::Quarantined;
+        self.occupancy[nc].and_then(|id| self.evict(id))
+    }
+
+    /// Returns a quarantined NC to service (`Quarantined → Healthy`);
+    /// `false` if the cell was not quarantined (healthy cells have
+    /// nothing to restore, failed cells are permanent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nc` is out of range.
+    pub fn restore_nc(&mut self, nc: usize) -> bool {
+        assert!(nc < self.physical_ncs(), "NC {nc} out of range");
+        if self.health[nc] == NcHealth::Quarantined {
+            self.health[nc] = NcHealth::Healthy;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Compacts every resident tenant leftward into the earliest
+    /// contiguous run of **healthy** NCs with room, in NC order (on an
+    /// all-healthy pool this is the classic pack-into-one-prefix; with
+    /// unhealthy cells, tenants pack *around* them). Tenants move via
     /// [`Placement::translated_to`](crate::map::Placement::translated_to)
     /// — a pure whole-NC coordinate shift, with **no re-partitioning**:
     /// replaying any trace through a moved tenant charges bit-identical
     /// dynamic energy and cycles (property-tested in
     /// `tests/proptests.rs`). Returns the number of tenants that moved.
     pub fn defragment(&mut self) -> usize {
-        let mut order: Vec<usize> = (0..self.tenants.len()).collect();
-        order.sort_by_key(|&i| self.tenants[i].first_nc());
-        let mut cursor = 0usize;
+        let (assignments, _) = self.compaction_plan();
         let mut moved = 0usize;
-        for i in order {
+        for (i, origin) in assignments {
             let tenant = &mut self.tenants[i];
-            if tenant.first_nc() != cursor {
+            if tenant.first_nc() != origin {
                 tenant.mapping.placement =
-                    tenant.mapping.placement.translated_to(cursor, &self.config);
+                    tenant.mapping.placement.translated_to(origin, &self.config);
                 moved += 1;
             }
-            cursor += tenant.nc_count();
         }
         for slot in &mut self.occupancy {
             *slot = None;
@@ -337,14 +485,14 @@ impl FabricPool {
         moved
     }
 
-    /// Every maximal contiguous free run, as `(start_nc, len)` in NC
-    /// order.
+    /// Every maximal contiguous free run (unoccupied **healthy** cells),
+    /// as `(start_nc, len)` in NC order. Unhealthy cells break runs.
     fn free_runs(&self) -> Vec<(usize, usize)> {
         let mut runs = Vec::new();
         let mut start = 0usize;
         let mut len = 0usize;
-        for (i, slot) in self.occupancy.iter().enumerate() {
-            if slot.is_none() {
+        for (i, (slot, health)) in self.occupancy.iter().zip(&self.health).enumerate() {
+            if slot.is_none() && *health == NcHealth::Healthy {
                 if len == 0 {
                     start = i;
                 }
@@ -358,6 +506,100 @@ impl FabricPool {
             runs.push((start, len));
         }
         runs
+    }
+
+    /// Every maximal contiguous run of healthy NCs (occupied or not),
+    /// as `(start_nc, len)` in NC order — the segments compaction packs
+    /// tenants into.
+    fn healthy_segments(&self) -> Vec<(usize, usize)> {
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        let mut len = 0usize;
+        for (i, health) in self.health.iter().enumerate() {
+            if *health == NcHealth::Healthy {
+                if len == 0 {
+                    start = i;
+                }
+                len += 1;
+            } else if len > 0 {
+                segments.push((start, len));
+                len = 0;
+            }
+        }
+        if len > 0 {
+            segments.push((start, len));
+        }
+        segments
+    }
+
+    /// The greedy compaction assignment [`defragment`](Self::defragment)
+    /// applies: tenants in `first_nc` order, each packed into the
+    /// earliest healthy segment with contiguous room. Returns the
+    /// `(tenant_index, new_origin)` assignments plus each segment's
+    /// leftover free tail as `(start_nc, len)`.
+    fn compaction_plan(&self) -> (Vec<(usize, usize)>, Vec<NcRun>) {
+        let segments = self.healthy_segments();
+        let mut used = vec![0usize; segments.len()];
+        let mut order: Vec<usize> = (0..self.tenants.len()).collect();
+        order.sort_by_key(|&i| self.tenants[i].first_nc());
+        let mut assignments = Vec::with_capacity(order.len());
+        for i in order {
+            let size = self.tenants[i].nc_count();
+            // Invariant, not a reachable failure: when the tenants of
+            // the k-th healthy segment are processed (first_nc order),
+            // every tenant from segments ≤ k has already been packed
+            // into segment k or earlier, so segment k never holds more
+            // than the current (valid) layout already fits — first-fit
+            // always finds room for every resident.
+            let s = segments
+                .iter()
+                .zip(&used)
+                .position(|(&(_, len), &u)| len - u >= size)
+                .expect("greedy compaction re-fits every resident tenant");
+            assignments.push((i, segments[s].0 + used[s]));
+            used[s] += size;
+        }
+        let tails = segments
+            .iter()
+            .zip(&used)
+            .filter(|(&(_, len), &u)| len > u)
+            .map(|(&(start, len), &u)| (start + u, len - u))
+            .collect();
+        (assignments, tails)
+    }
+
+    /// The largest contiguous free run a [`defragment`](Self::defragment)
+    /// compaction would leave (pure probe, no mutation).
+    fn post_defrag_largest_run(&self) -> usize {
+        self.compaction_plan()
+            .1
+            .into_iter()
+            .map(|(_, len)| len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The typed rejection for a `needed`-NC admission the policy found
+    /// no run for: [`AdmitError::NoHealthyCapacity`] when restoring the
+    /// pool's unhealthy cells to healthy free capacity would cover the
+    /// request (the sickness is the cause), a plain
+    /// [`AdmitError::CapacityExhausted`] otherwise.
+    fn capacity_error(&self, needed: usize) -> AdmitError {
+        let quarantined = self.quarantined_ncs();
+        let failed = self.failed_ncs();
+        if quarantined + failed > 0 && needed <= self.free_ncs() + quarantined + failed {
+            AdmitError::NoHealthyCapacity {
+                needed_ncs: needed,
+                quarantined,
+                failed,
+            }
+        } else {
+            AdmitError::CapacityExhausted {
+                needed_ncs: needed,
+                free_ncs: self.free_ncs(),
+                largest_free_run: self.largest_free_run(),
+            }
+        }
     }
 
     /// The free-run start the pool's policy selects for a `len`-NC
@@ -594,5 +836,134 @@ mod tests {
         fragment(&mut first);
         assert!(first.can_admit(2));
         assert!(!first.can_admit(4), "first-fit does not compact");
+    }
+
+    #[test]
+    fn fail_nc_evicts_the_occupant_and_blocks_the_cell() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit_topology(&sized_topology(2), "a").unwrap();
+        let b = pool.admit_topology(&sized_topology(2), "b").unwrap();
+        let victim_nc = pool.tenant(a).unwrap().first_nc();
+
+        let evicted = pool.fail_nc(victim_nc).expect("NC was occupied");
+        assert_eq!(evicted.id, a);
+        assert!(pool.tenant(a).is_none());
+        assert!(pool.tenant(b).is_some(), "bystander survives");
+        assert_eq!(pool.nc_health()[victim_nc], NcHealth::Failed);
+        assert_eq!(pool.failed_ncs(), 1);
+        // The dead cell is not free capacity and never re-admitted into.
+        assert_eq!(pool.free_ncs(), 16 - pool.occupied_ncs() - 1);
+        let c = pool.admit_topology(&sized_topology(5), "c").unwrap();
+        let tc = pool.tenant(c).unwrap();
+        assert!(victim_nc < tc.first_nc() || victim_nc >= tc.end_nc());
+        // Failing a free cell evicts nobody; restore does not resurrect.
+        assert!(pool.fail_nc(15).is_none());
+        assert!(!pool.restore_nc(15), "failed cells are permanent");
+        assert_eq!(pool.nc_health()[15], NcHealth::Failed);
+    }
+
+    #[test]
+    fn drain_and_restore_round_trip() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let a = pool.admit_topology(&sized_topology(2), "a").unwrap();
+        let free_before = pool.free_ncs();
+        let nc = pool.tenant(a).unwrap().first_nc();
+
+        let evicted = pool.drain_nc(nc).expect("NC was occupied");
+        assert_eq!(evicted.id, a);
+        assert_eq!(pool.nc_health()[nc], NcHealth::Quarantined);
+        assert_eq!(pool.quarantined_ncs(), 1);
+        // Draining freed the tenant's other cell but quarantined this one.
+        assert_eq!(pool.free_ncs(), free_before + 1);
+
+        assert!(pool.restore_nc(nc));
+        assert_eq!(pool.nc_health()[nc], NcHealth::Healthy);
+        assert_eq!(pool.free_ncs(), free_before + 2);
+        assert!(!pool.restore_nc(nc), "already healthy");
+        // Draining a failed cell is a no-op.
+        pool.fail_nc(nc);
+        assert!(pool.drain_nc(nc).is_none());
+        assert_eq!(pool.nc_health()[nc], NcHealth::Failed);
+    }
+
+    #[test]
+    fn free_runs_and_admission_route_around_unhealthy_cells() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        // Kill NC 5: the 16-cell free space splits into runs of 5 and 10.
+        pool.fail_nc(5);
+        assert_eq!(pool.free_ncs(), 15);
+        assert_eq!(pool.largest_free_run(), 10);
+        assert_eq!(pool.max_admissible_run(), 10);
+        let a = pool.admit_topology(&sized_topology(5), "a").unwrap();
+        assert_eq!(pool.tenant(a).unwrap().first_nc(), 0, "fills 0..5");
+        let b = pool.admit_topology(&sized_topology(5), "b").unwrap();
+        assert_eq!(pool.tenant(b).unwrap().first_nc(), 6, "skips NC 5");
+    }
+
+    #[test]
+    fn defragment_compacts_around_dead_cells() {
+        let mut pool =
+            FabricPool::new(ResparcConfig::resparc_64()).with_policy(PackingPolicy::Defragment);
+        // a(2)@0..2 b(2)@2..4 c(2)@4..6 d(5)@6..11; kill NC 12 in the
+        // tail, then evict a and c: free = {0..2, 4..6, 11..12, 13..16},
+        // largest run 3. A 4-NC tenant only fits after compaction packs
+        // b and d into 0..7 *around* the dead NC 12.
+        let a = pool.admit_topology(&sized_topology(2), "a").unwrap();
+        let b = pool.admit_topology(&sized_topology(2), "b").unwrap();
+        let c = pool.admit_topology(&sized_topology(2), "c").unwrap();
+        let d = pool.admit_topology(&sized_topology(5), "d").unwrap();
+        assert!(pool.fail_nc(12).is_none(), "NC 12 was free");
+        pool.evict(a);
+        pool.evict(c);
+        assert_eq!(pool.largest_free_run(), 3);
+
+        assert!(pool.can_admit(4));
+        let wide = pool.admit_topology(&sized_topology(4), "wide").unwrap();
+        let tw = pool.tenant(wide).unwrap();
+        // Survivors packed into 0..7; the new tenant fills the hole
+        // before the dead cell — nobody landed on NC 12.
+        assert_eq!((tw.first_nc(), tw.end_nc()), (7, 11));
+        assert_eq!(pool.tenant(b).unwrap().first_nc(), 0);
+        assert_eq!(pool.tenant(d).unwrap().first_nc(), 2);
+        assert_eq!(pool.occupancy()[12], None);
+        assert_eq!(pool.nc_health()[12], NcHealth::Failed);
+    }
+
+    #[test]
+    fn sick_pools_report_no_healthy_capacity() {
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        // 12 of 16 cells out of service: a 5-NC request would fit a
+        // healthy pool, so the rejection must blame the sickness.
+        for nc in 0..10 {
+            pool.fail_nc(nc);
+        }
+        pool.drain_nc(10);
+        pool.drain_nc(11);
+        let err = pool.admit_topology(&sized_topology(5), "t").unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::NoHealthyCapacity {
+                needed_ncs: 5,
+                quarantined: 2,
+                failed: 10,
+            },
+            "got {err}"
+        );
+
+        // A request even a fully-restored pool could not hold stays a
+        // plain capacity error: three 5-NC tenants plus one dead cell
+        // leave 0 free + 1 sick, short of the MNIST MLP's footprint
+        // even if the dead cell were revived.
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        pool.admit_topology(&sized_topology(5), "a").unwrap();
+        pool.admit_topology(&sized_topology(5), "b").unwrap();
+        pool.admit_topology(&sized_topology(5), "c").unwrap();
+        pool.fail_nc(15);
+        let big = Topology::mlp(784, &[800, 800, 10]);
+        let err = pool.admit_topology(&big, "mnist").unwrap_err();
+        assert!(
+            matches!(err, AdmitError::CapacityExhausted { free_ncs: 0, .. }),
+            "got {err}"
+        );
     }
 }

@@ -22,11 +22,26 @@
 //!   round per resident and **evicts** tenants whose service completed,
 //!   freeing their NC runs for the next round's admissions.
 //!
+//! The scheduler is also the **recovery loop** for NeuroCell faults:
+//! [`fail_nc`](FabricScheduler::fail_nc) /
+//! [`drain_nc`](FabricScheduler::drain_nc) forward to the pool's health
+//! transitions, and when the sick cell evicts a resident tenant the
+//! scheduler re-queues that request at the **head** of the queue (its
+//! cached probe is reused — no re-partitioning) so the next
+//! [`begin_round`](FabricScheduler::begin_round) re-admits it wherever
+//! healthy capacity remains. The interrupted round is voided (the
+//! victim earns no service credit for it); the rounds between
+//! interruption and re-admission are counted as
+//! [`ServiceRecord::recovery_rounds`]. A queued request wider than the
+//! pool's largest healthy segment can never be admitted again —
+//! `begin_round` retires it with [`ServiceRecord::aborted`] set instead
+//! of letting it block the queue forever.
+//!
 //! Every request's life cycle is recorded as a [`ServiceRecord`]
-//! (submission, admission and departure rounds), so queue-wait and
-//! utilization statistics fall out of the log —
-//! `resparc_workloads::sweep::churn_sweep` builds the dynamic-vs-static
-//! comparison on top.
+//! (submission, admission, interruptions and departure rounds), so
+//! queue-wait, recovery and utilization statistics fall out of the log
+//! — `resparc_workloads::sweep::churn_sweep` builds the
+//! dynamic-vs-static comparison on top.
 //!
 //! [`PackingPolicy`]: crate::fabric::PackingPolicy
 //! [`PackingPolicy::Defragment`]: crate::fabric::PackingPolicy::Defragment
@@ -88,23 +103,38 @@ pub struct ServiceRecord {
     pub weight: u32,
     /// Round the request was submitted in.
     pub submitted_round: usize,
-    /// Round the request was admitted in (it replayed that round).
+    /// Round the request was *first* admitted in (it replayed that
+    /// round). An aborted request that was never admitted records the
+    /// abort round here.
     pub admitted_round: usize,
-    /// Round the request's final service round ran in; `None` while
-    /// still resident.
+    /// Round the request's final service round ran in (or the round an
+    /// aborted request was retired in); `None` while still resident.
     pub departed_round: Option<usize>,
     /// Service rounds completed so far.
     pub rounds_served: usize,
+    /// Times a NeuroCell fault ([`FabricScheduler::fail_nc`] /
+    /// [`FabricScheduler::drain_nc`]) evicted this request mid-service.
+    pub interruptions: usize,
+    /// Rounds lost to fault recovery: for each interruption, the rounds
+    /// between the eviction and the re-admission (the voided interrupted
+    /// round included).
+    pub recovery_rounds: usize,
+    /// The request was retired *unserved to completion* because it
+    /// needs more NeuroCells than the pool's largest healthy segment —
+    /// it could never be admitted again. Fault-free pools never abort.
+    pub aborted: bool,
 }
 
 impl ServiceRecord {
-    /// Rounds the request waited in the queue before admission.
+    /// Rounds the request waited in the queue before first admission.
     pub fn wait_rounds(&self) -> usize {
         self.admitted_round - self.submitted_round
     }
 }
 
-/// A queued request: the probe mapping is computed once at submission.
+/// A queued request: the probe mapping is computed once at submission
+/// (a fault-evicted request re-enters the queue with its service
+/// progress and interruption history carried along).
 #[derive(Debug, Clone)]
 struct Pending {
     request: RequestId,
@@ -113,6 +143,11 @@ struct Pending {
     service_rounds: usize,
     weight: u32,
     submitted_round: usize,
+    rounds_served: usize,
+    interruptions: usize,
+    recovery_rounds: usize,
+    first_admitted_round: Option<usize>,
+    interrupted_round: usize,
 }
 
 /// A resident request.
@@ -127,6 +162,8 @@ struct Active {
     admitted_round: usize,
     service_rounds: usize,
     rounds_served: usize,
+    interruptions: usize,
+    recovery_rounds: usize,
 }
 
 /// Drives dynamic admission/eviction of a [`FabricPool`] across replay
@@ -192,8 +229,10 @@ impl FabricScheduler {
     /// # Errors
     ///
     /// [`MapError`] if the network cannot be mapped at all. A network
-    /// too large for the whole pool maps fine but queues forever; size
-    /// requests with [`FabricPool::physical_ncs`] in mind.
+    /// too large for the whole pool maps fine but is retired as
+    /// [aborted](ServiceRecord::aborted) at the next
+    /// [`begin_round`](Self::begin_round); size requests with
+    /// [`FabricPool::physical_ncs`] in mind.
     ///
     /// # Panics
     ///
@@ -239,21 +278,109 @@ impl FabricScheduler {
             service_rounds,
             weight,
             submitted_round: self.round,
+            rounds_served: 0,
+            interruptions: 0,
+            recovery_rounds: 0,
+            first_admitted_round: None,
+            interrupted_round: 0,
         });
         request
+    }
+
+    /// Marks NeuroCell `nc` permanently [`Failed`](crate::fabric::NcHealth::Failed)
+    /// via [`FabricPool::fail_nc`]. If the cell was occupied by a
+    /// scheduled tenant, that request is evicted and re-queued at the
+    /// **head** of the queue for re-admission (returning its id): its
+    /// in-flight round is voided, its completed service rounds are kept,
+    /// and [`ServiceRecord::interruptions`] /
+    /// [`ServiceRecord::recovery_rounds`] account the disruption.
+    /// Returns `None` when the cell was free (or held a non-scheduled
+    /// static resident, which is simply evicted).
+    pub fn fail_nc(&mut self, nc: usize) -> Option<RequestId> {
+        let evicted = self.pool.fail_nc(nc);
+        self.requeue_interrupted(evicted)
+    }
+
+    /// Quarantines NeuroCell `nc` via [`FabricPool::drain_nc`] —
+    /// identical to [`fail_nc`](Self::fail_nc) for the occupant (evicted
+    /// and re-queued at the head), but the cell is restorable with
+    /// [`restore_nc`](Self::restore_nc).
+    pub fn drain_nc(&mut self, nc: usize) -> Option<RequestId> {
+        let evicted = self.pool.drain_nc(nc);
+        self.requeue_interrupted(evicted)
+    }
+
+    /// Returns a quarantined NeuroCell to service
+    /// ([`FabricPool::restore_nc`]); `true` if the cell transitioned
+    /// back to healthy.
+    pub fn restore_nc(&mut self, nc: usize) -> bool {
+        self.pool.restore_nc(nc)
+    }
+
+    /// Moves a fault-evicted tenant back to the queue head, carrying its
+    /// service progress. Non-scheduled tenants (admitted directly on the
+    /// pool before scheduling started) have no request to recover.
+    fn requeue_interrupted(&mut self, evicted: Option<crate::fabric::Tenant>) -> Option<RequestId> {
+        let evicted = evicted?;
+        let at = self.active.iter().position(|a| a.tenant == evicted.id)?;
+        let a = self.active.remove(at);
+        self.queue.push_front(Pending {
+            request: a.request,
+            name: a.name,
+            probe: evicted.mapping,
+            service_rounds: a.service_rounds,
+            weight: a.weight,
+            submitted_round: a.submitted_round,
+            rounds_served: a.rounds_served,
+            interruptions: a.interruptions + 1,
+            recovery_rounds: a.recovery_rounds,
+            first_admitted_round: Some(a.admitted_round),
+            interrupted_round: self.round,
+        });
+        Some(a.request)
     }
 
     /// Opens the next round: admits queued requests from the head while
     /// the pool's policy finds capacity (stopping at the first that
     /// does not fit — strict FIFO), then returns every resident tenant
     /// the caller should replay this round, in admission order.
+    ///
+    /// A head request wider than the pool's largest **healthy** segment
+    /// ([`FabricPool::max_admissible_run`]) can never be admitted, not
+    /// even by compaction on an otherwise-empty pool — it is retired
+    /// immediately as an [aborted](ServiceRecord::aborted) record rather
+    /// than head-of-line-blocking the queue forever. Fault-evicted
+    /// requests re-admitted here resume at their recorded
+    /// [`ScheduledTenant::rounds_served`] presentation.
     pub fn begin_round(&mut self) -> Vec<ScheduledTenant> {
         while let Some(head) = self.queue.front() {
-            if !self.pool.can_admit(head.probe.placement.ncs_used) {
+            let needed = head.probe.placement.ncs_used.max(1);
+            if needed > self.pool.max_admissible_run() {
+                let head = self.queue.pop_front().expect("front exists");
+                self.completed.push(ServiceRecord {
+                    request: head.request,
+                    name: head.name,
+                    ncs: needed,
+                    weight: head.weight,
+                    submitted_round: head.submitted_round,
+                    admitted_round: head.first_admitted_round.unwrap_or(self.round),
+                    departed_round: Some(self.round),
+                    rounds_served: head.rounds_served,
+                    interruptions: head.interruptions,
+                    recovery_rounds: head.recovery_rounds,
+                    aborted: true,
+                });
+                continue;
+            }
+            if !self.pool.can_admit(needed) {
                 break;
             }
             let head = self.queue.pop_front().expect("front exists");
-            let ncs = head.probe.placement.ncs_used.max(1);
+            let recovery = if head.interruptions > 0 {
+                self.round - head.interrupted_round
+            } else {
+                0
+            };
             let tenant = self
                 .pool
                 .admit_mapped(head.probe, &head.name)
@@ -262,12 +389,14 @@ impl FabricScheduler {
                 request: head.request,
                 tenant,
                 name: head.name,
-                ncs,
+                ncs: needed,
                 weight: head.weight,
                 submitted_round: head.submitted_round,
-                admitted_round: self.round,
+                admitted_round: head.first_admitted_round.unwrap_or(self.round),
                 service_rounds: head.service_rounds,
-                rounds_served: 0,
+                rounds_served: head.rounds_served,
+                interruptions: head.interruptions,
+                recovery_rounds: head.recovery_rounds + recovery,
             });
         }
         self.active
@@ -305,6 +434,9 @@ impl FabricScheduler {
                     admitted_round: done.admitted_round,
                     departed_round: Some(round),
                     rounds_served: done.rounds_served,
+                    interruptions: done.interruptions,
+                    recovery_rounds: done.recovery_rounds,
+                    aborted: false,
                 });
             } else {
                 i += 1;
@@ -461,5 +593,106 @@ mod tests {
             !round0.contains(&narrow),
             "narrow must wait behind the wide head-of-line request"
         );
+    }
+
+    #[test]
+    fn mid_replay_failure_requeues_and_recovers() {
+        // Two 5-NC tenants serving 3 rounds each; NC 0 (inside a's run)
+        // fails mid-round 0. a is evicted with its in-flight round
+        // voided, re-queued at the head, re-admitted in round 1 on the
+        // remaining healthy run, and still completes all 3 rounds.
+        let five_nc = |seed| net(seed, &[576, 576, 576, 576, 10]);
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        let a = sched.submit(&five_nc(1), "a", 3, 1).unwrap();
+        let b = sched.submit(&five_nc(2), "b", 3, 1).unwrap();
+
+        assert_eq!(sched.begin_round().len(), 2);
+        let victim_nc = sched.pool().tenants()[0].first_nc();
+        assert_eq!(sched.fail_nc(victim_nc), Some(a), "a occupied NC 0");
+        assert_eq!(sched.queue_len(), 1);
+        sched.end_round(); // only b earns credit for round 0
+
+        let round1 = sched.begin_round();
+        assert_eq!(round1.len(), 2, "a re-admitted beside b");
+        let ra = round1.iter().find(|t| t.request == a).unwrap();
+        assert_eq!(ra.rounds_served, 0, "the interrupted round was voided");
+        let ta = sched.pool().tenant(ra.tenant).unwrap();
+        assert!(ta.first_nc() > victim_nc, "remapped off the dead cell");
+
+        while !sched.is_idle() {
+            sched.begin_round();
+            sched.end_round();
+        }
+        let rec = |id| {
+            sched
+                .completed()
+                .iter()
+                .find(|r| r.request == id)
+                .unwrap()
+                .clone()
+        };
+        let (rec_a, rec_b) = (rec(a), rec(b));
+        assert_eq!(rec_b.departed_round, Some(2));
+        assert_eq!((rec_b.interruptions, rec_b.recovery_rounds), (0, 0));
+        assert!(!rec_b.aborted);
+        assert_eq!(rec_a.rounds_served, 3, "full service despite the fault");
+        assert_eq!(rec_a.departed_round, Some(3), "one round lost to recovery");
+        assert_eq!(rec_a.admitted_round, 0, "first admission is kept");
+        assert_eq!(rec_a.interruptions, 1);
+        assert_eq!(rec_a.recovery_rounds, 1);
+        assert!(!rec_a.aborted);
+    }
+
+    #[test]
+    fn drain_requeues_and_restore_reopens_the_cell() {
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        let a = sched.submit(&two_nc_net(1), "a", 2, 1).unwrap();
+        assert_eq!(sched.begin_round().len(), 1);
+        let nc = sched.pool().tenants()[0].first_nc();
+
+        assert_eq!(sched.drain_nc(nc), Some(a));
+        assert_eq!(sched.pool().quarantined_ncs(), 1);
+        assert!(sched.restore_nc(nc));
+        assert_eq!(sched.pool().quarantined_ncs(), 0);
+        sched.end_round();
+
+        // Fully-healthy pool again: a resumes and completes.
+        assert_eq!(sched.begin_round().len(), 1);
+        sched.end_round();
+        sched.begin_round();
+        sched.end_round();
+        assert!(sched.is_idle());
+        let rec = &sched.completed()[0];
+        assert_eq!(rec.rounds_served, 2);
+        assert_eq!(rec.interruptions, 1);
+
+        // Faulting a free cell interrupts nobody.
+        assert_eq!(sched.fail_nc(15), None);
+    }
+
+    #[test]
+    fn unservable_requests_abort_instead_of_blocking() {
+        // Kill NCs 4, 9 and 14: the largest healthy segment is 4 wide,
+        // so a 5-NC request can never run — it must retire as aborted
+        // and let the 2-NC request behind it through.
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        for nc in [4, 9, 14] {
+            assert_eq!(sched.fail_nc(nc), None);
+        }
+        let wide = sched
+            .submit(&net(1, &[576, 576, 576, 576, 10]), "wide", 1, 1)
+            .unwrap();
+        let narrow = sched.submit(&two_nc_net(2), "narrow", 1, 1).unwrap();
+
+        let round0 = sched.begin_round();
+        assert_eq!(round0.len(), 1);
+        assert_eq!(round0[0].request, narrow);
+        let rec = &sched.completed()[0];
+        assert_eq!(rec.request, wide);
+        assert!(rec.aborted);
+        assert_eq!(rec.rounds_served, 0);
+        assert_eq!(rec.departed_round, Some(0));
+        sched.end_round();
+        assert!(sched.is_idle());
     }
 }

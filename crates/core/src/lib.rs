@@ -83,8 +83,9 @@ pub mod prelude {
     pub use crate::bus::{BroadcastOutcome, GlobalBus, NcTag};
     pub use crate::config::ResparcConfig;
     pub use crate::fabric::{
-        AdmitError, FabricPool, FabricScheduler, PackingPolicy, RequestId, ScheduledTenant,
-        ServiceRecord, SharedEventSimulator, SharedReport, Tenant, TenantId, TenantReport,
+        AdmitError, FabricPool, FabricScheduler, NcHealth, PackingPolicy, RequestId,
+        ScheduledTenant, ServiceRecord, SharedEventSimulator, SharedReport, Tenant, TenantId,
+        TenantReport,
     };
     pub use crate::hw::{HwBuildError, HwCore};
     pub use crate::map::{

@@ -10,6 +10,9 @@
 //!   Kirchhoff-law analog reads, conductance quantization and seeded
 //!   device variation,
 //! * [`nonideal`] — IR-drop, sneak-leakage and variation error models,
+//! * [`fault`] — seeded, reproducible per-cell fault injection
+//!   ([`FaultPlan`]: stuck-at cells, drift, log-normal variation) the
+//!   compiled kernels apply as a pure weight transform,
 //! * [`sizing`] — technology-aware feasible-size selection (why 64×64 is
 //!   the paper's default),
 //! * [`energy_model`] — the closed-form per-read energy/area model the
@@ -37,12 +40,14 @@
 
 pub mod crossbar;
 pub mod energy_model;
+pub mod fault;
 pub mod memristor;
 pub mod nonideal;
 pub mod sizing;
 
 pub use crossbar::{Crossbar, ProgramError};
 pub use energy_model::McaEnergyModel;
+pub use fault::FaultPlan;
 pub use memristor::{DeviceFamily, MemristorSpec};
 pub use nonideal::{combined_error, ir_drop_error, sneak_leakage_fraction, variation_error};
 pub use sizing::{feasible_sizes, max_feasible_size, sizing_report, SizingReport, CANDIDATE_SIZES};
@@ -51,6 +56,7 @@ pub use sizing::{feasible_sizes, max_feasible_size, sizing_report, SizingReport,
 pub mod prelude {
     pub use crate::crossbar::{Crossbar, ProgramError};
     pub use crate::energy_model::McaEnergyModel;
+    pub use crate::fault::FaultPlan;
     pub use crate::memristor::{DeviceFamily, MemristorSpec};
     pub use crate::nonideal::{
         combined_error, ir_drop_error, sneak_leakage_fraction, variation_error,

@@ -30,6 +30,7 @@
 //! [`crate::network::reference`]).
 
 use rayon::prelude::*;
+use resparc_device::fault::FaultPlan;
 
 use crate::network::{Layer, Network};
 use crate::spike::SpikeVector;
@@ -190,6 +191,82 @@ impl CompiledLayer {
                     *out_v = dot(row, input);
                 }
             });
+    }
+
+    /// The layer re-compiled under a device [`FaultPlan`]: every
+    /// materialized synapse's weight is replaced by
+    /// [`FaultPlan::cell_weight`] keyed on the synapse's physical
+    /// cross-point coordinate (`output · inputs + input`), so the
+    /// forward and transposed planes receive the **same** fault for the
+    /// same synapse regardless of traversal order. The layer's
+    /// conductance window (`full_scale`) is its largest |weight|.
+    fn with_faults(&self, plan: &FaultPlan, layer_seed: u64) -> Self {
+        let full_scale = match &self.plane {
+            Plane::Dense { fwd, .. } => fwd.iter().fold(0.0f32, |m, &w| m.max(w.abs())),
+            Plane::Sparse { out_weights, .. } => {
+                out_weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()))
+            }
+        };
+        let inputs = self.inputs;
+        let plane = match &self.plane {
+            Plane::Dense { fwd, .. } => {
+                let outputs = self.outputs;
+                let new_fwd: Vec<f32> = fwd
+                    .iter()
+                    .enumerate()
+                    .map(|(cell, &w)| plan.cell_weight(layer_seed, cell as u64, w, full_scale))
+                    .collect();
+                let mut bwd = vec![0.0f32; inputs * outputs];
+                for o in 0..outputs {
+                    for (i, &wv) in new_fwd[o * inputs..(o + 1) * inputs].iter().enumerate() {
+                        bwd[i * outputs + o] = wv;
+                    }
+                }
+                Plane::Dense { fwd: new_fwd, bwd }
+            }
+            Plane::Sparse {
+                out_indptr,
+                out_inputs,
+                out_weights,
+                in_indptr,
+                in_targets,
+                in_weights,
+            } => {
+                let mut new_out = out_weights.clone();
+                for o in 0..self.outputs {
+                    let (s, e) = (out_indptr[o] as usize, out_indptr[o + 1] as usize);
+                    for (k, &i) in out_inputs[s..e].iter().enumerate() {
+                        let cell = (o * inputs + i as usize) as u64;
+                        new_out[s + k] =
+                            plan.cell_weight(layer_seed, cell, out_weights[s + k], full_scale);
+                    }
+                }
+                let mut new_in = in_weights.clone();
+                for i in 0..inputs {
+                    let (s, e) = (in_indptr[i] as usize, in_indptr[i + 1] as usize);
+                    for (k, &o) in in_targets[s..e].iter().enumerate() {
+                        let cell = (o as usize * inputs + i) as u64;
+                        new_in[s + k] =
+                            plan.cell_weight(layer_seed, cell, in_weights[s + k], full_scale);
+                    }
+                }
+                Plane::Sparse {
+                    out_indptr: out_indptr.clone(),
+                    out_inputs: out_inputs.clone(),
+                    out_weights: new_out,
+                    in_indptr: in_indptr.clone(),
+                    in_targets: in_targets.clone(),
+                    in_weights: new_in,
+                }
+            }
+        };
+        Self {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            threshold: self.threshold,
+            is_pool: self.is_pool,
+            plane,
+        }
     }
 
     /// Event-driven accumulation: adds every active input's fan-out into
@@ -405,6 +482,48 @@ impl CompiledNetwork {
     pub fn synapse_count(&self) -> usize {
         self.layers.iter().map(|l| l.synapse_count()).sum()
     }
+
+    /// The network re-compiled under a device [`FaultPlan`] — a **pure
+    /// transform**: `self` is untouched, and an
+    /// [empty](FaultPlan::is_empty) plan returns a bit-identical copy
+    /// (the transform is skipped outright, not applied with neutral
+    /// parameters), so the fault-free path costs and computes exactly
+    /// what today's unfaulted kernels do.
+    ///
+    /// Layer `li` draws from the decorrelated stream
+    /// [`FaultPlan::layer_seed`]`(li)`; within a layer every synapse's
+    /// fault is keyed on its physical cross-point coordinate, so the
+    /// output-major and input-major planes stay exact transposes of
+    /// each other (asserted in tests).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resparc_device::FaultPlan;
+    /// use resparc_neuro::kernel::CompiledNetwork;
+    /// use resparc_neuro::network::Network;
+    /// use resparc_neuro::topology::Topology;
+    ///
+    /// let net = Network::random(Topology::mlp(16, &[8, 4]), 1, 1.0);
+    /// let clean = CompiledNetwork::compile(&net);
+    /// assert_eq!(clean.with_faults(&FaultPlan::none()), clean);
+    /// let faulted = clean.with_faults(&FaultPlan::stuck_at(7, 0.3));
+    /// assert_ne!(faulted, clean);
+    /// ```
+    pub fn with_faults(&self, plan: &FaultPlan) -> Self {
+        if plan.is_empty() {
+            return self.clone();
+        }
+        Self {
+            input_count: self.input_count,
+            layers: self
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(li, layer)| layer.with_faults(plan, plan.layer_seed(li)))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +577,115 @@ mod tests {
         let net = conv_net(5);
         let k = CompiledNetwork::compile(&net);
         assert_eq!(k.synapse_count(), net.topology().synapse_count());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        for net in [
+            conv_net(11),
+            Network::random(Topology::mlp(20, &[12, 5]), 11, 1.0),
+        ] {
+            let clean = CompiledNetwork::compile(&net);
+            let replanned = clean.with_faults(&FaultPlan::none());
+            assert_eq!(clean, replanned);
+            // PartialEq on f32 treats -0.0 == 0.0; check raw bits too.
+            for (a, b) in clean.layers().iter().zip(replanned.layers()) {
+                match (&a.plane, &b.plane) {
+                    (Plane::Dense { fwd: fa, bwd: ba }, Plane::Dense { fwd: fb, bwd: bb }) => {
+                        assert!(fa.iter().zip(fb).all(|(x, y)| x.to_bits() == y.to_bits()));
+                        assert!(ba.iter().zip(bb).all(|(x, y)| x.to_bits() == y.to_bits()));
+                    }
+                    (
+                        Plane::Sparse {
+                            out_weights: oa,
+                            in_weights: ia,
+                            ..
+                        },
+                        Plane::Sparse {
+                            out_weights: ob,
+                            in_weights: ib,
+                            ..
+                        },
+                    ) => {
+                        assert!(oa.iter().zip(ob).all(|(x, y)| x.to_bits() == y.to_bits()));
+                        assert!(ia.iter().zip(ib).all(|(x, y)| x.to_bits() == y.to_bits()));
+                    }
+                    _ => panic!("plane kinds diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_planes_stay_transposes_of_each_other() {
+        let plan = FaultPlan::stuck_at(13, 0.2)
+            .with_drift(0.1)
+            .with_variation(0.15);
+        // Dense: fwd/bwd stay exact transposes.
+        let net = Network::random(Topology::mlp(9, &[7]), 2, 1.0);
+        let faulted = CompiledNetwork::compile(&net).with_faults(&plan);
+        let Plane::Dense { fwd, bwd } = &faulted.layer(0).plane else {
+            panic!("dense layer must compile dense");
+        };
+        for o in 0..7 {
+            for i in 0..9 {
+                assert_eq!(fwd[o * 9 + i].to_bits(), bwd[i * 7 + o].to_bits());
+            }
+        }
+        // Sparse: the same synapse carries the same faulted weight in
+        // both CSR planes.
+        let conv = CompiledNetwork::compile(&conv_net(4)).with_faults(&plan);
+        for layer in conv.layers() {
+            let Plane::Sparse {
+                out_indptr,
+                out_inputs,
+                out_weights,
+                in_indptr,
+                in_targets,
+                in_weights,
+            } = &layer.plane
+            else {
+                continue;
+            };
+            let mut by_cell = std::collections::HashMap::new();
+            for o in 0..layer.outputs() {
+                let (s, e) = (out_indptr[o] as usize, out_indptr[o + 1] as usize);
+                for (k, &i) in out_inputs[s..e].iter().enumerate() {
+                    by_cell.insert((o as u32, i), out_weights[s + k].to_bits());
+                }
+            }
+            for i in 0..layer.inputs() {
+                let (s, e) = (in_indptr[i] as usize, in_indptr[i + 1] as usize);
+                for (k, &o) in in_targets[s..e].iter().enumerate() {
+                    assert_eq!(
+                        by_cell.get(&(o, i as u32)),
+                        Some(&in_weights[s + k].to_bits()),
+                        "synapse ({o}, {i}) diverged between planes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_transform_is_pure_and_deterministic() {
+        let net = conv_net(9);
+        let clean = CompiledNetwork::compile(&net);
+        let reference = clean.clone();
+        let plan = FaultPlan::stuck_at(21, 0.4).with_variation(0.2);
+        let a = clean.with_faults(&plan);
+        let b = clean.with_faults(&plan);
+        assert_eq!(a, b, "same plan twice must be bit-identical");
+        assert_eq!(clean, reference, "with_faults must not mutate its input");
+        assert_ne!(a, clean);
+        // Shapes and structure are untouched — only weights change.
+        assert_eq!(a.synapse_count(), clean.synapse_count());
+        assert_eq!(a.input_count(), clean.input_count());
+        for (fa, cl) in a.layers().iter().zip(clean.layers()) {
+            assert_eq!(fa.inputs(), cl.inputs());
+            assert_eq!(fa.outputs(), cl.outputs());
+            assert_eq!(fa.threshold(), cl.threshold());
+        }
     }
 
     #[test]

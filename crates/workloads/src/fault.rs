@@ -1,0 +1,502 @@
+//! Resilience workloads: device-fault accuracy/energy sweeps and
+//! NeuroCell-failure recovery drills.
+//!
+//! The paper's crossbars are built from real memristive devices, and
+//! real devices break: cells stick at a conductance rail, drift toward
+//! `G_min`, and spread log-normally around their programmed value
+//! (modelled by [`FaultPlan`] in `resparc_device`). This module turns
+//! those models into workloads:
+//!
+//! * [`fault_sweep`] applies a grid of [`FaultPlan`]s to a network's
+//!   compiled kernels (via
+//!   [`CompiledNetwork::with_faults`](resparc_neuro::kernel::CompiledNetwork::with_faults)
+//!   — a pure transform, the clean kernels are never touched) and runs
+//!   the trace-driven accuracy/energy sweep once per (plan, encoding)
+//!   cell. This is the stuck-at-rate-vs-accuracy and drift-vs-accuracy
+//!   degradation surface, priced per coding scheme — TTFS's
+//!   single-spike code and rate coding's redundancy degrade very
+//!   differently under the same silicon damage.
+//! * [`fault_recovery_drill`] injects **NeuroCell failures mid-replay**
+//!   into a dynamically scheduled fabric ([`FaultEvent`]):
+//!   the scheduler's recovery path
+//!   ([`FabricScheduler::fail_nc`]) evicts the victim, re-queues it at
+//!   the head, and re-admits it wherever healthy capacity remains. The
+//!   [`FaultDrillReport`] measures what resilience costs — voided
+//!   replays, recovery rounds, utilization before/after the failures —
+//!   and what it saves: interrupted requests still complete.
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use resparc_core::fabric::{
+    AdmitError, FabricPool, FabricScheduler, PackingPolicy, ServiceRecord, SharedEventSimulator,
+    TenantId,
+};
+use resparc_core::map::{Mapper, Mapping};
+use resparc_core::ResparcConfig;
+use resparc_device::fault::FaultPlan;
+use resparc_energy::units::{Energy, Time};
+use resparc_neuro::encoding::Encoding;
+use resparc_neuro::network::{Network, SnnRunner};
+use resparc_neuro::trace::SpikeTrace;
+
+use crate::churn::ChurnSpec;
+use crate::sweep::{trace_energy_sweep_compiled, SweepConfig, TraceEnergyReport};
+
+/// One `(fault plan, encoding)` cell of a [`fault_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepPoint {
+    /// The injected fault plan.
+    pub plan: FaultPlan,
+    /// The input coding scheme this cell ran under.
+    pub encoding: Encoding,
+    /// Accuracy and per-inference energy on the faulted kernels.
+    pub report: TraceEnergyReport,
+}
+
+/// Runs the trace-driven accuracy/energy sweep once per
+/// `(plan, encoding)` pair: each [`FaultPlan`] is applied to the
+/// network's compiled kernels exactly once (a pure transform — the
+/// clean kernels survive unchanged, and [`FaultPlan::none`] reproduces
+/// the clean sweep bit-identically), then every requested encoding
+/// sweeps the same labelled set on those faulted kernels. Cells are
+/// returned in `plans`-major order.
+///
+/// # Panics
+///
+/// Panics under the same conditions as
+/// [`trace_energy_sweep`](crate::sweep::trace_energy_sweep).
+pub fn fault_sweep(
+    net: &Network,
+    mapping: &Mapping,
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+    plans: &[FaultPlan],
+    encodings: &[Encoding],
+) -> Vec<FaultSweepPoint> {
+    let clean = net.compiled();
+    plans
+        .iter()
+        .flat_map(|plan| {
+            let kernels = Arc::new(clean.with_faults(plan));
+            encodings
+                .iter()
+                .map(|&encoding| {
+                    let report = trace_energy_sweep_compiled(
+                        &kernels,
+                        mapping,
+                        samples,
+                        &cfg.with_encoding(encoding),
+                    );
+                    FaultSweepPoint {
+                        plan: *plan,
+                        encoding,
+                        report,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// One NeuroCell failure injected into a [`fault_recovery_drill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Replay round the failure strikes in (after that round's
+    /// admissions, before its replay — a resident victim loses the
+    /// in-flight round).
+    pub round: usize,
+    /// The NeuroCell that fails (permanently).
+    pub nc: usize,
+}
+
+impl FaultEvent {
+    /// A failure of `nc` in `round`.
+    pub fn new(round: usize, nc: usize) -> Self {
+        Self { round, nc }
+    }
+}
+
+/// Outcome of a [`fault_recovery_drill`]: how a dynamically scheduled
+/// fabric absorbs mid-replay NeuroCell failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDrillReport {
+    /// Rounds until the schedule drained.
+    pub rounds: usize,
+    /// Requests that completed their full service.
+    pub completed: usize,
+    /// Requests retired unserved because no healthy segment could ever
+    /// hold them again.
+    pub aborted: usize,
+    /// Requests interrupted at least once by a failure.
+    pub interrupted_requests: usize,
+    /// Fault evictions summed over all requests.
+    pub total_interruptions: usize,
+    /// Mean rounds between a fault eviction and the victim's
+    /// re-admission, over interrupted requests that completed (the
+    /// recovery latency of the self-healing loop).
+    pub mean_recovery_rounds: f64,
+    /// Replays voided by failures: each resident victim loses the round
+    /// it was evicted in (the lost work resilience pays for).
+    pub lost_replays: usize,
+    /// Mean active NC utilization over busy rounds before the first
+    /// fault round.
+    pub utilization_before: f64,
+    /// Mean active NC utilization over busy rounds from the first fault
+    /// round on — the pool is smaller *and* recovery re-packs it.
+    pub utilization_after: f64,
+    /// NeuroCells permanently failed by the end of the drill.
+    pub failed_ncs: usize,
+    /// Per-event energy summed over every replayed round.
+    pub dynamic_energy: Energy,
+    /// Busy wall-clock summed over every replayed round.
+    pub latency: Time,
+    /// Replays that actually ran (interrupted rounds excluded).
+    pub inferences: usize,
+    /// The scheduler's full life-cycle log, in departure order.
+    pub records: Vec<ServiceRecord>,
+}
+
+/// Replays an arrival/departure schedule (the dynamic half of
+/// [`churn_sweep`](crate::churn::churn_sweep)) while permanently
+/// failing NeuroCells mid-stream, and measures the recovery.
+///
+/// Request `i` (network `nets[i]`, schedule `specs[i]`) presents sample
+/// `r % samples.len()` on its `r`-th *credited* service round. Each
+/// [`FaultEvent`] fires in its round after admissions and **before**
+/// the replay: a resident victim is evicted through
+/// [`FabricScheduler::fail_nc`] (losing the in-flight round — counted
+/// in [`FaultDrillReport::lost_replays`]), re-queued at the head, and
+/// re-admitted on the next round with healthy room. Requests wider than
+/// the largest surviving healthy segment are retired as aborted.
+/// Events scheduled after the drill drains never fire.
+///
+/// # Errors
+///
+/// Returns [`AdmitError::Map`] if a network cannot be mapped and
+/// [`AdmitError::CapacityExhausted`] if a request exceeds the whole
+/// (pre-fault) pool.
+///
+/// # Panics
+///
+/// Panics if `nets`/`specs` lengths differ or are empty, `samples` is
+/// empty, any `service_rounds`/`weight` is zero, an event names a
+/// NeuroCell outside the pool, or a stimulus length differs from a
+/// network's input count.
+pub fn fault_recovery_drill(
+    nets: &[Network],
+    specs: &[ChurnSpec],
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+    pool_config: &ResparcConfig,
+    policy: PackingPolicy,
+    faults: &[FaultEvent],
+) -> Result<FaultDrillReport, AdmitError> {
+    assert_eq!(nets.len(), specs.len(), "one ChurnSpec per network");
+    assert!(!nets.is_empty(), "need at least one request");
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!(
+        specs.iter().all(|s| s.service_rounds > 0 && s.weight > 0),
+        "service rounds and weights must be positive"
+    );
+    assert!(
+        faults.iter().all(|f| f.nc < pool_config.physical_ncs),
+        "fault events must name NeuroCells inside the pool"
+    );
+
+    let mapper = Mapper::new(pool_config.clone());
+    let probes: Vec<Mapping> = nets
+        .iter()
+        .map(|n| mapper.map_network(n))
+        .collect::<Result<_, _>>()
+        .map_err(AdmitError::Map)?;
+    for probe in &probes {
+        let needed = probe.placement.ncs_used.max(1);
+        if needed > pool_config.physical_ncs {
+            return Err(AdmitError::CapacityExhausted {
+                needed_ncs: needed,
+                free_ncs: pool_config.physical_ncs,
+                largest_free_run: pool_config.physical_ncs,
+            });
+        }
+    }
+
+    // Trace every distinct (request, sample) presentation once, exactly
+    // like churn_sweep (wrapped service rounds replay the same trace).
+    let jobs: Vec<(usize, usize)> = (0..nets.len())
+        .flat_map(|i| (0..specs[i].service_rounds.min(samples.len())).map(move |j| (i, j)))
+        .collect();
+    let runs: Vec<SpikeTrace> = jobs
+        .par_iter()
+        .map(|&(i, j)| {
+            let raster = cfg.encode_sample(j, &samples[j].0);
+            let mut runner = SnnRunner::from_compiled(nets[i].compiled().clone());
+            let (_, trace) = runner.run_traced(&raster);
+            trace
+        })
+        .collect();
+    let mut traces: Vec<Vec<SpikeTrace>> = (0..nets.len()).map(|_| Vec::new()).collect();
+    for (&(i, _), trace) in jobs.iter().zip(runs) {
+        traces[i].push(trace);
+    }
+
+    let first_fault_round = faults.iter().map(|f| f.round).min();
+    let mut order: Vec<usize> = (0..nets.len()).collect();
+    order.sort_by_key(|&i| specs[i].arrival_round);
+
+    let mut sched = FabricScheduler::new(FabricPool::new(pool_config.clone()).with_policy(policy));
+    let mut request_net: Vec<usize> = Vec::with_capacity(nets.len());
+    let mut next_submit = 0usize;
+    let mut energy = Energy::ZERO;
+    let mut latency_ns = 0.0f64;
+    let mut inferences = 0usize;
+    let mut lost_replays = 0usize;
+    let mut util_before = (0.0f64, 0usize);
+    let mut util_after = (0.0f64, 0usize);
+    while next_submit < order.len() || !sched.is_idle() {
+        let round = sched.round();
+        while next_submit < order.len() && specs[order[next_submit]].arrival_round <= round {
+            let i = order[next_submit];
+            let request = sched.submit_mapped(
+                probes[i].clone(),
+                &format!("tenant{i}"),
+                specs[i].service_rounds,
+                specs[i].weight,
+            );
+            debug_assert_eq!(request.index() as usize, request_net.len());
+            request_net.push(i);
+            next_submit += 1;
+        }
+        let mut residents = sched.begin_round();
+        // Failures strike after admission, before the replay: resident
+        // victims lose this round and re-enter the queue.
+        for fault in faults.iter().filter(|f| f.round == round) {
+            if let Some(victim) = sched.fail_nc(fault.nc) {
+                let before = residents.len();
+                residents.retain(|st| st.request != victim);
+                lost_replays += before - residents.len();
+            }
+        }
+        if !residents.is_empty() {
+            let pairs: Vec<(TenantId, &SpikeTrace)> = residents
+                .iter()
+                .map(|st| {
+                    let i = request_net[st.request.index() as usize];
+                    (st.tenant, &traces[i][st.rounds_served % samples.len()])
+                })
+                .collect();
+            let weights: Vec<u32> = residents.iter().map(|st| st.weight).collect();
+            let report = SharedEventSimulator::new(sched.pool()).run_weighted(&pairs, &weights);
+            energy += report
+                .tenants
+                .iter()
+                .map(|t| t.energy.total())
+                .sum::<Energy>();
+            latency_ns += report.latency.nanoseconds();
+            inferences += residents.len();
+            let active_ncs: usize = residents
+                .iter()
+                .map(|st| sched.pool().tenant(st.tenant).expect("resident").nc_count())
+                .sum();
+            let util = active_ncs as f64 / pool_config.physical_ncs as f64;
+            let bucket = match first_fault_round {
+                Some(first) if round >= first => &mut util_after,
+                _ => &mut util_before,
+            };
+            bucket.0 += util;
+            bucket.1 += 1;
+        }
+        sched.end_round();
+    }
+
+    let records = sched.completed().to_vec();
+    let interrupted: Vec<&ServiceRecord> = records.iter().filter(|r| r.interruptions > 0).collect();
+    let recovered: Vec<&ServiceRecord> =
+        interrupted.iter().copied().filter(|r| !r.aborted).collect();
+    let mean_recovery_rounds = if recovered.is_empty() {
+        0.0
+    } else {
+        recovered
+            .iter()
+            .map(|r| r.recovery_rounds as f64 / r.interruptions as f64)
+            .sum::<f64>()
+            / recovered.len() as f64
+    };
+    Ok(FaultDrillReport {
+        rounds: sched.round(),
+        completed: records.iter().filter(|r| !r.aborted).count(),
+        aborted: records.iter().filter(|r| r.aborted).count(),
+        interrupted_requests: interrupted.len(),
+        total_interruptions: records.iter().map(|r| r.interruptions).sum(),
+        mean_recovery_rounds,
+        lost_replays,
+        utilization_before: util_before.0 / util_before.1.max(1) as f64,
+        utilization_after: util_after.0 / util_after.1.max(1) as f64,
+        failed_ncs: sched.pool().failed_ncs(),
+        dynamic_energy: energy,
+        latency: Time::from_nanos(latency_ns),
+        inferences,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, SyntheticImages};
+    use resparc_neuro::topology::Topology;
+
+    /// 2 and 5-NC networks on RESPARC-64 (footprints asserted in
+    /// `resparc_core::fabric::pool` tests).
+    fn sized_net(ncs: usize, seed: u64) -> Network {
+        let hiddens: &[usize] = match ncs {
+            2 => &[576, 576, 10],
+            5 => &[576, 576, 576, 576, 10],
+            other => panic!("no sized net for {other} NCs"),
+        };
+        Network::random(Topology::mlp(144, hiddens), seed, 1.0)
+    }
+
+    fn samples() -> Vec<(Vec<f32>, usize)> {
+        let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+        gen.labelled_set(6, 0)
+    }
+
+    #[test]
+    fn empty_plan_cell_reproduces_the_clean_sweep_bit_identically() {
+        use crate::sweep::trace_energy_sweep;
+
+        let net = Network::random(Topology::mlp(144, &[48, 10]), 3, 1.0);
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let cfg = SweepConfig::rate(15, 0.7, 9);
+        let set = samples();
+
+        let points = fault_sweep(
+            &net,
+            &mapping,
+            &set,
+            &cfg,
+            &[FaultPlan::none(), FaultPlan::stuck_at(11, 0.3)],
+            &[Encoding::Rate],
+        );
+        assert_eq!(points.len(), 2);
+        let clean = trace_energy_sweep(&net, &mapping, &set, &cfg);
+        assert_eq!(
+            points[0].report, clean,
+            "FaultPlan::none() must reproduce the clean sweep exactly"
+        );
+        // A heavy stuck-at plan changes the replayed spike traffic.
+        assert_ne!(points[1].report.per_sample_energy, clean.per_sample_energy);
+    }
+
+    #[test]
+    fn stuck_at_degrades_accuracy_monotonically_in_the_limit() {
+        // Accuracy under total destruction (every cell stuck) collapses
+        // to (at or below) chance while the clean plan keeps the
+        // network's accuracy; mild damage sits in between or equal.
+        let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
+        let train = gen.labelled_set(120, 0);
+        let mut tc = resparc_neuro::train::TrainConfig::quick_test();
+        tc.epochs = 10;
+        let mut net = resparc_neuro::train::train_mlp(144, &[24, 10], &train, &tc);
+        let calib: Vec<Vec<f32>> = train.iter().take(16).map(|(x, _)| x.clone()).collect();
+        resparc_neuro::convert::normalize_for_snn(&mut net, &calib, 0.99);
+        let test = gen.labelled_set(30, 9_000);
+        let mapping = Mapper::new(ResparcConfig::resparc_64())
+            .map_network(&net)
+            .unwrap();
+        let cfg = SweepConfig::rate(30, 0.8, 7);
+
+        let points = fault_sweep(
+            &net,
+            &mapping,
+            &test,
+            &cfg,
+            &[
+                FaultPlan::none(),
+                FaultPlan::stuck_at(5, 0.05),
+                FaultPlan::stuck_at(5, 1.0),
+            ],
+            &[Encoding::Rate],
+        );
+        let acc: Vec<f64> = points.iter().map(|p| p.report.accuracy()).collect();
+        assert!(acc[0] > 0.3, "clean accuracy {}", acc[0]);
+        assert!(acc[2] < acc[0], "total destruction must cost accuracy");
+        assert!(acc[1] >= acc[2], "mild damage beats total destruction");
+    }
+
+    #[test]
+    fn recovery_drill_readmits_victims_and_completes_the_schedule() {
+        // Two 5-NC requests serving 4 rounds; NC 0 fails in round 1.
+        // The victim is evicted (losing round 1), re-admitted in round
+        // 2 on the surviving cells, and still completes all 4 rounds.
+        let nets: Vec<Network> = (0..2).map(|s| sized_net(5, 30 + s)).collect();
+        let specs = vec![ChurnSpec::new(0, 4), ChurnSpec::new(0, 4)];
+        let cfg = SweepConfig::rate(10, 0.7, 9);
+        let report = fault_recovery_drill(
+            &nets,
+            &specs,
+            &samples(),
+            &cfg,
+            &ResparcConfig::resparc_64(),
+            PackingPolicy::FirstFit,
+            &[FaultEvent::new(1, 0)],
+        )
+        .expect("both requests fit");
+
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.interrupted_requests, 1);
+        assert_eq!(report.total_interruptions, 1);
+        assert_eq!(report.lost_replays, 1, "the in-flight round was voided");
+        assert_eq!(report.mean_recovery_rounds, 1.0);
+        assert_eq!(report.failed_ncs, 1);
+        // 2 tenants × 4 rounds = 8 credited replays despite the fault.
+        assert_eq!(report.inferences, 8);
+        assert_eq!(report.rounds, 5, "one round lost to recovery");
+        assert!(report.utilization_before > 0.0);
+        assert!(report.utilization_after > 0.0);
+        let victim = report
+            .records
+            .iter()
+            .find(|r| r.interruptions > 0)
+            .expect("one interrupted record");
+        assert_eq!(victim.rounds_served, 4, "full service despite the fault");
+        assert!(!victim.aborted);
+    }
+
+    #[test]
+    fn drill_aborts_requests_no_healthy_segment_can_hold() {
+        // Killing NCs 4, 9 and 14 in round 0 caps healthy segments at 4
+        // cells: the 5-NC request is interrupted and then aborted, the
+        // 2-NC request completes.
+        let nets = vec![sized_net(5, 1), sized_net(2, 2)];
+        let specs = vec![ChurnSpec::new(0, 3), ChurnSpec::new(0, 3)];
+        let cfg = SweepConfig::rate(10, 0.7, 9);
+        let report = fault_recovery_drill(
+            &nets,
+            &specs,
+            &samples(),
+            &cfg,
+            &ResparcConfig::resparc_64(),
+            PackingPolicy::FirstFit,
+            &[
+                FaultEvent::new(0, 4),
+                FaultEvent::new(0, 9),
+                FaultEvent::new(0, 14),
+            ],
+        )
+        .expect("both requests fit the pre-fault pool");
+
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.failed_ncs, 3);
+        let aborted = report.records.iter().find(|r| r.aborted).unwrap();
+        assert_eq!(aborted.ncs, 5);
+        assert!(aborted.rounds_served < 3);
+        let done = report.records.iter().find(|r| !r.aborted).unwrap();
+        assert_eq!(done.rounds_served, 3);
+    }
+}

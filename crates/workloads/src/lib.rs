@@ -15,7 +15,11 @@
 //! * [`churn`] — the dynamic-fabric comparison: an arrival/departure
 //!   schedule of tenant requests run through a `FabricScheduler`
 //!   (admit / queue / evict mid-stream, any packing policy) against the
-//!   static co-resident batching baseline, on identical spike traces.
+//!   static co-resident batching baseline, on identical spike traces,
+//! * [`fault`] — resilience workloads: device-fault grids (stuck-at
+//!   rate / drift / variation vs accuracy and energy per coding scheme)
+//!   and mid-replay NeuroCell-failure drills measuring the scheduler's
+//!   evict-requeue-readmit recovery loop.
 //!
 //! # Examples
 //!
@@ -34,6 +38,7 @@
 pub mod benchmarks;
 pub mod churn;
 pub mod dataset;
+pub mod fault;
 pub(crate) mod seed;
 pub mod sweep;
 
@@ -43,10 +48,11 @@ pub use benchmarks::{
 };
 pub use churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
+pub use fault::{fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint};
 pub use sweep::{
     analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
-    trace_energy_sweep, MultiTenantReport, SweepConfig, SweepReport, TenancyMetrics,
-    TraceEnergyReport,
+    trace_energy_sweep, trace_energy_sweep_compiled, MultiTenantReport, SweepConfig, SweepReport,
+    TenancyMetrics, TraceEnergyReport,
 };
 
 /// Convenient glob import for downstream crates.
@@ -57,9 +63,12 @@ pub mod prelude {
     };
     pub use crate::churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
+    pub use crate::fault::{
+        fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint,
+    };
     pub use crate::sweep::{
         analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
-        trace_energy_sweep, MultiTenantReport, SweepConfig, SweepReport, TenancyMetrics,
-        TraceEnergyReport,
+        trace_energy_sweep, trace_energy_sweep_compiled, MultiTenantReport, SweepConfig,
+        SweepReport, TenancyMetrics, TraceEnergyReport,
     };
 }

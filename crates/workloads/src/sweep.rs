@@ -25,6 +25,8 @@
 //! the accuracy-vs-energy-per-code comparison only the event path can
 //! price (the stationary simulator assumes rate-stationary activity).
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
 use resparc_core::fabric::{pool_leakage_power, AdmitError, FabricPool, SharedEventSimulator};
 use resparc_core::map::Mapping;
@@ -34,6 +36,7 @@ use resparc_core::ResparcConfig;
 use resparc_energy::accounting::{Category, EnergyBreakdown};
 use resparc_energy::units::{Energy, Time};
 use resparc_neuro::encoding::{Encoding, Readout};
+use resparc_neuro::kernel::CompiledNetwork;
 use resparc_neuro::network::{Network, SnnRunner};
 use resparc_neuro::spike::SpikeRaster;
 use resparc_neuro::trace::SpikeTrace;
@@ -234,7 +237,25 @@ pub fn trace_energy_sweep(
     samples: &[(Vec<f32>, usize)],
     cfg: &SweepConfig,
 ) -> TraceEnergyReport {
-    let kernels = net.compiled();
+    trace_energy_sweep_compiled(&net.compiled(), mapping, samples, cfg)
+}
+
+/// [`trace_energy_sweep`] on explicit compiled kernels — the core the
+/// network-taking wrapper delegates to. Callers that transform the
+/// kernels before sweeping (fault injection via
+/// [`CompiledNetwork::with_faults`], quantization experiments) use this
+/// entry point so the sweep never silently recompiles the clean
+/// network.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`trace_energy_sweep`].
+pub fn trace_energy_sweep_compiled(
+    kernels: &Arc<CompiledNetwork>,
+    mapping: &Mapping,
+    samples: &[(Vec<f32>, usize)],
+    cfg: &SweepConfig,
+) -> TraceEnergyReport {
     let readout = cfg.readout();
     let per_sample: Vec<(usize, EventReport)> = samples
         .par_iter()

@@ -577,6 +577,119 @@ proptest! {
         }
     }
 
+    /// NC health invariants under arbitrary admission + fault sequences:
+    /// occupied cells are always healthy, the health partition (free +
+    /// occupied + quarantined + failed) always covers the pool exactly,
+    /// failing an occupied cell evicts exactly its tenant (the rest of
+    /// the run returns to the free list), recovery re-admission never
+    /// lands on an unhealthy cell, and restoring every quarantined cell
+    /// returns the pool's capacity to (physical − failed).
+    #[test]
+    fn fabric_pool_health_invariants(
+        hiddens in proptest::collection::vec(8usize..260, 1..6),
+        inputs in 16usize..200,
+        fault_ncs in proptest::collection::vec(0usize..16, 1..5),
+        drain_instead in proptest::prelude::any::<bool>(),
+    ) {
+        use resparc_suite::resparc_core::fabric::NcHealth;
+
+        let cfg = ResparcConfig::resparc_64();
+        let mut pool = FabricPool::new(cfg);
+        for (k, &h) in hiddens.iter().enumerate() {
+            let t = Topology::mlp(inputs, &[h, 10]);
+            let _ = pool.admit_topology(&t, &format!("t{k}"));
+        }
+
+        for &nc in &fault_ncs {
+            let occupant = pool.occupancy()[nc];
+            let was_failed = pool.nc_health()[nc] == NcHealth::Failed;
+            let resident_before = pool.tenants().len();
+            let evicted = if drain_instead { pool.drain_nc(nc) } else { pool.fail_nc(nc) };
+            match occupant {
+                Some(id) if !was_failed => {
+                    let t = evicted.expect("occupied cell must evict its tenant");
+                    prop_assert_eq!(t.id, id);
+                    prop_assert!(pool.tenant(id).is_none());
+                    prop_assert_eq!(pool.tenants().len(), resident_before - 1);
+                }
+                _ => prop_assert!(evicted.is_none(), "free/dead cell evicts nobody"),
+            }
+
+            // The health partition covers the pool exactly, and
+            // occupied cells are always healthy.
+            prop_assert_eq!(
+                pool.free_ncs() + pool.occupied_ncs() + pool.quarantined_ncs()
+                    + pool.failed_ncs(),
+                pool.physical_ncs()
+            );
+            for (slot, health) in pool.occupancy().iter().zip(pool.nc_health()) {
+                if slot.is_some() {
+                    prop_assert_eq!(*health, NcHealth::Healthy, "occupied cell must be healthy");
+                }
+            }
+        }
+
+        // Recovery re-admission routes around unhealthy cells.
+        if let Ok(id) = pool.admit_topology(&Topology::mlp(inputs, &[hiddens[0], 10]), "re") {
+            let t = pool.tenant(id).expect("admitted");
+            for nc in t.first_nc()..t.end_nc() {
+                prop_assert_eq!(pool.nc_health()[nc], NcHealth::Healthy);
+            }
+        }
+
+        // Restoring every quarantined cell leaves only permanent
+        // failures out of the capacity.
+        for nc in 0..pool.physical_ncs() {
+            if pool.nc_health()[nc] == NcHealth::Quarantined {
+                prop_assert!(pool.restore_nc(nc));
+            }
+        }
+        prop_assert_eq!(pool.quarantined_ncs(), 0);
+        prop_assert_eq!(
+            pool.free_ncs() + pool.occupied_ncs() + pool.failed_ncs(),
+            pool.physical_ncs()
+        );
+    }
+
+    /// An empty `FaultPlan` is a bit-identical no-op end to end: the
+    /// transformed kernels equal the clean ones, the spiking replay
+    /// produces the identical trace, and the shared-fabric report built
+    /// from that trace is bit-identical — while any stuck-at plan with a
+    /// positive sampled fraction changes the kernels.
+    #[test]
+    fn empty_fault_plan_replays_bit_identically(
+        hidden in 8usize..120,
+        inputs in 16usize..120,
+        steps in 3usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        use resparc_suite::resparc_neuro::network::SnnRunner;
+        use std::sync::Arc;
+
+        let net = Network::random(Topology::mlp(inputs, &[hidden, 10]), seed, 1.0);
+        let clean = net.compiled();
+        let faultless = Arc::new(clean.with_faults(&FaultPlan::none()));
+        prop_assert_eq!(&*faultless, &*clean, "empty plan must be the identity");
+
+        let stimulus: Vec<f32> = (0..inputs).map(|i| (i % 5) as f32 / 4.0).collect();
+        let raster = RegularEncoder::new(0.9).encode(&stimulus, steps);
+        let (out_a, trace_a) = SnnRunner::from_compiled(clean.clone()).run_traced(&raster);
+        let (out_b, trace_b) = SnnRunner::from_compiled(faultless).run_traced(&raster);
+        prop_assert_eq!(out_a.predicted, out_b.predicted);
+        prop_assert_eq!(&trace_a, &trace_b);
+
+        let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+        let id = pool.admit(&net, "t").expect("one small tenant fits");
+        let sim = SharedEventSimulator::new(&pool);
+        let report_a = sim.run(&[(id, &trace_a)]);
+        let report_b = sim.run(&[(id, &trace_b)]);
+        prop_assert_eq!(report_a, report_b, "SharedReport must be bit-identical");
+
+        // Sanity: a saturating stuck-at plan is NOT the identity.
+        let wrecked = clean.with_faults(&FaultPlan::stuck_at(seed, 1.0));
+        prop_assert!(wrecked != *clean, "saturating stuck-at must change the kernels");
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

@@ -228,6 +228,72 @@ fn bench_multi_tenant(c: &mut Criterion) {
     group.finish();
 }
 
+/// The online serving loop end to end: open-loop arrivals through the
+/// event-clock scheduler (admission, backfill, weighted replay, gated
+/// idle billing). `poisson_light` is three 1-NC classes under a steady
+/// trace — CI gates its cost as a ratio against
+/// `multi_tenant/churn_replay`, the raw round-driven replay it wraps,
+/// so the serving layer's bookkeeping stays a bounded multiple of the
+/// scheduling core. `bursty_heavy` is the mixed 1/2/4-NC workload under
+/// an 6-deep burst trace with the adaptive controller and preemption
+/// enabled — the worst-case path, tracked without a tight gate.
+fn bench_serving(c: &mut Criterion) {
+    let pool_cfg = ResparcConfig::resparc_64();
+    let sweep = SweepConfig::rate(STEPS, 0.7, 7);
+
+    let light_nets: Vec<Network> = (0..3)
+        .map(|s| Network::random(Topology::mlp(144, &[96, 10]), 70 + s, 1.0))
+        .collect();
+    let light_classes = vec![
+        ServiceClass::new("a", 2, 50_000.0).with_weight(4),
+        ServiceClass::new("b", 2, 100_000.0).with_weight(2),
+        ServiceClass::new("c", 2, 200_000.0),
+    ];
+    let light_spec = ServingSpec::new(9, 3_000.0, ArrivalProcess::Poisson, 7);
+
+    let heavy_nets = vec![
+        Network::random(Topology::mlp(144, &[576, 576, 10]), 90, 1.0),
+        Network::random(Topology::mlp(144, &[96, 10]), 91, 1.0),
+        Network::random(Topology::mlp(144, &[576, 576, 576, 10]), 92, 1.0),
+    ];
+    let heavy_classes = vec![
+        ServiceClass::new("premium", 2, 35_000.0).with_weight(4),
+        ServiceClass::new("standard", 3, 250_000.0).with_weight(2),
+        ServiceClass::new("bulk", 4, 1_000_000.0),
+    ];
+    let heavy_spec = ServingSpec::new(18, 3_000.0, ArrivalProcess::Bursty { burst: 6 }, 7)
+        .with_qos(QosPolicy::Adaptive { max_weight: 64 })
+        .with_preemption(8.0);
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("poisson_light", |b| {
+        b.iter(|| {
+            black_box(serving_sweep(
+                black_box(&light_nets),
+                &light_classes,
+                &light_spec,
+                &sweep,
+                &pool_cfg,
+                PackingPolicy::FirstFit,
+            ))
+        })
+    });
+    group.bench_function("bursty_heavy", |b| {
+        b.iter(|| {
+            black_box(serving_sweep(
+                black_box(&heavy_nets),
+                &heavy_classes,
+                &heavy_spec,
+                &sweep,
+                &pool_cfg,
+                PackingPolicy::BestFit,
+            ))
+        })
+    });
+    group.finish();
+}
+
 /// Fault-injected replay: `clean_plan` replays the trace captured from
 /// kernels passed through an *empty* [`FaultPlan`] — by the bit-identity
 /// contract that trace equals the plain one, so CI gates
@@ -266,6 +332,6 @@ fn bench_fault_replay(c: &mut Criterion) {
 criterion_group! {
     name = trace_energy;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant, bench_fault_replay
+    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant, bench_serving, bench_fault_replay
 }
 criterion_main!(trace_energy);

@@ -1,0 +1,6 @@
+//! Prints the serving figure: open-loop tail latency / goodput / SLO
+//! violations per arrival trace and packing policy, the SLO-adaptive
+//! QoS controller vs static weights, and the power-gating energy bill.
+fn main() {
+    println!("{}", resparc_bench::fig_serving());
+}

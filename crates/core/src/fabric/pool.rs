@@ -157,11 +157,15 @@ pub struct FabricPool {
     health: Vec<NcHealth>,
     tenants: Vec<Tenant>,
     next_id: u32,
+    /// Fraction of full leakage power the *idle* (unowned) NC domain
+    /// draws; `1.0` = ungated (the historical always-powered pool).
+    idle_gating: f64,
 }
 
 impl FabricPool {
     /// Creates an empty pool over the machine's `physical_ncs`
-    /// NeuroCells, packing with [`PackingPolicy::FirstFit`].
+    /// NeuroCells, packing with [`PackingPolicy::FirstFit`] and idle
+    /// NCs ungated (billed at full leakage rate).
     pub fn new(config: ResparcConfig) -> Self {
         let slots = config.physical_ncs;
         Self {
@@ -171,6 +175,7 @@ impl FabricPool {
             health: vec![NcHealth::Healthy; slots],
             tenants: Vec::new(),
             next_id: 0,
+            idle_gating: 1.0,
         }
     }
 
@@ -180,6 +185,63 @@ impl FabricPool {
     pub fn with_policy(mut self, policy: PackingPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Power-gates the pool's *idle* NC domain: NeuroCells (and their
+    /// mPEs/switches) no resident tenant owns are billed at `factor` ×
+    /// full leakage power instead of full rate. The occupied domain and
+    /// the shared input SRAM always leak at full rate — gating is
+    /// partial-pool, per the floorplan, not per-round.
+    ///
+    /// The default `1.0` reproduces the historical always-powered
+    /// accounting bit-identically (`x × 1.0 ≡ x` in IEEE-754), which is
+    /// asserted in tests; `0.0` models perfect gating where an unowned
+    /// NC costs nothing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resparc_core::fabric::{FabricPool, SharedEventSimulator};
+    /// use resparc_core::ResparcConfig;
+    /// use resparc_neuro::encoding::RegularEncoder;
+    /// use resparc_neuro::network::Network;
+    /// use resparc_neuro::topology::Topology;
+    ///
+    /// let net = Network::random(Topology::mlp(96, &[64, 10]), 7, 1.0);
+    /// let raster = RegularEncoder::new(0.9).encode(&vec![0.5; 96], 6);
+    /// let (_, trace) = net.spiking().run_traced(&raster);
+    ///
+    /// let run = |factor: f64| {
+    ///     let mut pool =
+    ///         FabricPool::new(ResparcConfig::resparc_64()).with_idle_gating(factor);
+    ///     let id = pool.admit(&net, "solo").unwrap();
+    ///     SharedEventSimulator::new(&pool).run(&[(id, &trace)])
+    /// };
+    /// let (gated, ungated) = (run(0.1), run(1.0));
+    /// // Same replay, same ledger — only the idle domain's bill shrinks.
+    /// assert_eq!(gated.energy, ungated.energy);
+    /// assert!(gated.idle_leakage < ungated.idle_leakage);
+    /// assert!((gated.idle_leakage.picojoules()
+    ///     / ungated.idle_leakage.picojoules()
+    ///     - 0.1).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= factor <= 1.0`.
+    pub fn with_idle_gating(mut self, factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "idle-gating factor must be in [0, 1], got {factor}"
+        );
+        self.idle_gating = factor;
+        self
+    }
+
+    /// The idle-domain leakage factor (`1.0` = ungated; see
+    /// [`with_idle_gating`](Self::with_idle_gating)).
+    pub fn idle_gating(&self) -> f64 {
+        self.idle_gating
     }
 
     /// The packing policy admissions use.

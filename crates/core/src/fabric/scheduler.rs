@@ -14,8 +14,21 @@
 //!   queue head while the pool's [`PackingPolicy`] finds capacity —
 //!   including room a [`PackingPolicy::Defragment`] compaction can
 //!   create — and returns the round's residents with their
-//!   bus-arbitration weights (head-of-line blocking keeps admission
-//!   strictly FIFO: no request starves behind a later, smaller one);
+//!   bus-arbitration weights (by default head-of-line blocking keeps
+//!   admission strictly FIFO: no request starves behind a later,
+//!   smaller one);
+//! * [`with_backfill`](FabricScheduler::with_backfill) relaxes strict
+//!   FIFO: while the head is blocked on capacity, later requests that
+//!   fit are admitted out of order — but only for a bounded
+//!   **starvation window** of rounds per blocked head. When the window
+//!   expires, backfilling stops, so the head's total wait is bounded by
+//!   the window plus the residual service of the tenants resident at
+//!   expiry — a wide request is delayed, never starved (tested in
+//!   `backfill_window_bounds_head_starvation`);
+//! * [`cancel`](FabricScheduler::cancel) preempts a request wherever it
+//!   is (evicting it mid-service or dropping it from the queue),
+//!   retiring it as an [`ServiceRecord::aborted`] record — the hook
+//!   `resparc_workloads::serving` uses to evict over-budget tenants;
 //! * the caller replays the round (e.g.
 //!   [`SharedEventSimulator::run_weighted`](crate::fabric::SharedEventSimulator::run_weighted));
 //! * [`end_round`](FabricScheduler::end_round) retires one service
@@ -176,6 +189,13 @@ pub struct FabricScheduler {
     queue: VecDeque<Pending>,
     active: Vec<Active>,
     completed: Vec<ServiceRecord>,
+    /// `Some(window)` enables backfilling behind a blocked head for at
+    /// most `window` rounds; `None` is the strict-FIFO PR-5 behaviour.
+    backfill_window: Option<usize>,
+    /// The queue head currently blocked on capacity and the round it
+    /// first failed admission — the starvation clock backfilling is
+    /// bounded by. Cleared whenever the head changes or admits.
+    blocked_head: Option<(RequestId, usize)>,
 }
 
 impl FabricScheduler {
@@ -190,7 +210,38 @@ impl FabricScheduler {
             queue: VecDeque::new(),
             active: Vec::new(),
             completed: Vec::new(),
+            backfill_window: None,
+            blocked_head: None,
         }
+    }
+
+    /// Enables **backfilling** with a bounded starvation window: when
+    /// the queue head does not fit the pool, later queued requests that
+    /// *do* fit may be admitted out of order — but only while the head
+    /// has been blocked for fewer than `window` rounds. Once the window
+    /// expires, backfilling stops and residents drain until the head
+    /// admits, which bounds head-of-line starvation at `window` plus
+    /// the residual service of the tenants already resident when the
+    /// window closed (no new work is admitted past it). The blocked
+    /// clock restarts whenever the head changes.
+    ///
+    /// Without this (the default), admission is strictly FIFO — a
+    /// blocked head stalls everything behind it (PR-5 semantics,
+    /// asserted by `head_of_line_blocking_is_strictly_fifo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (that would be strict FIFO spelled
+    /// confusingly — use [`new`](Self::new)).
+    pub fn with_backfill(mut self, window: usize) -> Self {
+        assert!(window > 0, "a zero backfill window is strict FIFO");
+        self.backfill_window = Some(window);
+        self
+    }
+
+    /// The backfill starvation window, if backfilling is enabled.
+    pub fn backfill_window(&self) -> Option<usize> {
+        self.backfill_window
     }
 
     /// The scheduled pool (its policy decides how admissions pack).
@@ -357,47 +408,45 @@ impl FabricScheduler {
             let needed = head.probe.placement.ncs_used.max(1);
             if needed > self.pool.max_admissible_run() {
                 let head = self.queue.pop_front().expect("front exists");
-                self.completed.push(ServiceRecord {
-                    request: head.request,
-                    name: head.name,
-                    ncs: needed,
-                    weight: head.weight,
-                    submitted_round: head.submitted_round,
-                    admitted_round: head.first_admitted_round.unwrap_or(self.round),
-                    departed_round: Some(self.round),
-                    rounds_served: head.rounds_served,
-                    interruptions: head.interruptions,
-                    recovery_rounds: head.recovery_rounds,
-                    aborted: true,
-                });
+                self.retire_aborted(head);
                 continue;
             }
             if !self.pool.can_admit(needed) {
                 break;
             }
             let head = self.queue.pop_front().expect("front exists");
-            let recovery = if head.interruptions > 0 {
-                self.round - head.interrupted_round
-            } else {
-                0
-            };
-            let tenant = self
-                .pool
-                .admit_mapped(head.probe, &head.name)
-                .expect("can_admit probed this admission");
-            self.active.push(Active {
-                request: head.request,
-                tenant,
-                name: head.name,
-                ncs: needed,
-                weight: head.weight,
-                submitted_round: head.submitted_round,
-                admitted_round: head.first_admitted_round.unwrap_or(self.round),
-                service_rounds: head.service_rounds,
-                rounds_served: head.rounds_served,
-                interruptions: head.interruptions,
-                recovery_rounds: head.recovery_rounds + recovery,
-            });
+            self.admit_pending(head);
+        }
+        // The head (if any) is now blocked on capacity. Track how long
+        // it has been *this* head waiting — the starvation clock — and
+        // backfill behind it only while the window is open.
+        match self.queue.front() {
+            None => self.blocked_head = None,
+            Some(head) => {
+                let request = head.request;
+                let since = match self.blocked_head {
+                    Some((req, since)) if req == request => since,
+                    _ => self.round,
+                };
+                self.blocked_head = Some((request, since));
+                if self.backfill_window.is_some_and(|w| self.round - since < w) {
+                    // FIFO scan of the queue behind the head, admitting
+                    // whatever fits right now. Unservable requests are
+                    // skipped, never aborted here: aborting stays a
+                    // head-only decision so the blocked head keeps its
+                    // place and records retire in FIFO order.
+                    let mut i = 1;
+                    while i < self.queue.len() {
+                        let needed = self.queue[i].probe.placement.ncs_used.max(1);
+                        if needed <= self.pool.max_admissible_run() && self.pool.can_admit(needed) {
+                            let p = self.queue.remove(i).expect("index in bounds");
+                            self.admit_pending(p);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
         }
         self.active
             .iter()
@@ -409,6 +458,90 @@ impl FabricScheduler {
                 rounds_served: a.rounds_served,
             })
             .collect()
+    }
+
+    /// Admits one pending request into the pool (capacity was probed by
+    /// the caller) and activates it for this round.
+    fn admit_pending(&mut self, head: Pending) {
+        let needed = head.probe.placement.ncs_used.max(1);
+        let recovery = if head.interruptions > 0 {
+            self.round - head.interrupted_round
+        } else {
+            0
+        };
+        let tenant = self
+            .pool
+            .admit_mapped(head.probe, &head.name)
+            .expect("can_admit probed this admission");
+        self.active.push(Active {
+            request: head.request,
+            tenant,
+            name: head.name,
+            ncs: needed,
+            weight: head.weight,
+            submitted_round: head.submitted_round,
+            admitted_round: head.first_admitted_round.unwrap_or(self.round),
+            service_rounds: head.service_rounds,
+            rounds_served: head.rounds_served,
+            interruptions: head.interruptions,
+            recovery_rounds: head.recovery_rounds + recovery,
+        });
+    }
+
+    /// Retires a queued request as [aborted](ServiceRecord::aborted) in
+    /// the current round.
+    fn retire_aborted(&mut self, p: Pending) {
+        self.completed.push(ServiceRecord {
+            request: p.request,
+            name: p.name,
+            ncs: p.probe.placement.ncs_used.max(1),
+            weight: p.weight,
+            submitted_round: p.submitted_round,
+            admitted_round: p.first_admitted_round.unwrap_or(self.round),
+            departed_round: Some(self.round),
+            rounds_served: p.rounds_served,
+            interruptions: p.interruptions,
+            recovery_rounds: p.recovery_rounds,
+            aborted: true,
+        });
+    }
+
+    /// Cancels a request wherever it currently is — the preemption hook
+    /// serving layers use to evict over-budget work. An **active**
+    /// request is evicted from the pool immediately (its NC run frees
+    /// for the next round's admissions; service credit for an in-flight
+    /// round is forfeit); a **queued** request is removed from the
+    /// queue. Either way the request retires as an
+    /// [aborted](ServiceRecord::aborted) record in the current round,
+    /// keeping whatever service it already earned. Returns `false` if
+    /// no such request is queued or active (e.g. it already departed).
+    pub fn cancel(&mut self, request: RequestId) -> bool {
+        if let Some(at) = self.active.iter().position(|a| a.request == request) {
+            let a = self.active.remove(at);
+            self.pool
+                .evict(a.tenant)
+                .expect("active tenant was resident");
+            self.completed.push(ServiceRecord {
+                request: a.request,
+                name: a.name,
+                ncs: a.ncs,
+                weight: a.weight,
+                submitted_round: a.submitted_round,
+                admitted_round: a.admitted_round,
+                departed_round: Some(self.round),
+                rounds_served: a.rounds_served,
+                interruptions: a.interruptions,
+                recovery_rounds: a.recovery_rounds,
+                aborted: true,
+            });
+            return true;
+        }
+        if let Some(at) = self.queue.iter().position(|p| p.request == request) {
+            let p = self.queue.remove(at).expect("index in bounds");
+            self.retire_aborted(p);
+            return true;
+        }
+        false
     }
 
     /// Closes the round: every resident retires one service round,
@@ -668,6 +801,209 @@ mod tests {
 
         // Faulting a free cell interrupts nobody.
         assert_eq!(sched.fail_nc(15), None);
+    }
+
+    #[test]
+    fn backfill_admits_behind_a_blocked_head_within_the_window() {
+        // Same shape as `head_of_line_blocking_is_strictly_fifo`, but
+        // with backfilling: the 1-NC request behind the blocked 5-NC
+        // head IS admitted, while the head keeps its place and admits
+        // first once capacity frees.
+        let pool = FabricPool::new(ResparcConfig::resparc_64());
+        let mut sched = FabricScheduler::new(pool).with_backfill(4);
+        assert_eq!(sched.backfill_window(), Some(4));
+        for i in 0..7u64 {
+            sched
+                .submit(&two_nc_net(i), &format!("t{i}"), 2, 1)
+                .unwrap();
+        }
+        let wide = sched
+            .submit(&net(9, &[576, 576, 576, 576, 10]), "wide", 2, 1)
+            .unwrap();
+        let narrow = sched.submit(&net(10, &[96, 10]), "narrow", 1, 1).unwrap();
+
+        // Seven 2-NC tenants leave 2 free NCs: the 5-NC head blocks,
+        // the 1-NC request backfills into the hole.
+        let round0: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+        assert_eq!(round0.len(), 8);
+        assert!(!round0.contains(&wide));
+        assert!(round0.contains(&narrow), "narrow backfills the free hole");
+        sched.end_round();
+
+        // Round 1: everyone departs at its end; round 2 admits the head.
+        sched.begin_round();
+        sched.end_round();
+        let round2: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+        assert_eq!(round2, vec![wide], "the head admits first after the drain");
+    }
+
+    #[test]
+    fn backfill_window_bounds_head_starvation() {
+        // An adversarial open-loop stream: six long 2-NC residents pin
+        // 12 NCs, and two fresh 2-NC, 1-round requests arrive every
+        // round — enough to keep the 4 free NCs perpetually backfilled.
+        // Under an *unbounded* backfill the 5-NC head would starve
+        // forever (free capacity never reaches 5 at a round boundary).
+        // The window of 3 closes backfilling after round 2; the long
+        // residents drain by the end of round 3; the head admits in
+        // round 4 = window + residual service, the documented bound.
+        let pool = FabricPool::new(ResparcConfig::resparc_64());
+        let mut sched = FabricScheduler::new(pool).with_backfill(3);
+        for i in 0..6u64 {
+            sched
+                .submit(&two_nc_net(i), &format!("fill{i}"), 4, 1)
+                .unwrap();
+        }
+        let wide = sched
+            .submit(&net(99, &[576, 576, 576, 576, 10]), "wide", 1, 1)
+            .unwrap();
+        let mut admitted_round = None;
+        let mut backfilled_rounds = 0usize;
+        for round in 0..32usize {
+            for k in 0..2u64 {
+                sched
+                    .submit(
+                        &two_nc_net(100 + 2 * round as u64 + k),
+                        &format!("s{round}.{k}"),
+                        1,
+                        1,
+                    )
+                    .unwrap();
+            }
+            let residents = sched.begin_round();
+            if residents.iter().any(|t| t.request == wide) {
+                admitted_round = Some(round);
+                break;
+            }
+            if residents.iter().any(|t| t.name.starts_with('s')) {
+                backfilled_rounds += 1;
+            }
+            sched.end_round();
+        }
+        let admitted = admitted_round.expect("the wide head must not starve");
+        assert_eq!(
+            backfilled_rounds, 3,
+            "adversary requests overtake the head exactly while the window is open"
+        );
+        assert_eq!(
+            admitted, 4,
+            "head admits at window (3) + residual drain (1), not later"
+        );
+    }
+
+    #[test]
+    fn aborted_head_does_not_disturb_backfill() {
+        // Regression for the PR-6 abort path interacting with backfill.
+        // NCs 4, 9 and 14 are dead (largest healthy segment: 4 NCs), so
+        // a 5-NC request is permanently unservable. While it sits
+        // *behind* a blocked-but-servable head, backfill scans must
+        // skip it — never abort it (aborting is a head-only decision) —
+        // while still admitting servable requests around it; it aborts
+        // only once it reaches the head itself.
+        let pool = FabricPool::new(ResparcConfig::resparc_64());
+        let mut sched = FabricScheduler::new(pool).with_backfill(4);
+        for nc in [4, 9, 14] {
+            assert_eq!(sched.fail_nc(nc), None);
+        }
+        // Five 2-NC fillers leave holes of 2+1 NCs; the 4-NC head
+        // blocks; behind it queue the unservable 5-NC request and a
+        // servable 2-NC one.
+        let fillers: Vec<RequestId> = (0..5)
+            .map(|i| {
+                sched
+                    .submit(&two_nc_net(i), &format!("fill{i}"), 2, 1)
+                    .unwrap()
+            })
+            .collect();
+        let blocked = sched
+            .submit(&net(20, &[576, 576, 576, 10]), "blocked4", 1, 1)
+            .unwrap();
+        let unservable = sched
+            .submit(&net(21, &[576, 576, 576, 576, 10]), "unservable5", 1, 1)
+            .unwrap();
+        let small = sched.submit(&two_nc_net(22), "small", 1, 1).unwrap();
+
+        // Round 0: fillers admit, `blocked4` blocks (no 4-wide healthy
+        // hole left), the backfill scan skips `unservable5` and admits
+        // `small` behind it. Nothing has aborted yet.
+        let round0: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+        assert!(fillers.iter().all(|f| round0.contains(f)));
+        assert!(!round0.contains(&blocked));
+        assert!(
+            round0.contains(&small),
+            "small backfills past the unservable"
+        );
+        assert!(
+            sched.completed().is_empty(),
+            "the unservable request must not be aborted from mid-queue"
+        );
+        sched.end_round();
+
+        // Round 1: still blocked, nothing to backfill. Round 2: the
+        // fillers drained, the head admits, and the unservable request
+        // — now the head — aborts.
+        sched.begin_round();
+        sched.end_round();
+        let round2: Vec<RequestId> = sched.begin_round().iter().map(|t| t.request).collect();
+        assert_eq!(round2, vec![blocked]);
+        let aborted: Vec<&ServiceRecord> = sched.completed().iter().filter(|r| r.aborted).collect();
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].request, unservable);
+        assert_eq!(aborted[0].departed_round, Some(2));
+
+        // Drain: nobody is left behind.
+        while !sched.is_idle() {
+            sched.begin_round();
+            sched.end_round();
+        }
+        assert_eq!(sched.completed().len(), 8);
+        assert!(sched
+            .completed()
+            .iter()
+            .filter(|r| r.request != unservable)
+            .all(|r| !r.aborted && r.rounds_served > 0));
+    }
+
+    #[test]
+    fn cancel_preempts_active_and_queued_requests() {
+        let mut sched = FabricScheduler::new(FabricPool::new(ResparcConfig::resparc_64()));
+        let a = sched.submit(&two_nc_net(1), "a", 4, 1).unwrap();
+        let b = sched.submit(&two_nc_net(2), "b", 4, 1).unwrap();
+        assert_eq!(sched.begin_round().len(), 2);
+        sched.end_round();
+        sched.begin_round();
+        sched.end_round();
+
+        // a is mid-service (2 of 4 rounds): cancel evicts it now.
+        assert!(sched.cancel(a));
+        assert_eq!(sched.pool().occupied_ncs(), 2, "a's NCs freed");
+        let rec_a = sched
+            .completed()
+            .iter()
+            .find(|r| r.request == a)
+            .expect("cancelled requests retire immediately");
+        assert!(rec_a.aborted);
+        assert_eq!(rec_a.rounds_served, 2, "earned service is kept");
+        assert_eq!(rec_a.departed_round, Some(2));
+
+        // A queued request cancels without ever running.
+        let c = sched.submit(&two_nc_net(3), "c", 4, 1).unwrap();
+        assert!(sched.cancel(c));
+        assert_eq!(sched.queue_len(), 0);
+        let rec_c = sched.completed().iter().find(|r| r.request == c).unwrap();
+        assert!(rec_c.aborted);
+        assert_eq!(rec_c.rounds_served, 0);
+
+        // Unknown / already-departed requests: no-op.
+        assert!(!sched.cancel(a));
+        while !sched.is_idle() {
+            sched.begin_round();
+            sched.end_round();
+        }
+        assert!(!sched.cancel(b), "b departed normally");
+        let rec_b = sched.completed().iter().find(|r| r.request == b).unwrap();
+        assert!(!rec_b.aborted);
+        assert_eq!(rec_b.rounds_served, 4);
     }
 
     #[test]

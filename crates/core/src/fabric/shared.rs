@@ -87,9 +87,12 @@ pub struct SharedReport {
     pub energy: EnergyBreakdown,
     /// Leakage of the NeuroCells no resident tenant owns, over the
     /// makespan — the cost of owning a bigger chip than the resident
-    /// tenants need. Ledger leakage plus this always equals
+    /// tenants need, billed at the pool's
+    /// [`idle_gating`](crate::fabric::FabricPool::idle_gating) factor.
+    /// On an ungated pool (factor `1.0`, the default) ledger leakage
+    /// plus this always equals
     /// [`pool_leakage_power`](crate::fabric::pool_leakage_power)` ×
-    /// latency`.
+    /// latency`; gating scales only this idle term.
     pub idle_leakage: Energy,
     /// Makespan in timesteps (longest tenant trace).
     pub steps: usize,
@@ -372,12 +375,16 @@ impl<'p> SharedEventSimulator<'p> {
         energy.charge(Category::MemoryLeakage, sram.leakage() * latency);
 
         // --- Idle remainder of the pool + per-tenant amortization. The
-        // occupied and idle domains partition the physical pool, so
-        // ledger leakage + idle_leakage always equals
-        // `pool_leakage_power(cfg) × latency` by construction.
+        // occupied and idle domains partition the physical pool, so on
+        // an ungated pool ledger leakage + idle_leakage equals
+        // `pool_leakage_power(cfg) × latency` by construction; the
+        // idle-gating factor scales only this idle term (× 1.0 is
+        // IEEE-exact, keeping the default bit-identical to PR 4/5).
         let idle_mpes = physical_mpes_cap - occupied_mpes;
         let idle_switch_ncs = cfg.physical_ncs - occupied_switch_ncs;
-        let idle_leakage = logic_leakage_power(cfg, idle_mpes, idle_switch_ncs) * latency;
+        let idle_leakage = logic_leakage_power(cfg, idle_mpes, idle_switch_ncs)
+            * latency
+            * self.pool.idle_gating();
         let pool_leakage =
             energy.get(Category::LogicLeakage) + energy.get(Category::MemoryLeakage) + idle_leakage;
 
@@ -654,6 +661,73 @@ mod tests {
             + shared.energy.get(Category::MemoryLeakage)
             + shared.idle_leakage;
         assert!((accounted.picojoules() / pool_leak.picojoules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ungated_factor_reproduces_default_billing_bit_identically() {
+        // `with_idle_gating(1.0)` must be a bit-identical no-op: the
+        // whole SharedReport (idle term, shares, aggregates) matches a
+        // pool that never heard of gating.
+        let nets: Vec<Network> = (0..2).map(small_net).collect();
+        let traces: Vec<SpikeTrace> = nets.iter().map(|n| traced(n, 0.7, 14)).collect();
+        let run = |pool: FabricPool| {
+            let mut pool = pool;
+            let ids: Vec<TenantId> = nets
+                .iter()
+                .enumerate()
+                .map(|(i, n)| pool.admit(n, &format!("t{i}")).unwrap())
+                .collect();
+            let pairs: Vec<(TenantId, &SpikeTrace)> =
+                ids.iter().copied().zip(traces.iter()).collect();
+            SharedEventSimulator::new(&pool).run_weighted(&pairs, &[4, 1])
+        };
+        let default = run(FabricPool::new(ResparcConfig::resparc_64()));
+        let ungated = run(FabricPool::new(ResparcConfig::resparc_64()).with_idle_gating(1.0));
+        assert_eq!(ungated, default);
+    }
+
+    #[test]
+    fn idle_gating_scales_only_the_idle_domain() {
+        let net = small_net(5);
+        let trace = traced(&net, 0.8, 12);
+        let run = |factor: f64| {
+            let mut pool = FabricPool::new(ResparcConfig::resparc_64()).with_idle_gating(factor);
+            let id = pool.admit(&net, "solo").unwrap();
+            SharedEventSimulator::new(&pool).run(&[(id, &trace)])
+        };
+        let full = run(1.0);
+        let quarter = run(0.25);
+        let off = run(0.0);
+
+        // The replay and the occupied-domain ledger never move.
+        assert_eq!(quarter.energy, full.energy);
+        assert_eq!(quarter.latency, full.latency);
+        assert_eq!(quarter.total_cycles, full.total_cycles);
+        assert_eq!(off.energy, full.energy);
+
+        // The idle term scales linearly with the factor; perfect gating
+        // zeroes it and the pool bill collapses onto the ledger.
+        assert!(full.idle_leakage > Energy::ZERO);
+        assert!(
+            (quarter.idle_leakage.picojoules() / full.idle_leakage.picojoules() - 0.25).abs()
+                < 1e-12
+        );
+        assert!(off.idle_leakage.is_zero());
+        assert_eq!(off.pool_energy(), off.total_energy());
+        assert!(quarter.pool_energy() < full.pool_energy());
+        // Tenant amortization follows: the gated pool bills its tenant
+        // a smaller leakage share.
+        assert!(quarter.tenants[0].leakage_share < full.tenants[0].leakage_share);
+    }
+
+    #[test]
+    fn out_of_range_gating_factor_panics() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let result = std::panic::catch_unwind(|| {
+                FabricPool::new(ResparcConfig::resparc_64()).with_idle_gating(bad)
+            });
+            assert!(result.is_err(), "factor {bad} must be rejected");
+        }
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! * [`fault`] — resilience workloads: device-fault grids (stuck-at
 //!   rate / drift / variation vs accuracy and energy per coding scheme)
 //!   and mid-replay NeuroCell-failure drills measuring the scheduler's
-//!   evict-requeue-readmit recovery loop.
+//!   evict-requeue-readmit recovery loop,
+//! * [`serving`] — the online-service view: open-loop arrival traces
+//!   (Poisson / bursty / diurnal) driven through an event-clock loop
+//!   with admission control, backfilling, preemption and an
+//!   SLO-adaptive bus-weight controller, reporting p50/p95/p99 latency,
+//!   goodput, SLO violations and the gated-vs-ungated idle-energy bill.
 //!
 //! # Examples
 //!
@@ -40,6 +45,7 @@ pub mod churn;
 pub mod dataset;
 pub mod fault;
 pub(crate) mod seed;
+pub mod serving;
 pub mod sweep;
 
 pub use benchmarks::{
@@ -49,6 +55,10 @@ pub use benchmarks::{
 pub use churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
 pub use fault::{fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint};
+pub use serving::{
+    serving_sweep, ArrivalProcess, ClassReport, QosPolicy, RequestOutcome, ServiceClass,
+    ServingReport, ServingSpec,
+};
 pub use sweep::{
     analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,
     trace_energy_sweep, trace_energy_sweep_compiled, MultiTenantReport, SweepConfig, SweepReport,
@@ -65,6 +75,10 @@ pub mod prelude {
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::fault::{
         fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint,
+    };
+    pub use crate::serving::{
+        serving_sweep, ArrivalProcess, ClassReport, QosPolicy, RequestOutcome, ServiceClass,
+        ServingReport, ServingSpec,
     };
     pub use crate::sweep::{
         analog_accuracy_sweep, encoding_energy_sweep, multi_tenant_sweep, spiking_accuracy_sweep,

@@ -1,0 +1,109 @@
+//! Online serving walkthrough: open-loop traffic against one RESPARC-64
+//! pool, priced like a service — tail latency, goodput, SLO violations
+//! and the power-gated energy bill.
+//!
+//! Three request classes (premium / standard / bulk, 2/1/4-NC MLPs at
+//! 4:2:1 bus weights) receive a bursty arrival trace at ~3x the
+//! fabric's round rate. The demo runs the same trace three ways:
+//!
+//! 1. static weights on an always-powered pool (the PR-4/5 discipline),
+//! 2. static weights with idle NCs power-gated to 10% leakage,
+//! 3. the SLO-adaptive controller on the gated pool — premium's weight
+//!    escalates whenever a completion misses its SLO, and the
+//!    work-conserving bus means the schedule and energy stay identical
+//!    while the tail moves.
+//!
+//! Run with: `cargo run --release --example serving_demo`
+
+use resparc_suite::prelude::*;
+
+fn print_report(tag: &str, r: &ServingReport) {
+    println!("--- {tag}");
+    println!(
+        "  arrivals {}  completed {}  rejected {}  preempted {}  rounds {}",
+        r.arrivals, r.completed, r.rejected, r.preempted, r.rounds
+    );
+    println!(
+        "  p50 {:.1} us   p95 {:.1} us   p99 {:.1} us   goodput {:.0}/ms   violations {:.0}%",
+        r.p50.microseconds(),
+        r.p95.microseconds(),
+        r.p99.microseconds(),
+        1e-3 * r.goodput,
+        100.0 * r.violation_rate()
+    );
+    for c in &r.classes {
+        println!(
+            "    {:<9} p50 {:>6.1} us  p99 {:>6.1} us  viol {}  weight@end {}",
+            c.name,
+            c.p50.microseconds(),
+            c.p99.microseconds(),
+            c.slo_violations,
+            c.final_weight
+        );
+    }
+    println!(
+        "  energy: dynamic {:.1} nJ + occupied leak {:.1} nJ + idle leak {:.1} nJ \
+         = {:.1} nJ (always-on bill {:.1} nJ, saving {:.0}%)",
+        r.dynamic_energy.nanojoules(),
+        r.occupied_leakage.nanojoules(),
+        r.gated_idle_leakage.nanojoules(),
+        r.pool_energy().nanojoules(),
+        r.ungated_pool_energy().nanojoules(),
+        100.0 * r.gating_saving()
+    );
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pool_cfg = ResparcConfig::resparc_64();
+    println!(
+        "Online serving on RESPARC-64 ({} NeuroCells), bursty open-loop traffic\n",
+        pool_cfg.physical_ncs
+    );
+
+    let nets = vec![
+        Network::random(Topology::mlp(144, &[576, 576, 10]), 90, 1.0), // 2 NCs
+        Network::random(Topology::mlp(144, &[96, 10]), 91, 1.0),       // 1 NC
+        Network::random(Topology::mlp(144, &[576, 576, 576, 10]), 92, 1.0), // 4 NCs
+    ];
+    let classes = vec![
+        ServiceClass::new("premium", 2, 35_000.0).with_weight(4),
+        ServiceClass::new("standard", 3, 250_000.0).with_weight(2),
+        ServiceClass::new("bulk", 4, 1_000_000.0).with_weight(1),
+    ];
+    let sweep = SweepConfig::rate(20, 0.7, 7);
+    let spec = ServingSpec::new(18, 3_000.0, ArrivalProcess::Bursty { burst: 6 }, 7);
+    let run = |spec: &ServingSpec| {
+        serving_sweep(
+            &nets,
+            &classes,
+            spec,
+            &sweep,
+            &pool_cfg,
+            PackingPolicy::BestFit,
+        )
+    };
+
+    let ungated = run(&spec.clone().with_idle_gating(1.0))?;
+    print_report("static 4:2:1 weights, always-powered pool", &ungated);
+
+    let gated = run(&spec)?;
+    print_report("static 4:2:1 weights, idle NCs gated to 10%", &gated);
+    assert_eq!(gated.outcomes, ungated.outcomes, "gating never reschedules");
+
+    let adaptive = run(&spec
+        .clone()
+        .with_qos(QosPolicy::Adaptive { max_weight: 64 }))?;
+    print_report("SLO-adaptive weights, gated pool", &adaptive);
+    assert_eq!(adaptive.rounds, gated.rounds, "the bus is work-conserving");
+
+    let (s, a) = (&gated.classes[0], &adaptive.classes[0]);
+    println!(
+        "premium under the controller: p99 {:.2} us -> {:.2} us, weight 4 -> {} \
+         (same rounds, same energy; standard absorbs the wait)",
+        s.p99.microseconds(),
+        a.p99.microseconds(),
+        a.final_weight
+    );
+    Ok(())
+}

@@ -690,6 +690,130 @@ proptest! {
         prop_assert!(wrecked != *clean, "saturating stuck-at must change the kernels");
     }
 
+    /// Open-loop serving is deterministic per seed: the identical
+    /// inputs reproduce the whole [`ServingReport`] bit for bit —
+    /// every latency, every energy term, every outcome — across all
+    /// three arrival processes, while a different arrival seed
+    /// produces a different arrival trace.
+    #[test]
+    fn serving_replay_is_bit_identical_per_seed(
+        hidden in 16usize..100,
+        requests in 3usize..9,
+        gap in 300.0f64..4_000.0,
+        process_kind in 0usize..3,
+        burst in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let arrivals = match process_kind {
+            0 => ArrivalProcess::Poisson,
+            1 => ArrivalProcess::Bursty { burst },
+            _ => ArrivalProcess::Diurnal { period_ns: 20_000.0, amplitude: 0.7 },
+        };
+        let nets = vec![Network::random(Topology::mlp(96, &[hidden, 10]), seed, 1.0)];
+        let classes = vec![ServiceClass::new("only", 2, 5_000.0).with_weight(2)];
+        let mut spec = ServingSpec::new(requests, gap, arrivals, seed)
+            .with_qos(QosPolicy::Adaptive { max_weight: 16 })
+            .with_preemption(32.0);
+        spec.samples = 2;
+        let cfg = SweepConfig::rate(5, 0.8, seed);
+        let run = || serving_sweep(
+            &nets, &classes, &spec, &cfg,
+            &ResparcConfig::resparc_64(), PackingPolicy::BestFit,
+        ).expect("one small class always fits");
+        prop_assert_eq!(run(), run(), "same seed must reproduce the report");
+
+        let times = arrivals.arrival_times(requests, gap, seed);
+        prop_assert!(
+            times != arrivals.arrival_times(requests, gap, seed ^ 0x9e37_79b9),
+            "a different arrival seed must produce a different trace"
+        );
+    }
+
+    /// The SLO-adaptive controller is work-conserving (the PR-5
+    /// invariant extended to serving): with preemption off, adapting
+    /// bus weights round over round changes *who waits inside a
+    /// round*, never the schedule — rounds, makespan, busy time,
+    /// dynamic energy, leakage and every admission outcome match the
+    /// static run bit for bit.
+    #[test]
+    fn adaptive_serving_controller_is_work_conserving(
+        hidden_a in 16usize..100,
+        hidden_b in 16usize..100,
+        requests in 4usize..10,
+        gap in 200.0f64..2_000.0,
+        slo in 500.0f64..20_000.0,
+        max_queue in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let nets = vec![
+            Network::random(Topology::mlp(96, &[hidden_a, 10]), seed, 1.0),
+            Network::random(Topology::mlp(96, &[hidden_b, 10]), seed + 1, 1.0),
+        ];
+        let classes = vec![
+            ServiceClass::new("tight", 2, slo).with_weight(3),
+            ServiceClass::new("loose", 3, 1e9),
+        ];
+        let mut spec = ServingSpec::new(
+            requests, gap, ArrivalProcess::Bursty { burst: 3 }, seed,
+        ).with_max_queue(max_queue);
+        spec.samples = 2;
+        let cfg = SweepConfig::rate(5, 0.8, seed);
+        let run = |spec: &ServingSpec| serving_sweep(
+            &nets, &classes, spec, &cfg,
+            &ResparcConfig::resparc_64(), PackingPolicy::FirstFit,
+        ).expect("small classes always fit");
+        let s = run(&spec);
+        let a = run(&spec.clone().with_qos(QosPolicy::Adaptive { max_weight: 32 }));
+
+        prop_assert_eq!(a.rounds, s.rounds);
+        prop_assert_eq!(a.makespan, s.makespan);
+        prop_assert_eq!(a.busy_time, s.busy_time);
+        prop_assert_eq!(a.dynamic_energy, s.dynamic_energy);
+        prop_assert_eq!(a.occupied_leakage, s.occupied_leakage);
+        prop_assert_eq!(a.gated_idle_leakage, s.gated_idle_leakage);
+        prop_assert_eq!(a.completed, s.completed);
+        prop_assert_eq!(a.rejected, s.rejected);
+    }
+
+    /// Power gating only ever shrinks the bill: for every schedule and
+    /// every gating factor in [0, 1], the billed idle leakage never
+    /// exceeds the same run's ungated counterfactual, the counterfactual
+    /// itself is gating-independent, and a factor of exactly 1.0
+    /// reproduces the always-powered report bit for bit.
+    #[test]
+    fn gated_idle_leakage_never_exceeds_ungated(
+        hidden in 16usize..100,
+        requests in 3usize..8,
+        gap in 300.0f64..5_000.0,
+        factor in 0.0f64..1.0,
+        service in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let nets = vec![Network::random(Topology::mlp(96, &[hidden, 10]), seed, 1.0)];
+        let classes = vec![ServiceClass::new("only", service, 1e9)];
+        let mut spec = ServingSpec::new(requests, gap, ArrivalProcess::Poisson, seed);
+        spec.samples = 2;
+        let cfg = SweepConfig::rate(5, 0.8, seed);
+        let run = |factor: f64| serving_sweep(
+            &nets, &classes, &spec.clone().with_idle_gating(factor), &cfg,
+            &ResparcConfig::resparc_64(), PackingPolicy::Defragment,
+        ).expect("one small class always fits");
+        let gated = run(factor);
+        let ungated = run(1.0);
+
+        prop_assert!(gated.gated_idle_leakage <= gated.ungated_idle_leakage);
+        prop_assert!(gated.pool_energy() <= gated.ungated_pool_energy());
+        // Gating never reschedules: same rounds, clock and outcomes.
+        prop_assert_eq!(gated.rounds, ungated.rounds);
+        prop_assert_eq!(gated.makespan, ungated.makespan);
+        prop_assert_eq!(&gated.outcomes, &ungated.outcomes);
+        // The counterfactual is gating-independent, and factor 1.0
+        // reproduces the always-powered billing exactly.
+        prop_assert_eq!(gated.ungated_idle_leakage, ungated.ungated_idle_leakage);
+        prop_assert_eq!(ungated.gated_idle_leakage, ungated.ungated_idle_leakage);
+        prop_assert_eq!(ungated.pool_energy(), ungated.ungated_pool_energy());
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

@@ -1,0 +1,31 @@
+//! CLI for the bounded model checker: runs the CI suite and exits
+//! nonzero on any invariant violation.
+
+use resparc_analysis::model::{check, suite};
+
+fn main() {
+    let mut total = 0usize;
+    let mut failed = false;
+    for cfg in suite() {
+        let outcome = check(&cfg);
+        total += outcome.states;
+        match &outcome.violation {
+            None => println!(
+                "model-check: {} ok ({} transitions, depth {})",
+                cfg.name, outcome.states, cfg.depth
+            ),
+            Some(v) => {
+                failed = true;
+                println!("model-check: {} VIOLATION: {v}", cfg.name);
+            }
+        }
+    }
+    println!("model-check: {total} transitions explored");
+    if failed {
+        std::process::exit(1);
+    }
+    if total < 10_000 {
+        println!("model-check: suite shrank below the 10^4-transition floor");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! CLI for the determinism linter. Scans the workspace's first-party
+//! sources and exits nonzero on any unsuppressed finding.
+
+use resparc_analysis::lint::lint_workspace;
+use std::path::PathBuf;
+
+fn main() {
+    // The binary lives at crates/analysis; the workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|e| {
+            eprintln!("resparc-lint: cannot resolve workspace root: {e}");
+            std::process::exit(2);
+        });
+    let reports = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resparc-lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut findings = 0usize;
+    let mut suppressed = 0usize;
+    for report in &reports {
+        suppressed += report.suppressed;
+        for f in &report.findings {
+            findings += 1;
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule.id(), f.message);
+        }
+    }
+    println!(
+        "resparc-lint: {findings} unsuppressed finding(s), {suppressed} suppression(s) with reasons"
+    );
+    if findings > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,434 @@
+//! A lightweight Rust scanner for [`lint`](crate::lint).
+//!
+//! The offline vendor set has no `syn`, and the lint rules only need
+//! token-level facts — "identifier `HashMap` outside a test module",
+//! "`.unwrap(` in library code" — so a hand-rolled scanner is enough.
+//! The scanner's one hard job is *not* producing false tokens out of
+//! non-code: string literals (including raw strings), char literals vs
+//! lifetimes, and comments (line, block, nested block) are consumed
+//! whole, so a `"panic!"` inside a string or a doctest inside a `///`
+//! comment can never trigger a rule.
+//!
+//! Comments are not discarded: line comments are kept (with their line
+//! numbers) because suppressions ride on them
+//! (`// resparc-lint: allow(rule, reason = "...")`), and
+//! [`test_line_ranges`] re-walks the token stream to find
+//! `#[cfg(test)] mod … { … }` regions so rules can scope themselves to
+//! library code.
+
+/// What a scanned token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String or char literal (contents opaque).
+    Literal,
+    /// A single punctuation character (`.`, `!`, `[`, …).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// The token's text. Literals keep only their delimiter (`"` / `'`)
+    /// — their contents can never match a rule.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A `//` comment with its 1-based line and whether any token precedes
+/// it on that line (a trailing comment suppresses its own line; a
+/// whole-line comment suppresses the next code line).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text, `//` included.
+    pub text: String,
+    /// `true` when code precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Output of [`scan`]: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Scans Rust source into tokens and line comments. Never fails: on
+/// malformed input (unterminated literal) the rest of the file is
+/// consumed as one literal, which can only *hide* findings in that
+/// file, never invent them.
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_had_token = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_had_token = false;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: source[start..i].to_string(),
+                    trailing: line_had_token,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            line_had_token = false;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = consume_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"".to_string(),
+                    line,
+                });
+                line_had_token = true;
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let tok_line = line;
+                i = consume_raw_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"".to_string(),
+                    line: tok_line,
+                });
+                line_had_token = true;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "'".to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    // A lifetime: consume the quote, the identifier
+                    // lexes on the next iterations.
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "'".to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+                line_had_token = true;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+                line_had_token = true;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i] == b'.' || bytes[i].is_ascii_alphanumeric())
+                {
+                    // `0..8` is a range, not a float: stop a number at
+                    // the first of two consecutive dots.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+                line_had_token = true;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+                line_had_token = true;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at `i` (the opening quote);
+/// returns the index one past the closing quote.
+fn consume_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r"`, `r#"`, `br"`, `b"`-style raw/byte string syntax starts
+/// at `i`.
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Consumes a raw (or byte) string starting at `i`; returns the index
+/// one past the closing delimiter.
+fn consume_raw_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // Plain byte string `b"…"`.
+        return consume_string(bytes, i, line);
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If a char literal (`'a'`, `'\n'`, `'\u{1F600}'`) starts at `i`,
+/// returns the index one past its closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2;
+        // Consume \u{…} / \x41 digits up to the closing quote.
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j + 1);
+    }
+    // One character (possibly multi-byte UTF-8) then a quote.
+    j += 1;
+    while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]`-gated
+/// items — test modules (and test-gated functions), whose bodies rules
+/// scoped to library code must skip.
+pub fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut k = 0usize;
+    while k < tokens.len() {
+        if is_cfg_test_attr(tokens, k) {
+            // Find the gated item's opening brace, then its match.
+            let mut j = k;
+            let mut depth = 0i32;
+            let start_line = tokens[k].line;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => {
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            ranges.push((start_line, tokens[j].line));
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break, // e.g. `#[cfg(test)] use …;`
+                    _ => {}
+                }
+                j += 1;
+            }
+            k = j;
+        }
+        k += 1;
+    }
+    ranges
+}
+
+/// Whether `#[cfg(test)]` (or `#[cfg(any(test, …))]`) starts at token
+/// `k`.
+fn is_cfg_test_attr(tokens: &[Token], k: usize) -> bool {
+    if tokens[k].text != "#" || tokens.get(k + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    if tokens.get(k + 2).map(|t| t.text.as_str()) != Some("cfg") {
+        return false;
+    }
+    // Scan to the attribute's closing `]`, accepting any cfg predicate
+    // that mentions `test`.
+    let mut depth = 0i32;
+    for t in tokens.iter().skip(k + 1).take(32) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "test" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_identifier_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"thread_rng in a raw "string""#;
+            let c = 'x';
+            let esc = '\n';
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.iter().any(|t| t == "HashMap"));
+        assert!(!ids.iter().any(|t| t == "panic"));
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(!ids.iter().any(|t| t == "thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a HashMap<u32, u32>) {}");
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_hide_their_examples() {
+        let src = "/// let x = map.unwrap();\nfn real() {}";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn comments_are_recorded_with_position() {
+        let src = "let x = 1; // trailing\n// whole line\nlet y = 2;";
+        let scanned = scan(src);
+        assert_eq!(scanned.comments.len(), 2);
+        assert!(scanned.comments[0].trailing);
+        assert_eq!(scanned.comments[0].line, 1);
+        assert!(!scanned.comments[1].trailing);
+        assert_eq!(scanned.comments[1].line, 2);
+    }
+
+    #[test]
+    fn test_module_ranges_cover_the_braces() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn more() {}";
+        let scanned = scan(src);
+        let ranges = test_line_ranges(&scanned.tokens);
+        assert_eq!(ranges, vec![(2, 5)]);
+        let src2 = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { }";
+        let r2 = test_line_ranges(&scan(src2).tokens);
+        assert_eq!(r2, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = scan("for i in 0..8 {}");
+        let texts: Vec<&str> = toks.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"8"));
+    }
+}

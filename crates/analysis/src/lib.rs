@@ -1,0 +1,22 @@
+//! Correctness tooling for the RESPARC reproduction.
+//!
+//! Two engines, both run in CI:
+//!
+//! * [`lint`] — `resparc-lint`, a source-level static analyzer built on
+//!   the hand-rolled scanner in [`lexer`]. Its rules encode the
+//!   determinism discipline the repo's bit-identity claims depend on:
+//!   no unordered collections in result-bearing code, no wall-clock or
+//!   OS entropy outside `crates/bench`, no panicking calls in
+//!   `core`/`workloads` library paths, no lossy float narrowing in the
+//!   energy ledger. Run with
+//!   `cargo run -p resparc-analysis --bin resparc-lint`.
+//!
+//! * [`model`] — a bounded exhaustive model checker for the
+//!   `FabricScheduler` × NC-health × admission state machine. It
+//!   enumerates every interleaving of a small event vocabulary over
+//!   2–4 NC pools and asserts six invariants after each transition.
+//!   Run with `cargo run -p resparc-analysis --bin model-check`.
+
+pub mod lexer;
+pub mod lint;
+pub mod model;

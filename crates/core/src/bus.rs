@@ -105,6 +105,7 @@ impl GlobalBus {
         let flag = self
             .event_flags
             .get_mut(&cell)
+            // resparc-lint: allow(no-panic, reason = "documented panic contract: tags come from this bus's own roster")
             .expect("NeuroCell must be on the bus");
         *flag = true;
     }

@@ -82,7 +82,7 @@ pub mod scheduler;
 pub mod shared;
 
 pub use pool::{FabricPool, NcHealth, PackingPolicy};
-pub use scheduler::{FabricScheduler, RequestId, ScheduledTenant, ServiceRecord};
+pub use scheduler::{FabricScheduler, RequestId, ScheduleError, ScheduledTenant, ServiceRecord};
 pub use shared::{SharedEventSimulator, SharedReport, TenantReport};
 
 /// Handle of one admitted tenant (stable across evictions of others).

@@ -430,8 +430,13 @@ impl FabricPool {
                 && self.post_defrag_largest_run() >= needed =>
             {
                 self.defragment();
-                self.find_run(needed)
-                    .expect("the compaction plan guaranteed a fitting free run")
+                match self.find_run(needed) {
+                    Some(origin) => origin,
+                    // The compaction plan guaranteed a fitting free
+                    // run; tolerate a miss as plain exhaustion rather
+                    // than panicking mid-admission.
+                    None => return Err(self.capacity_error(needed)),
+                }
             }
             None => return Err(self.capacity_error(needed)),
         };
@@ -613,11 +618,17 @@ impl FabricPool {
             // into segment k or earlier, so segment k never holds more
             // than the current (valid) layout already fits — first-fit
             // always finds room for every resident.
-            let s = segments
+            let Some(s) = segments
                 .iter()
                 .zip(&used)
                 .position(|(&(_, len), &u)| len - u >= size)
-                .expect("greedy compaction re-fits every resident tenant");
+            else {
+                // Unreachable per the invariant above; degrade to
+                // keep-in-place so a broken plan never tears a layout.
+                debug_assert!(false, "greedy compaction re-fits every resident tenant");
+                assignments.push((i, self.tenants[i].first_nc()));
+                continue;
+            };
             assignments.push((i, segments[s].0 + used[s]));
             used[s] += size;
         }

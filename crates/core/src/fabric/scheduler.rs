@@ -86,6 +86,45 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// A violation of the scheduler's cross-structure invariants, surfaced
+/// by [`FabricScheduler::check_consistency`]. These are bugs, not
+/// operational conditions: a healthy scheduler never returns one. The
+/// bounded model checker in `resparc-analysis` calls the check after
+/// every transition of every explored interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An active record's tenant is unknown to the pool, or resident
+    /// with a different NeuroCell footprint than the scheduler recorded.
+    TenantNotResident {
+        /// The request whose residency is inconsistent.
+        request: RequestId,
+        /// The stale (or mismatched) pool handle.
+        tenant: TenantId,
+    },
+    /// A request id appears more than once across queue, active set and
+    /// completed log — a request was duplicated instead of moved.
+    DuplicateRequest {
+        /// The duplicated id.
+        request: RequestId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::TenantNotResident { request, tenant } => write!(
+                f,
+                "{request} is active as tenant {tenant:?} but the pool disagrees"
+            ),
+            ScheduleError::DuplicateRequest { request } => {
+                write!(f, "{request} appears in more than one scheduler structure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// One resident tenant in the round [`FabricScheduler::begin_round`]
 /// planned: what to replay and at which bus-arbitration weight.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -271,6 +310,50 @@ impl FabricScheduler {
         &self.completed
     }
 
+    /// Request ids waiting for capacity, head first.
+    pub fn queued_requests(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.queue.iter().map(|p| p.request)
+    }
+
+    /// Resident requests with their pool residency handles, in
+    /// admission order.
+    pub fn active_requests(&self) -> impl Iterator<Item = (RequestId, TenantId)> + '_ {
+        self.active.iter().map(|a| (a.request, a.tenant))
+    }
+
+    /// Validates the scheduler's cross-structure invariants: every
+    /// active record's tenant is resident in the pool with the recorded
+    /// NeuroCell footprint, and no request id appears in more than one
+    /// of queue / active set / completed log. Cheap (linear in the
+    /// request population); a healthy scheduler always returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ScheduleError`] violation found, if any.
+    pub fn check_consistency(&self) -> Result<(), ScheduleError> {
+        for a in &self.active {
+            match self.pool.tenant(a.tenant) {
+                Some(t) if t.nc_count() == a.ncs => {}
+                _ => {
+                    return Err(ScheduleError::TenantNotResident {
+                        request: a.request,
+                        tenant: a.tenant,
+                    })
+                }
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let queued = self.queue.iter().map(|p| p.request);
+        let active = self.active.iter().map(|a| a.request);
+        let completed = self.completed.iter().map(|r| r.request);
+        for request in queued.chain(active).chain(completed) {
+            if !seen.insert(request) {
+                return Err(ScheduleError::DuplicateRequest { request });
+            }
+        }
+        Ok(())
+    }
+
     /// Submits a request: the network is mapped once against the pool's
     /// configuration and queued FIFO for `service_rounds` replay rounds
     /// at bus-arbitration weight `weight`. Admission happens in
@@ -406,16 +489,18 @@ impl FabricScheduler {
     pub fn begin_round(&mut self) -> Vec<ScheduledTenant> {
         while let Some(head) = self.queue.front() {
             let needed = head.probe.placement.ncs_used.max(1);
-            if needed > self.pool.max_admissible_run() {
-                let head = self.queue.pop_front().expect("front exists");
-                self.retire_aborted(head);
-                continue;
-            }
-            if !self.pool.can_admit(needed) {
+            let servable = needed <= self.pool.max_admissible_run();
+            if servable && !self.pool.can_admit(needed) {
                 break;
             }
-            let head = self.queue.pop_front().expect("front exists");
-            self.admit_pending(head);
+            let Some(head) = self.queue.pop_front() else {
+                break;
+            };
+            if servable {
+                self.admit_pending(head);
+            } else {
+                self.retire_aborted(head);
+            }
         }
         // The head (if any) is now blocked on capacity. Track how long
         // it has been *this* head waiting — the starvation clock — and
@@ -439,8 +524,10 @@ impl FabricScheduler {
                     while i < self.queue.len() {
                         let needed = self.queue[i].probe.placement.ncs_used.max(1);
                         if needed <= self.pool.max_admissible_run() && self.pool.can_admit(needed) {
-                            let p = self.queue.remove(i).expect("index in bounds");
-                            self.admit_pending(p);
+                            match self.queue.remove(i) {
+                                Some(p) => self.admit_pending(p),
+                                None => break,
+                            }
                         } else {
                             i += 1;
                         }
@@ -461,7 +548,11 @@ impl FabricScheduler {
     }
 
     /// Admits one pending request into the pool (capacity was probed by
-    /// the caller) and activates it for this round.
+    /// the caller) and activates it for this round. Should the pool
+    /// refuse despite the probe — a probe/allocator disagreement that
+    /// would be a bug — the request is retired as aborted rather than
+    /// panicking or silently dropping it (the request-conservation
+    /// invariant the `resparc-analysis` model checker asserts).
     fn admit_pending(&mut self, head: Pending) {
         let needed = head.probe.placement.ncs_used.max(1);
         let recovery = if head.interruptions > 0 {
@@ -469,10 +560,26 @@ impl FabricScheduler {
         } else {
             0
         };
-        let tenant = self
-            .pool
-            .admit_mapped(head.probe, &head.name)
-            .expect("can_admit probed this admission");
+        let tenant = match self.pool.admit_mapped(head.probe, &head.name) {
+            Ok(tenant) => tenant,
+            Err(_) => {
+                debug_assert!(false, "can_admit probed this admission");
+                self.completed.push(ServiceRecord {
+                    request: head.request,
+                    name: head.name,
+                    ncs: needed,
+                    weight: head.weight,
+                    submitted_round: head.submitted_round,
+                    admitted_round: head.first_admitted_round.unwrap_or(self.round),
+                    departed_round: Some(self.round),
+                    rounds_served: head.rounds_served,
+                    interruptions: head.interruptions,
+                    recovery_rounds: head.recovery_rounds,
+                    aborted: true,
+                });
+                return;
+            }
+        };
         self.active.push(Active {
             request: head.request,
             tenant,
@@ -518,9 +625,8 @@ impl FabricScheduler {
     pub fn cancel(&mut self, request: RequestId) -> bool {
         if let Some(at) = self.active.iter().position(|a| a.request == request) {
             let a = self.active.remove(at);
-            self.pool
-                .evict(a.tenant)
-                .expect("active tenant was resident");
+            let evicted = self.pool.evict(a.tenant);
+            debug_assert!(evicted.is_some(), "active tenant was resident");
             self.completed.push(ServiceRecord {
                 request: a.request,
                 name: a.name,
@@ -537,9 +643,10 @@ impl FabricScheduler {
             return true;
         }
         if let Some(at) = self.queue.iter().position(|p| p.request == request) {
-            let p = self.queue.remove(at).expect("index in bounds");
-            self.retire_aborted(p);
-            return true;
+            if let Some(p) = self.queue.remove(at) {
+                self.retire_aborted(p);
+                return true;
+            }
         }
         false
     }
@@ -555,9 +662,8 @@ impl FabricScheduler {
             self.active[i].rounds_served += 1;
             if self.active[i].rounds_served == self.active[i].service_rounds {
                 let done = self.active.remove(i);
-                self.pool
-                    .evict(done.tenant)
-                    .expect("active tenant was resident");
+                let evicted = self.pool.evict(done.tenant);
+                debug_assert!(evicted.is_some(), "active tenant was resident");
                 self.completed.push(ServiceRecord {
                     request: done.request,
                     name: done.name,

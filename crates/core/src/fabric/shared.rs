@@ -236,6 +236,7 @@ impl<'p> SharedEventSimulator<'p> {
             let tenant = self
                 .pool
                 .tenant(*id)
+                // resparc-lint: allow(no-panic, reason = "documented panic contract: run_weighted takes ids the caller obtained from this pool")
                 .unwrap_or_else(|| panic!("{id} is not resident in the pool"));
             assert!(
                 entries.iter().all(|(t, _)| t.id != *id),

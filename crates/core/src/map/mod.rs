@@ -266,12 +266,13 @@ impl Mapper {
     ) -> Vec<(usize, usize)> {
         let mut out: Vec<(usize, usize)> = candidates
             .iter()
-            .map(|&size| {
+            .filter_map(|&size| {
                 let mut cfg = self.config.clone();
                 cfg.mca_size = size;
-                let m = Mapper::new(cfg).map(topology).expect("valid config");
+                // Infeasible candidate sizes are skipped, not fatal.
+                let m = Mapper::new(cfg).map(topology).ok()?;
                 // Footprint proxy shared with the simulators' cost math.
-                (size, crate::sim::cost::device_footprint(&m.placement, size))
+                Some((size, crate::sim::cost::device_footprint(&m.placement, size)))
             })
             .collect();
         out.sort_by_key(|&(_, devices)| devices);

@@ -176,8 +176,10 @@ impl PartitionOptions {
 
 /// Mutable state of the tile currently being filled.
 struct OpenTile {
-    /// Map from global input id to row slot.
-    row_of: std::collections::HashMap<u32, u32>,
+    /// Map from global input id to row slot. Ordered so every walk of
+    /// the tile state is deterministic by construction (tiles hold at
+    /// most `mca_size` entries; the BTree cost is negligible).
+    row_of: std::collections::BTreeMap<u32, u32>,
     row_inputs: Vec<u32>,
     columns: Vec<TileColumnDetail>,
     synapses: u32,
@@ -188,7 +190,7 @@ struct OpenTile {
 impl OpenTile {
     fn new() -> Self {
         Self {
-            row_of: std::collections::HashMap::new(),
+            row_of: std::collections::BTreeMap::new(),
             row_inputs: Vec::new(),
             columns: Vec::new(),
             synapses: 0,

@@ -66,9 +66,7 @@ impl McaBuffers {
             "input window not ready: {} of {packets_needed} packets",
             self.ibuff.len()
         );
-        (0..packets_needed)
-            .map(|_| self.ibuff.pop_front().expect("checked above"))
-            .collect()
+        self.ibuff.drain(..packets_needed).collect()
     }
 
     /// Queues a computed output packet.

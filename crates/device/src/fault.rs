@@ -228,7 +228,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn empty_plan_is_identity() {
@@ -271,10 +271,10 @@ mod tests {
     #[test]
     fn layer_streams_are_decorrelated() {
         let plan = FaultPlan::stuck_at(11, 0.5);
-        let a: HashSet<u64> = (0..256)
+        let a: BTreeSet<u64> = (0..256)
             .map(|c| stream_seed(plan.layer_seed(0), c))
             .collect();
-        let b: HashSet<u64> = (0..256)
+        let b: BTreeSet<u64> = (0..256)
             .map(|c| stream_seed(plan.layer_seed(1), c))
             .collect();
         assert_eq!(a.len(), 256);
@@ -325,7 +325,7 @@ mod tests {
             .map(|c| var.cell_weight(ls, c, 0.5, 1.0))
             .collect();
         assert!(draws.iter().all(|&w| (0.0..=1.0).contains(&w)));
-        let distinct: HashSet<u32> = draws.iter().map(|w| w.to_bits()).collect();
+        let distinct: BTreeSet<u32> = draws.iter().map(|w| w.to_bits()).collect();
         assert!(distinct.len() > 3_000, "variation must spread per cell");
         let mean = draws.iter().map(|&w| w as f64).sum::<f64>() / draws.len() as f64;
         // Log-normal with σ=0.3 has mean exp(σ²/2) ≈ 1.046 × the base.

@@ -647,7 +647,7 @@ mod tests {
             else {
                 continue;
             };
-            let mut by_cell = std::collections::HashMap::new();
+            let mut by_cell = std::collections::BTreeMap::new();
             for o in 0..layer.outputs() {
                 let (s, e) = (out_indptr[o] as usize, out_indptr[o + 1] as usize);
                 for (k, &i) in out_inputs[s..e].iter().enumerate() {

@@ -82,17 +82,20 @@ impl Benchmark {
         // (running average over probe images of different classes).
         let gen = self.dataset.generator(seed);
         let mut enc = PoissonEncoder::new(Self::PEAK_RATE, seed ^ 0xAC71);
-        let mut acc: Option<ActivityProfile> = None;
-        for (i, class) in [0usize, 3, 7].into_iter().enumerate() {
+        // The probe set is a fixed non-empty class list, so the
+        // accumulator can seed from the first probe directly.
+        let mut probes = [0usize, 3, 7].into_iter().enumerate().map(|(i, class)| {
             let img = gen.sample(class, i as u64);
             let raster: SpikeRaster = enc.encode(&img, 40);
-            let p = ActivityProfile::measure(&raster, &[], widths);
-            match &mut acc {
-                None => acc = Some(p),
-                Some(a) => a.average_with(&p),
-            }
+            ActivityProfile::measure(&raster, &[], widths)
+        });
+        let mut acc = probes
+            .next()
+            .unwrap_or_else(|| ActivityProfile::new(Vec::new()));
+        for p in probes {
+            acc.average_with(&p);
         }
-        let input_stats = acc.expect("probe set non-empty").boundary(0).clone();
+        let input_stats = acc.boundary(0).clone();
 
         let mut boundaries = vec![input_stats];
         let mut rate = 0.15f64;
@@ -122,6 +125,7 @@ fn cnn_topology(side: usize, f1: usize, f2: usize, hidden: usize) -> Topology {
         .dense(hidden)
         .dense(10)
         .build()
+        // resparc-lint: allow(no-panic, reason = "static benchmark topology, validated by the suite's own tests")
         .expect("benchmark CNN topology is consistent")
 }
 

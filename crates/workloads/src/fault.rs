@@ -296,7 +296,8 @@ pub fn fault_recovery_drill(
             inferences += residents.len();
             let active_ncs: usize = residents
                 .iter()
-                .map(|st| sched.pool().tenant(st.tenant).expect("resident").nc_count())
+                .filter_map(|st| sched.pool().tenant(st.tenant))
+                .map(|t| t.nc_count())
                 .sum();
             let util = active_ncs as f64 / pool_config.physical_ncs as f64;
             let bucket = match first_fault_round {

@@ -28,12 +28,12 @@ pub(crate) fn stream_seed(seed: u64, i: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn stream_seeds_are_distinct_and_uncorrelated() {
-        let a: HashSet<u64> = (0..256).map(|i| stream_seed(7, i)).collect();
-        let b: HashSet<u64> = (0..256).map(|i| stream_seed(6, i)).collect();
+        let a: BTreeSet<u64> = (0..256).map(|i| stream_seed(7, i)).collect();
+        let b: BTreeSet<u64> = (0..256).map(|i| stream_seed(6, i)).collect();
         assert_eq!(a.len(), 256);
         assert!(
             a.is_disjoint(&b),

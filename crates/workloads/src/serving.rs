@@ -762,7 +762,10 @@ pub fn serving_sweep(
     }
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("every arrival has an outcome"))
+        .map(|o| {
+            debug_assert!(o.is_some(), "every arrival has an outcome");
+            o.unwrap_or(RequestOutcome::Aborted)
+        })
         .collect();
 
     // --- Aggregate the service-level view.
@@ -815,9 +818,9 @@ pub fn serving_sweep(
             }
         }
     }
-    all_lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    all_lat.sort_by(f64::total_cmp);
     for (rep, lat) in class_rep.iter_mut().zip(&mut class_lat) {
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        lat.sort_by(f64::total_cmp);
         rep.p50 = percentile(lat, 50.0);
         rep.p99 = percentile(lat, 99.0);
     }

@@ -582,7 +582,7 @@ mod tests {
     use super::*;
     use crate::dataset::{DatasetKind, SyntheticImages};
     use resparc_neuro::prelude::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn trained_toy_net() -> (Network, Vec<(Vec<f32>, usize)>) {
         let gen = SyntheticImages::new(DatasetKind::Mnist, 12, 3);
@@ -624,8 +624,8 @@ mod tests {
         assert_ne!(a.sample_seed(7), 0, "sample i == seed must not zero out");
 
         let b = SweepConfig::rate(10, 0.8, 6);
-        let a_seeds: HashSet<u64> = (0..64).map(|i| a.sample_seed(i)).collect();
-        let b_seeds: HashSet<u64> = (0..64).map(|i| b.sample_seed(i)).collect();
+        let a_seeds: BTreeSet<u64> = (0..64).map(|i| a.sample_seed(i)).collect();
+        let b_seeds: BTreeSet<u64> = (0..64).map(|i| b.sample_seed(i)).collect();
         assert_eq!(a_seeds.len(), 64, "per-sample seeds must be distinct");
         assert!(
             a_seeds.is_disjoint(&b_seeds),

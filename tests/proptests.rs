@@ -814,6 +814,45 @@ proptest! {
         prop_assert_eq!(ungated.pool_energy(), ungated.ungated_pool_energy());
     }
 
+    /// Reports serialize byte-identically across same-seed runs, not
+    /// just compare equal: the Debug rendering of a [`ServingReport`]
+    /// and a [`SweepReport`] is the same byte string both times. Rust's
+    /// f64 Debug format is shortest-roundtrip, so byte-identical text
+    /// means bit-identical floats — any iteration-order or timing
+    /// nondeterminism that PartialEq on aggregates could mask (e.g. a
+    /// reordered per-request vector) shows up here.
+    #[test]
+    fn reports_serialize_byte_identically_per_seed(
+        hidden in 16usize..64,
+        requests in 3usize..7,
+        gap in 300.0f64..3_000.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let nets = vec![Network::random(Topology::mlp(96, &[hidden, 10]), seed, 1.0)];
+        let classes = vec![ServiceClass::new("only", 2, 5_000.0).with_weight(2)];
+        let mut spec = ServingSpec::new(requests, gap, ArrivalProcess::Poisson, seed)
+            .with_qos(QosPolicy::Adaptive { max_weight: 16 });
+        spec.samples = 2;
+        let cfg = SweepConfig::rate(5, 0.8, seed);
+        let serve = || serving_sweep(
+            &nets, &classes, &spec, &cfg,
+            &ResparcConfig::resparc_64(), PackingPolicy::BestFit,
+        ).expect("one small class always fits");
+        prop_assert_eq!(
+            format!("{:?}", serve()), format!("{:?}", serve()),
+            "same-seed serving reports must render identically"
+        );
+
+        let images = SyntheticImages::new(DatasetKind::Mnist, 12, seed);
+        let samples = images.labelled_set(8, seed);
+        let net = Network::random(Topology::mlp(144, &[hidden, 10]), seed, 1.0);
+        let sweep = || spiking_accuracy_sweep(&net, &samples, &cfg);
+        prop_assert_eq!(
+            format!("{:?}", sweep()), format!("{:?}", sweep()),
+            "same-seed sweep reports must render identically"
+        );
+    }
+
     /// Spiking IF rate tracks drive/threshold for constant input.
     #[test]
     fn if_rate_tracks_drive(drive in 0.01f32..0.99) {

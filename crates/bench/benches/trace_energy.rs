@@ -47,6 +47,11 @@ fn bench_capture_trace(c: &mut Criterion) {
 /// Replaying a captured trace through the event simulator vs one
 /// stationary analytic run on the same mapping — the cost of per-packet
 /// fidelity over the closed-form expectation.
+///
+/// `event_mnist_mlp_20steps` is pinned to the scalar **reference**
+/// engine: it is the denominator of the machine-independent
+/// `event_replay_plan/... = event_replay/...` CI ratio gate, so it must
+/// keep measuring the row-walk whatever the library default is.
 fn bench_event_replay(c: &mut Criterion) {
     let net = mnist_mlp_net();
     let mut enc = PoissonEncoder::new(0.4, 5);
@@ -60,11 +65,73 @@ fn bench_event_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_replay");
     group.sample_size(10);
     group.bench_function("event_mnist_mlp_20steps", |b| {
-        b.iter(|| black_box(EventSimulator::new(black_box(&mapping)).run(black_box(&trace))))
+        b.iter(|| {
+            black_box(
+                EventSimulator::with_engine(black_box(&mapping), ReplayEngine::Reference)
+                    .run(black_box(&trace)),
+            )
+        })
     });
     group.bench_function("stationary_mnist_mlp", |b| {
         b.iter(|| black_box(Simulator::new(black_box(&mapping)).run(black_box(&profile))))
     });
+    group.finish();
+
+    // The compiled word-level plan engine on the identical trace and
+    // mapping. The plan is compiled (and cached on the mapping) before
+    // timing starts, mirroring how a long-lived mapping amortises it.
+    let _ = mapping.replay_plan();
+    let mut group = c.benchmark_group("event_replay_plan");
+    group.sample_size(10);
+    group.bench_function("event_mnist_mlp_20steps", |b| {
+        b.iter(|| {
+            black_box(
+                EventSimulator::with_engine(black_box(&mapping), ReplayEngine::Plan)
+                    .run(black_box(&trace)),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The rebar-style engine barometer's criterion face: every replay
+/// engine (stationary analytic, scalar reference, word-level plan) over
+/// two poles of the shared corpus — the dense rate trace and the sparse
+/// TTFS trace. One comparable id per engine×workload; the full
+/// five-trace corpus with JSON rows lives in the `barometer` binary
+/// (`cargo run --release -p resparc-bench --bin barometer`).
+fn bench_barometer(c: &mut Criterion) {
+    let net = mnist_mlp_net();
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .unwrap();
+    let _ = mapping.replay_plan();
+    let stimulus = mnist_stimulus();
+    let dense_raster = PoissonEncoder::new(0.8, 5).encode(&stimulus, STEPS);
+    let ttfs_raster = TtfsEncoder::new().encode(&stimulus, STEPS);
+    let corpus = [
+        ("dense_rate", net.spiking().run_traced(&dense_raster).1),
+        ("ttfs", net.spiking().run_traced(&ttfs_raster).1),
+    ];
+
+    let mut group = c.benchmark_group("barometer");
+    group.sample_size(10);
+    for (workload, trace) in &corpus {
+        let profile = trace.to_profile(&[16, 32, 64, 128]);
+        group.bench_function(format!("stationary_{workload}").as_str(), |b| {
+            b.iter(|| black_box(Simulator::new(black_box(&mapping)).run(black_box(&profile))))
+        });
+        for engine in [ReplayEngine::Reference, ReplayEngine::Plan] {
+            group.bench_function(format!("{}_{workload}", engine.name()).as_str(), |b| {
+                b.iter(|| {
+                    black_box(
+                        EventSimulator::with_engine(black_box(&mapping), engine)
+                            .run(black_box(trace)),
+                    )
+                })
+            });
+        }
+    }
     group.finish();
 }
 
@@ -332,6 +399,6 @@ fn bench_fault_replay(c: &mut Criterion) {
 criterion_group! {
     name = trace_energy;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_capture_trace, bench_event_replay, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant, bench_serving, bench_fault_replay
+    targets = bench_capture_trace, bench_event_replay, bench_barometer, bench_trace_energy_sweep, bench_encoding_sweep, bench_multi_tenant, bench_serving, bench_fault_replay
 }
 criterion_main!(trace_energy);

@@ -1,0 +1,186 @@
+//! The rebar-style replay-engine barometer: every engine over a shared
+//! trace corpus, one comparable JSON row per engine×workload.
+//!
+//! Runs the stationary analytic simulator and both trace-replay engines
+//! (scalar reference, compiled word-level plan) over five MNIST-MLP
+//! traces spanning the activity spectrum — dense rate, sparse Poisson,
+//! bursty, TTFS, and all-silent — on one mapping, timing each pair on
+//! this machine in one process so every ratio is machine-independent.
+//!
+//! ```text
+//! cargo run --release -p resparc-bench --bin barometer
+//! ```
+//!
+//! Stdout gets one JSON object per line (`engine`, `workload`,
+//! `median_ns`, `min_ns`, `iters_per_sample`, `steps`,
+//! `total_energy_pj`), pipeable into any log scraper; the human-readable
+//! table and the plan-vs-reference speedup summary go to stderr. Before
+//! any row is printed the barometer asserts the bit-identity contract —
+//! plan and reference reports must match exactly on every corpus trace —
+//! so a corrupted fast path can never publish numbers.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use resparc_suite::prelude::*;
+
+const STEPS: usize = 20;
+/// Target wall-clock per timing sample; iterations per sample are
+/// calibrated so one sample is at least this long.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+const SAMPLES: usize = 15;
+
+/// Times `f` rebar-style: calibrate iterations to fill a sample, take
+/// `SAMPLES` samples, report (median ns/iter, min ns/iter, iters).
+fn time_ns(mut f: impl FnMut()) -> (f64, f64, u64) {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = (TARGET_SAMPLE_NS / once).clamp(1, 100_000) as u64;
+    let mut per_iter = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let min = per_iter[0];
+    (per_iter[SAMPLES / 2], min, iters)
+}
+
+struct Row {
+    engine: &'static str,
+    workload: &'static str,
+    median_ns: f64,
+    min_ns: f64,
+    iters: u64,
+    energy_pj: f64,
+}
+
+fn main() {
+    let net = Network::random(
+        resparc_suite::resparc_workloads::mnist_mlp().topology,
+        3,
+        1.0,
+    );
+    let stimulus: Vec<f32> = (0..784).map(|i| (i % 9) as f32 / 9.0).collect();
+    let mapping = Mapper::new(ResparcConfig::resparc_64().with_timesteps(STEPS as u32))
+        .map_network(&net)
+        .expect("the paper MLP maps at RESPARC-64");
+
+    // --- Shared corpus: five traces across the activity spectrum ----
+    let trace_of = |raster: &SpikeRaster| net.spiking().run_traced(raster).1;
+    let dense = trace_of(&PoissonEncoder::new(0.8, 5).encode(&stimulus, STEPS));
+    let sparse = trace_of(&PoissonEncoder::new(0.05, 5).encode(&stimulus, STEPS));
+    let ttfs = trace_of(&TtfsEncoder::new().encode(&stimulus, STEPS));
+    let bursty = {
+        // All activity compressed into the first quarter of the window.
+        let head = PoissonEncoder::new(0.9, 5).encode(&stimulus, STEPS / 4);
+        let mut raster = SpikeRaster::new(784);
+        for step in head.iter() {
+            raster.push_view(step);
+        }
+        for _ in STEPS / 4..STEPS {
+            raster.push(SpikeVector::new(784));
+        }
+        trace_of(&raster)
+    };
+    let boundary_sizes: Vec<usize> = (0..dense.boundary_count())
+        .map(|b| dense.boundary(b).neurons())
+        .collect();
+    let silent = SpikeTrace::silent(&boundary_sizes, STEPS);
+    let corpus: [(&'static str, &SpikeTrace); 5] = [
+        ("dense_rate", &dense),
+        ("sparse_poisson", &sparse),
+        ("bursty", &bursty),
+        ("ttfs", &ttfs),
+        ("silent", &silent),
+    ];
+
+    // --- Bit-identity gate before anything is published -------------
+    for (workload, trace) in &corpus {
+        let reference = EventSimulator::with_engine(&mapping, ReplayEngine::Reference).run(trace);
+        let plan = EventSimulator::with_engine(&mapping, ReplayEngine::Plan).run(trace);
+        assert_eq!(
+            reference, plan,
+            "bit-identity violated on corpus trace {workload}"
+        );
+    }
+    let plan = mapping.replay_plan();
+    eprintln!(
+        "replay plan: {} layers, {} windows, {:.1}% contiguous-run fast path",
+        plan.layer_count(),
+        plan.window_count(),
+        100.0 * plan.run_fraction()
+    );
+
+    // --- Time every engine × workload --------------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    for (workload, trace) in &corpus {
+        let profile = trace.to_profile(&[16, 32, 64, 128]);
+        let stationary_report = Simulator::new(&mapping).run(&profile);
+        let (median_ns, min_ns, iters) =
+            time_ns(|| drop(black_box(Simulator::new(black_box(&mapping)).run(&profile))));
+        rows.push(Row {
+            engine: "stationary",
+            workload,
+            median_ns,
+            min_ns,
+            iters,
+            energy_pj: stationary_report.total_energy().picojoules(),
+        });
+        for engine in [ReplayEngine::Reference, ReplayEngine::Plan] {
+            let report = EventSimulator::with_engine(&mapping, engine).run(trace);
+            let (median_ns, min_ns, iters) = time_ns(|| {
+                drop(black_box(
+                    EventSimulator::with_engine(black_box(&mapping), engine).run(black_box(trace)),
+                ))
+            });
+            rows.push(Row {
+                engine: engine.name(),
+                workload,
+                median_ns,
+                min_ns,
+                iters,
+                energy_pj: report.total_energy().picojoules(),
+            });
+        }
+    }
+
+    // --- One JSON row per engine×workload on stdout -------------------
+    for r in &rows {
+        println!(
+            "{{\"engine\":\"{}\",\"workload\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\
+             \"iters_per_sample\":{},\"steps\":{STEPS},\"total_energy_pj\":{:.3}}}",
+            r.engine, r.workload, r.median_ns, r.min_ns, r.iters, r.energy_pj
+        );
+    }
+
+    // --- Human-readable table + speedups on stderr --------------------
+    eprintln!();
+    eprintln!(
+        "{:<18} {:<15} {:>14} {:>14} {:>16}",
+        "engine", "workload", "median ns/iter", "min ns/iter", "energy (pJ)"
+    );
+    for r in &rows {
+        eprintln!(
+            "{:<18} {:<15} {:>14.1} {:>14.1} {:>16.3}",
+            r.engine, r.workload, r.median_ns, r.min_ns, r.energy_pj
+        );
+    }
+    eprintln!();
+    for (workload, _) in &corpus {
+        let median = |engine: &str| {
+            rows.iter()
+                .find(|r| r.engine == engine && r.workload == *workload)
+                .map(|r| r.median_ns)
+                .unwrap_or(f64::NAN)
+        };
+        eprintln!(
+            "{workload:<15} plan speedup over reference: {:>6.2}x",
+            median("reference-replay") / median("plan-replay")
+        );
+    }
+}

@@ -25,7 +25,7 @@ use resparc_neuro::trace::SpikeTrace;
 
 use crate::fabric::{logic_leakage_power, FabricPool, Tenant, TenantId};
 use crate::sim::cost;
-use crate::sim::event::{fold_factor, replay_trace, EventLayerStats, TraceReplay};
+use crate::sim::event::{fold_factor, replay_trace, EventLayerStats, ReplayEngine, TraceReplay};
 
 /// One tenant's slice of a shared replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,12 +164,22 @@ impl SharedReport {
 #[derive(Debug, Clone)]
 pub struct SharedEventSimulator<'p> {
     pool: &'p FabricPool,
+    engine: ReplayEngine,
 }
 
 impl<'p> SharedEventSimulator<'p> {
-    /// Creates a simulator over the pool's resident tenants.
+    /// Creates a simulator over the pool's resident tenants using the
+    /// default (plan) replay engine.
     pub fn new(pool: &'p FabricPool) -> Self {
-        Self { pool }
+        Self::with_engine(pool, ReplayEngine::default())
+    }
+
+    /// Creates a simulator pinned to a specific replay engine. Both
+    /// engines produce bit-identical reports (see
+    /// [`crate::sim::event::ReplayEngine`]); the choice only affects
+    /// replay speed.
+    pub fn with_engine(pool: &'p FabricPool, engine: ReplayEngine) -> Self {
+        Self { pool, engine }
     }
 
     /// Replays one trace per tenant through the shared fabric under
@@ -252,7 +262,7 @@ impl<'p> SharedEventSimulator<'p> {
         let cfg = self.pool.config();
         let replays: Vec<TraceReplay> = entries
             .iter()
-            .map(|(tenant, trace)| replay_trace(&tenant.mapping, trace))
+            .map(|(tenant, trace)| replay_trace(&tenant.mapping, trace, self.engine))
             .collect();
         let folds: Vec<u64> = entries
             .iter()

@@ -16,7 +16,7 @@
 use resparc_device::crossbar::Crossbar;
 use resparc_neuro::network::Network;
 use resparc_neuro::neuron::{Membrane, NeuronConfig};
-use resparc_neuro::spike::SpikeVector;
+use resparc_neuro::spike::{AsSpikeView, SpikeVector};
 
 use crate::map::Mapping;
 
@@ -166,9 +166,10 @@ impl HwCore {
     /// # Panics
     ///
     /// Panics if `input.len() != input_count()`.
-    pub fn step(&mut self, input: &SpikeVector) -> SpikeVector {
+    pub fn step(&mut self, input: impl AsSpikeView) -> SpikeVector {
+        let input = input.as_view();
         assert_eq!(input.len(), self.input_count, "input size mismatch");
-        let mut current_spikes = input.clone();
+        let mut current_spikes = input.to_vector();
         for layer in &mut self.layers {
             let mut currents = vec![0.0f64; layer.membranes.len()];
             for tile in &layer.tiles {

@@ -74,7 +74,8 @@ pub use map::{
     Placement, Tile,
 };
 pub use mpe::{CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule};
-pub use sim::event::{EventLayerStats, EventReport, EventSimulator};
+pub use sim::event::{EventLayerStats, EventReport, EventSimulator, ReplayEngine};
+pub use sim::plan::ReplayPlan;
 pub use sim::{ExecutionReport, LayerExecStats, Simulator};
 pub use switch::{PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, SwitchOutput};
 
@@ -95,7 +96,8 @@ pub mod prelude {
     pub use crate::mpe::{
         CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule,
     };
-    pub use crate::sim::event::{EventLayerStats, EventReport, EventSimulator};
+    pub use crate::sim::event::{EventLayerStats, EventReport, EventSimulator, ReplayEngine};
+    pub use crate::sim::plan::ReplayPlan;
     pub use crate::sim::{ExecutionReport, LayerExecStats, Simulator};
     pub use crate::switch::{
         PacketAddress, ProgrammableSwitch, SpikePacket, SwitchCoord, SwitchOutput,

@@ -14,6 +14,8 @@
 pub mod partition;
 pub mod placement;
 
+use std::sync::{Arc, OnceLock};
+
 use resparc_device::sizing::max_feasible_size;
 use resparc_neuro::connectivity::ConnectivityMatrix;
 use resparc_neuro::network::Network;
@@ -251,6 +253,7 @@ impl Mapper {
             placement,
             mean_weight_mags: mean_weight_mags.to_vec(),
             technology_warning,
+            replay_plan: OnceLock::new(),
         })
     }
 
@@ -295,12 +298,27 @@ pub struct Mapping {
     /// Advisory warning when the MCA size exceeds the technology's
     /// reliable range.
     pub technology_warning: Option<String>,
+    /// Lazily-compiled word-level replay plan (see
+    /// [`crate::sim::plan::ReplayPlan`]). Cloning a mapping shares the
+    /// already-compiled plan; the plan reads only `partitions` and
+    /// `config.packet_bits`, so placement translation (pool compaction)
+    /// never invalidates it.
+    replay_plan: OnceLock<Arc<crate::sim::plan::ReplayPlan>>,
 }
 
 impl Mapping {
     /// Number of layers mapped.
     pub fn layer_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// The compiled word-level replay plan for this mapping, compiling it
+    /// on first use (thread-safe, compiled at most once per mapping).
+    pub fn replay_plan(&self) -> Arc<crate::sim::plan::ReplayPlan> {
+        Arc::clone(
+            self.replay_plan
+                .get_or_init(|| Arc::new(crate::sim::plan::ReplayPlan::compile(self))),
+        )
     }
 
     /// Summarises the mapping (the report behind Fig. 12's utilization

@@ -49,17 +49,72 @@
 //! module's [`EventReport`] bit-for-bit — the regression contract
 //! `tests/multi_tenant.rs` pins.
 //!
+//! # Replay engines
+//!
+//! The only hot decision inside the walk is *how a tile's packet windows
+//! are counted against the step's input spikes*. [`ReplayEngine`] selects
+//! the implementation:
+//!
+//! * [`ReplayEngine::Reference`] — the scalar row walk: one bit test per
+//!   occupied row (`rows.chunks(packet_bits)` over `tile_rows`). Simple,
+//!   obviously correct, and the oracle the fast path is checked against.
+//! * [`ReplayEngine::Plan`] (default) — the compiled word-level plan
+//!   ([`ReplayPlan`](crate::sim::plan::ReplayPlan), cached on the
+//!   [`Mapping`]): each window is pre-lowered to word/mask operations on
+//!   the trace's packed words, so counting a window is an AND + popcount
+//!   (or two shifted words for contiguous runs) instead of up to
+//!   `packet_bits` bit probes.
+//!
+//! Both engines feed the *identical* accounting body with the per-window
+//! active counts they derive; since every count is an integer and the
+//! charge order is unchanged, the two engines produce **bit-identical**
+//! [`EventReport`]s (and, through the shared/fault/serving layers built
+//! on `replay_trace`, bit-identical reports everywhere) — a contract the
+//! unit tests here and `tests/trace_event.rs` proptests pin.
+//!
 //! [`SpikeTrace`]: resparc_neuro::trace::SpikeTrace
 
 use resparc_device::energy_model::McaEnergyModel;
 use resparc_energy::accounting::{Category, EnergyBreakdown};
 use resparc_energy::sram::SramSpec;
 use resparc_energy::units::{Energy, Time};
-use resparc_neuro::spike::SpikeVector;
+use resparc_neuro::spike::SpikeView;
 use resparc_neuro::trace::SpikeTrace;
 
 use crate::map::Mapping;
 use crate::sim::cost::{self, AVG_SWITCH_HOPS, CCU_TRANSFER_BITS, TARGET_ADDRESS_BITS};
+use crate::sim::plan::WindowPlan;
+
+/// Which window-counting implementation the replay core uses. Both
+/// engines are bit-identical in every report they produce (see the
+/// module docs); `Plan` is the fast default, `Reference` the scalar
+/// oracle kept for differential testing and benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayEngine {
+    /// Scalar row walk: one bit test per occupied row per timestep.
+    Reference,
+    /// Compiled word-level plan: AND + popcount over the trace's packed
+    /// words, with a shifted-word fast path for contiguous row runs.
+    #[default]
+    Plan,
+}
+
+impl ReplayEngine {
+    /// Stable lowercase name (used by the benchmark barometer's JSON
+    /// rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayEngine::Reference => "reference-replay",
+            ReplayEngine::Plan => "plan-replay",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Per-trace execution report of the event simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,12 +222,19 @@ pub struct EventLayerStats {
 #[derive(Debug, Clone)]
 pub struct EventSimulator<'m> {
     mapping: &'m Mapping,
+    engine: ReplayEngine,
 }
 
 impl<'m> EventSimulator<'m> {
-    /// Creates an event simulator for a mapped network.
+    /// Creates an event simulator for a mapped network using the default
+    /// (plan) replay engine.
     pub fn new(mapping: &'m Mapping) -> Self {
-        Self { mapping }
+        Self::with_engine(mapping, ReplayEngine::default())
+    }
+
+    /// Creates an event simulator pinned to a specific replay engine.
+    pub fn with_engine(mapping: &'m Mapping, engine: ReplayEngine) -> Self {
+        Self { mapping, engine }
     }
 
     /// Replays `trace` through the fabric and returns the report.
@@ -188,7 +250,7 @@ impl<'m> EventSimulator<'m> {
     /// equal to the mapped layer shapes).
     pub fn run(&self, trace: &SpikeTrace) -> EventReport {
         let cfg = &self.mapping.config;
-        let replay = replay_trace(self.mapping, trace);
+        let replay = replay_trace(self.mapping, trace, self.engine);
         let TraceReplay {
             mut energy,
             comm_cycles,
@@ -287,15 +349,86 @@ pub(crate) struct TraceReplay {
     pub(crate) layers: Vec<EventLayerStats>,
 }
 
+/// One tile's packet-window scan for one timestep: the per-window counts
+/// both replay engines reduce to before the shared accounting body runs.
+/// Integer counts + identical reduction = bit-identical reports.
+struct TileScan {
+    /// Packet windows examined (zero-check opportunities).
+    windows: u64,
+    /// Windows delivered (non-zero, or all with event-driven off).
+    delivered: u64,
+    /// Total active rows across the tile's windows.
+    active: u64,
+}
+
+/// Reference engine: scalar bit test per occupied row.
+#[inline]
+fn scan_tile_reference(
+    rows: &[u32],
+    pkt: usize,
+    in_spikes: SpikeView<'_>,
+    event_driven: bool,
+) -> TileScan {
+    let mut scan = TileScan {
+        windows: 0,
+        delivered: 0,
+        active: 0,
+    };
+    for window in rows.chunks(pkt) {
+        let window_active = window
+            .iter()
+            .filter(|&&gi| in_spikes.get(gi as usize))
+            .count() as u64;
+        scan.windows += 1;
+        scan.active += window_active;
+        if window_active > 0 || !event_driven {
+            scan.delivered += 1;
+        }
+    }
+    scan
+}
+
+/// Plan engine: AND + popcount per pre-lowered window.
+#[inline]
+fn scan_tile_plan(
+    windows: &[WindowPlan],
+    masks: &[(u32, u64)],
+    words: &[u64],
+    event_driven: bool,
+) -> TileScan {
+    let mut scan = TileScan {
+        windows: 0,
+        delivered: 0,
+        active: 0,
+    };
+    for w in windows {
+        let window_active = w.count(words, masks);
+        scan.windows += 1;
+        scan.active += window_active;
+        if window_active > 0 || !event_driven {
+            scan.delivered += 1;
+        }
+    }
+    scan
+}
+
 /// Replays `trace` through `mapping` and returns the dynamic charges and
 /// cycle contributions (the body shared by both simulators).
 ///
 /// # Panics
 ///
 /// Panics if the trace's boundary structure does not match the mapping.
-pub(crate) fn replay_trace(mapping: &Mapping, trace: &SpikeTrace) -> TraceReplay {
+pub(crate) fn replay_trace(
+    mapping: &Mapping,
+    trace: &SpikeTrace,
+    engine: ReplayEngine,
+) -> TraceReplay {
     let cfg = &mapping.config;
     validate_trace(mapping, trace);
+    let plan = match engine {
+        ReplayEngine::Plan => Some(mapping.replay_plan()),
+        ReplayEngine::Reference => None,
+    };
 
     let cat = &cfg.catalog;
     let n = cfg.mca_size;
@@ -315,6 +448,11 @@ pub(crate) fn replay_trace(mapping: &Mapping, trace: &SpikeTrace) -> TraceReplay
     let mut compute_cycles = vec![0u64; steps];
 
     for (l, part) in mapping.partitions.iter().enumerate() {
+        let layer_plan = plan.as_deref().map(|p| p.layer(l));
+        debug_assert!(
+            layer_plan.is_none_or(|lp| lp.tile_count() == part.tile_count()),
+            "plan/partition tile count mismatch at layer {l}"
+        );
         let span = &mapping.placement.layers[l];
         let mag = mapping.mean_weight_mags[l];
         let in_raster = trace.boundary(l);
@@ -342,22 +480,21 @@ pub(crate) fn replay_trace(mapping: &Mapping, trace: &SpikeTrace) -> TraceReplay
             let mut deliveries_step = 0u64;
             let mut reads_step = 0u64;
             for (ti, rows) in part.tile_rows.iter().enumerate() {
-                let mut active = 0u64;
-                for window in rows.chunks(pkt) {
-                    let window_active = window
-                        .iter()
-                        .filter(|&&gi| in_spikes.get(gi as usize))
-                        .count() as u64;
-                    active += window_active;
-                    per_tile_candidates[ti] += 1;
-                    if window_active > 0 || !cfg.event_driven {
-                        per_tile_delivered[ti] += 1;
-                        deliveries_step += 1;
-                    }
-                }
-                if active > 0 || !cfg.event_driven {
+                let scan = match layer_plan {
+                    Some(lp) => scan_tile_plan(
+                        lp.tile_windows(ti),
+                        lp.masks(),
+                        in_spikes.words(),
+                        cfg.event_driven,
+                    ),
+                    None => scan_tile_reference(rows, pkt, in_spikes, cfg.event_driven),
+                };
+                per_tile_candidates[ti] += scan.windows;
+                per_tile_delivered[ti] += scan.delivered;
+                deliveries_step += scan.delivered;
+                if scan.active > 0 || !cfg.event_driven {
                     per_tile_reads[ti] += 1;
-                    per_tile_active_rows[ti] += active;
+                    per_tile_active_rows[ti] += scan.active;
                     reads_step += 1;
                 } else {
                     reads_skipped += 1;
@@ -491,8 +628,9 @@ pub(crate) fn replay_trace(mapping: &Mapping, trace: &SpikeTrace) -> TraceReplay
 }
 
 /// Number of non-zero `width`-bit windows in one spike vector — the spike
-/// packets a boundary actually emits this timestep.
-fn delivered_windows(spikes: &SpikeVector, width: usize) -> u64 {
+/// packets a boundary actually emits this timestep. Word-masked (one
+/// zero test per touched word), identical for both replay engines.
+fn delivered_windows(spikes: SpikeView<'_>, width: usize) -> u64 {
     let windows = spikes.len().div_ceil(width);
     (0..windows)
         .filter(|&w| !spikes.window_is_zero(w * width, width))
@@ -636,7 +774,7 @@ mod tests {
         let dense = RegularEncoder::new(1.0).encode(&stimulus, 4);
         let mut raster = SpikeRaster::new(128);
         for s in dense.iter() {
-            raster.push(s.clone());
+            raster.push_view(s);
         }
         for _ in 4..16 {
             raster.push(SpikeVector::new(128));
@@ -679,5 +817,53 @@ mod tests {
         let (mapping, _) = traced_mlp(0.5, 2);
         let bad = SpikeTrace::silent(&[128, 10], 2);
         let _ = EventSimulator::new(&mapping).run(&bad);
+    }
+
+    #[test]
+    fn plan_engine_is_bit_identical_to_reference() {
+        // The tentpole contract: the word-level plan engine must
+        // reproduce the scalar reference engine's report exactly —
+        // every f64 in the ledger, every cycle, every tally.
+        for rate in [0.0f32, 0.15, 0.6, 1.0] {
+            let (mapping, trace) = traced_mlp(rate, 16);
+            let reference =
+                EventSimulator::with_engine(&mapping, ReplayEngine::Reference).run(&trace);
+            let plan = EventSimulator::with_engine(&mapping, ReplayEngine::Plan).run(&trace);
+            assert_eq!(reference, plan, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn plan_engine_is_bit_identical_on_conv_and_undriven_fabrics() {
+        use resparc_neuro::topology::{ChannelTable, Padding, Shape};
+
+        // Conv layers under input-sharing produce scattered (Masks)
+        // windows; event_driven=false exercises the deliver-everything
+        // arm. Both must stay bit-identical.
+        let t = Topology::builder(Shape::new(10, 10, 1))
+            .conv(5, 3, Padding::Same, ChannelTable::Full)
+            .pool(2)
+            .dense(10)
+            .build()
+            .unwrap();
+        let net = Network::random(t, 23, 1.0);
+        let stimulus: Vec<f32> = (0..100).map(|i| ((i % 7) as f32) / 6.0).collect();
+        let raster = RegularEncoder::new(0.7).encode(&stimulus, 12);
+        let (_, trace) = net.spiking().run_traced(&raster);
+        for event_driven in [true, false] {
+            let cfg = ResparcConfig::resparc_32().with_event_driven(event_driven);
+            let mapping = Mapper::new(cfg).map_network(&net).unwrap();
+            let reference =
+                EventSimulator::with_engine(&mapping, ReplayEngine::Reference).run(&trace);
+            let plan = EventSimulator::with_engine(&mapping, ReplayEngine::Plan).run(&trace);
+            assert_eq!(reference, plan, "event_driven {event_driven}");
+        }
+    }
+
+    #[test]
+    fn default_engine_is_plan() {
+        assert_eq!(ReplayEngine::default(), ReplayEngine::Plan);
+        assert_eq!(ReplayEngine::Plan.name(), "plan-replay");
+        assert_eq!(ReplayEngine::Reference.to_string(), "reference-replay");
     }
 }

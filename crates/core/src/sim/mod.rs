@@ -35,6 +35,7 @@
 
 pub mod cost;
 pub mod event;
+pub mod plan;
 
 use resparc_device::energy_model::McaEnergyModel;
 use resparc_energy::accounting::{Category, EnergyBreakdown};

@@ -1,0 +1,373 @@
+//! The compiled word-level replay plan: per-[`Mapping`] lowering of every
+//! layer's `tile_rows` packet windows onto the bit-packed words of the
+//! spike trace, so event replay counts a window's active rows with AND +
+//! popcount instead of one scalar bit test per row.
+//!
+//! # Plan layout
+//!
+//! A [`ReplayPlan`] holds one `LayerPlan` per mapped layer. A layer
+//! plan flattens every tile's packet windows
+//! (`tile_rows[ti].chunks(packet_bits)`) into one windows array, indexed
+//! per tile through `tile_ranges` (CSR-style). Each window is lowered to
+//! one of two shapes:
+//!
+//! * `WindowPlan::Run` — the window's rows are one contiguous ascending
+//!   id run of width ≤ 64 (the shape every dense layer produces): the
+//!   active count is read by shifting at most two adjacent trace words
+//!   and masking to the run width. No per-row data at all.
+//! * `WindowPlan::Masks` — scattered rows (conv layers under
+//!   input-sharing): the rows are coalesced into `(word index, bit mask)`
+//!   pairs stored in the layer's shared `masks` pool; the active count is
+//!   `Σ popcount(trace_word & mask)`, one term per *distinct word* the
+//!   window touches instead of one test per row.
+//!
+//! Both shapes reproduce the scalar row walk's count exactly (rows within
+//! a tile are unique, so popcounts cannot double-count) — every count the
+//! replay engines derive from a plan is an integer, which is what makes
+//! the plan engine's energy ledger bit-identical to the reference
+//! engine's (see [`super::event`]).
+//!
+//! The plan depends only on the mapping's `partitions` and
+//! `config.packet_bits` — not on placement — so pool-compaction placement
+//! translation never invalidates it. It is compiled lazily and cached on
+//! the [`Mapping`] (`OnceLock<Arc<ReplayPlan>>`), mirroring how
+//! `CompiledNetwork` is cached on `Network`.
+
+use crate::map::Mapping;
+
+/// One lowered packet window of one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WindowPlan {
+    /// Contiguous ascending row run `[first, first + width)`, width ≤ 64:
+    /// spans at most the two words `word` and `word + 1`.
+    Run {
+        /// Word index of the run's first row.
+        word: u32,
+        /// Bit offset of the first row within that word (0..64).
+        shift: u8,
+        /// Whether the run continues into `word + 1` (implies
+        /// `shift != 0`, so the `64 - shift` rescue shift is in 1..64).
+        spans_two: bool,
+        /// Width mask: low `width` bits set.
+        mask: u64,
+    },
+    /// Scattered rows: the coalesced `(word, mask)` pairs at
+    /// `masks[start..end]` in the owning [`LayerPlan`].
+    Masks {
+        /// Start index into the layer's mask pool.
+        start: u32,
+        /// One past the last mask of this window.
+        end: u32,
+    },
+}
+
+impl WindowPlan {
+    /// Active rows of this window in one timestep's trace words.
+    #[inline]
+    pub(crate) fn count(&self, words: &[u64], masks: &[(u32, u64)]) -> u64 {
+        match *self {
+            WindowPlan::Run {
+                word,
+                shift,
+                spans_two,
+                mask,
+            } => {
+                let lo = words[word as usize] >> shift;
+                let bits = if spans_two {
+                    lo | (words[word as usize + 1] << (64 - shift))
+                } else {
+                    lo
+                };
+                u64::from((bits & mask).count_ones())
+            }
+            WindowPlan::Masks { start, end } => masks[start as usize..end as usize]
+                .iter()
+                .map(|&(w, m)| u64::from((words[w as usize] & m).count_ones()))
+                .sum(),
+        }
+    }
+}
+
+/// The lowered packet windows of one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LayerPlan {
+    /// CSR ranges: tile `ti`'s windows are
+    /// `windows[tile_ranges[ti]..tile_ranges[ti + 1]]`.
+    tile_ranges: Vec<u32>,
+    /// All tiles' windows, flattened in tile order.
+    windows: Vec<WindowPlan>,
+    /// Shared `(word, mask)` pool for the [`WindowPlan::Masks`] windows.
+    masks: Vec<(u32, u64)>,
+}
+
+impl LayerPlan {
+    /// The windows of tile `ti`, in the scalar engine's scan order.
+    #[inline]
+    pub(crate) fn tile_windows(&self, ti: usize) -> &[WindowPlan] {
+        &self.windows[self.tile_ranges[ti] as usize..self.tile_ranges[ti + 1] as usize]
+    }
+
+    /// The layer's shared mask pool.
+    #[inline]
+    pub(crate) fn masks(&self) -> &[(u32, u64)] {
+        &self.masks
+    }
+
+    /// Number of tiles covered.
+    pub(crate) fn tile_count(&self) -> usize {
+        self.tile_ranges.len() - 1
+    }
+}
+
+/// A compiled word-level replay plan for one [`Mapping`] — see the
+/// module docs for the layout and the bit-identity contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayPlan {
+    layers: Vec<LayerPlan>,
+    packet_bits: u32,
+}
+
+impl ReplayPlan {
+    /// Lowers every layer's `tile_rows` windows against the mapping's
+    /// packet width. Placement-independent: only `mapping.partitions` and
+    /// `mapping.config.packet_bits` are read.
+    pub fn compile(mapping: &Mapping) -> Self {
+        let pkt = mapping.config.packet_bits as usize;
+        let layers = mapping
+            .partitions
+            .iter()
+            .map(|part| {
+                let mut tile_ranges = Vec::with_capacity(part.tile_rows.len() + 1);
+                tile_ranges.push(0u32);
+                let mut windows = Vec::new();
+                let mut masks: Vec<(u32, u64)> = Vec::new();
+                for rows in &part.tile_rows {
+                    for window in rows.chunks(pkt) {
+                        windows.push(lower_window(window, &mut masks));
+                    }
+                    tile_ranges.push(windows.len() as u32);
+                }
+                LayerPlan {
+                    tile_ranges,
+                    windows,
+                    masks,
+                }
+            })
+            .collect();
+        Self {
+            layers,
+            packet_bits: mapping.config.packet_bits,
+        }
+    }
+
+    /// The plan of layer `l`.
+    #[inline]
+    pub(crate) fn layer(&self, l: usize) -> &LayerPlan {
+        &self.layers[l]
+    }
+
+    /// Packet width the plan was lowered against.
+    pub fn packet_bits(&self) -> u32 {
+        self.packet_bits
+    }
+
+    /// Number of layers covered.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total lowered windows across all layers and tiles.
+    pub fn window_count(&self) -> usize {
+        self.layers.iter().map(|l| l.windows.len()).sum()
+    }
+
+    /// Fraction of windows lowered to the contiguous-run fast path
+    /// (`1.0` for pure dense networks; conv layers under input-sharing
+    /// contribute scattered mask windows).
+    pub fn run_fraction(&self) -> f64 {
+        let total = self.window_count();
+        if total == 0 {
+            return 1.0;
+        }
+        let runs: usize = self
+            .layers
+            .iter()
+            .flat_map(|l| &l.windows)
+            .filter(|w| matches!(w, WindowPlan::Run { .. }))
+            .count();
+        runs as f64 / total as f64
+    }
+}
+
+/// Lowers one packet window's rows to a [`WindowPlan`], appending to the
+/// layer's mask pool when the rows are not a contiguous run.
+fn lower_window(rows: &[u32], masks: &mut Vec<(u32, u64)>) -> WindowPlan {
+    let width = rows.len();
+    debug_assert!(width > 0, "chunks never yields an empty window");
+    let contiguous = width <= 64 && rows.windows(2).all(|p| p[1] == p[0] + 1);
+    if contiguous {
+        let first = rows[0] as usize;
+        let word = (first / 64) as u32;
+        let shift = (first % 64) as u8;
+        let spans_two = shift != 0 && shift as usize + width > 64;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        WindowPlan::Run {
+            word,
+            shift,
+            spans_two,
+            mask,
+        }
+    } else {
+        let start = masks.len() as u32;
+        // Rows are unique within a tile (partition invariant), so OR-ing
+        // them into per-word masks preserves the exact row count. Use an
+        // ordered map: windows are usually nearly sorted and the engines
+        // iterate the pool sequentially.
+        let mut by_word: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &gi in rows {
+            *by_word.entry(gi / 64).or_insert(0) |= 1u64 << (gi % 64);
+        }
+        masks.extend(by_word);
+        let end = masks.len() as u32;
+        debug_assert_eq!(
+            masks[start as usize..end as usize]
+                .iter()
+                .map(|&(_, m)| m.count_ones() as usize)
+                .sum::<usize>(),
+            width,
+            "duplicate rows in a tile window would break popcount identity"
+        );
+        WindowPlan::Masks { start, end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResparcConfig;
+    use crate::map::Mapper;
+    use resparc_neuro::spike::SpikeVector;
+    use resparc_neuro::topology::{ChannelTable, Padding, Shape, Topology};
+
+    /// Scalar oracle: the reference engine's per-window count.
+    fn scalar_count(rows: &[u32], spikes: &SpikeVector) -> u64 {
+        rows.iter().filter(|&&gi| spikes.get(gi as usize)).count() as u64
+    }
+
+    fn pseudo_random_spikes(len: usize, seed: u64) -> SpikeVector {
+        let mut v = SpikeVector::new(len);
+        let mut state = seed | 1;
+        for i in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state & 3 == 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    fn assert_plan_matches_scalar(mapping: &Mapping) {
+        let plan = ReplayPlan::compile(mapping);
+        let pkt = mapping.config.packet_bits as usize;
+        for (l, part) in mapping.partitions.iter().enumerate() {
+            let lp = plan.layer(l);
+            assert_eq!(lp.tile_count(), part.tile_count());
+            for seed in [1u64, 99, 12345] {
+                let spikes = pseudo_random_spikes(part.inputs as usize, seed);
+                for (ti, rows) in part.tile_rows.iter().enumerate() {
+                    let planned: Vec<u64> = lp
+                        .tile_windows(ti)
+                        .iter()
+                        .map(|w| w.count(spikes.words(), lp.masks()))
+                        .collect();
+                    let scalar: Vec<u64> = rows
+                        .chunks(pkt)
+                        .map(|win| scalar_count(win, &spikes))
+                        .collect();
+                    assert_eq!(planned, scalar, "layer {l} tile {ti} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_layers_lower_to_runs_and_match_scalar() {
+        let t = Topology::mlp(200, &[150, 10]);
+        let mapping = Mapper::new(ResparcConfig::resparc_64()).map(&t).unwrap();
+        let plan = ReplayPlan::compile(&mapping);
+        assert!(
+            plan.run_fraction() > 0.99,
+            "dense tile rows are contiguous runs, got {}",
+            plan.run_fraction()
+        );
+        assert_plan_matches_scalar(&mapping);
+    }
+
+    #[test]
+    fn conv_input_sharing_lowers_scattered_windows_and_matches_scalar() {
+        let t = Topology::builder(Shape::new(12, 12, 1))
+            .conv(6, 3, Padding::Same, ChannelTable::Full)
+            .pool(2)
+            .conv(4, 3, Padding::Valid, ChannelTable::Banded { fan: 2 })
+            .dense(10)
+            .build()
+            .unwrap();
+        let mapping = Mapper::new(ResparcConfig::resparc_32()).map(&t).unwrap();
+        assert_plan_matches_scalar(&mapping);
+    }
+
+    #[test]
+    fn run_windows_crossing_word_boundaries_count_exactly() {
+        // Hand-built runs at awkward alignments, against a dense vector.
+        let mut masks = Vec::new();
+        let spikes = pseudo_random_spikes(256, 7);
+        for first in [0u32, 1, 31, 63, 64, 65, 100, 127, 190] {
+            for width in [1usize, 7, 32, 33, 64] {
+                if first as usize + width > 256 {
+                    continue;
+                }
+                let rows: Vec<u32> = (first..first + width as u32).collect();
+                let w = lower_window(&rows, &mut masks);
+                assert!(matches!(w, WindowPlan::Run { .. }), "contiguous → Run");
+                assert_eq!(
+                    w.count(spikes.words(), &masks),
+                    scalar_count(&rows, &spikes),
+                    "first {first} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_window_coalesces_per_word() {
+        let mut masks = Vec::new();
+        let rows = vec![3u32, 5, 64, 66, 130, 7];
+        let w = lower_window(&rows, &mut masks);
+        let WindowPlan::Masks { start, end } = w else {
+            panic!("scattered rows must lower to Masks");
+        };
+        // Three distinct words → three coalesced pairs.
+        assert_eq!((end - start) as usize, 3);
+        let spikes = pseudo_random_spikes(192, 3);
+        assert_eq!(
+            w.count(spikes.words(), &masks),
+            scalar_count(&rows, &spikes)
+        );
+    }
+
+    #[test]
+    fn plan_is_cached_on_the_mapping_and_shared() {
+        let t = Topology::mlp(64, &[32, 8]);
+        let mapping = Mapper::new(ResparcConfig::resparc_64()).map(&t).unwrap();
+        let a = mapping.replay_plan();
+        let b = mapping.replay_plan();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "plan must be compiled once");
+        assert_eq!(*a, ReplayPlan::compile(&mapping));
+    }
+}

@@ -33,7 +33,7 @@ use rayon::prelude::*;
 use resparc_device::fault::FaultPlan;
 
 use crate::network::{Layer, Network};
-use crate::spike::SpikeVector;
+use crate::spike::SpikeView;
 use crate::topology::LayerSpec;
 
 /// Past this many weights, a dense layer's analog forward pass fans out
@@ -278,7 +278,7 @@ impl CompiledLayer {
     ///
     /// Panics if `spikes`/`currents` lengths disagree with the layer
     /// shape.
-    pub fn accumulate_spikes(&self, spikes: &SpikeVector, currents: &mut [f32]) -> u64 {
+    pub fn accumulate_spikes(&self, spikes: SpikeView<'_>, currents: &mut [f32]) -> u64 {
         assert_eq!(spikes.len(), self.inputs, "input size mismatch");
         assert_eq!(currents.len(), self.outputs, "output size mismatch");
         let mut events = 0u64;

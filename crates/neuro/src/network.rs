@@ -51,7 +51,7 @@ use rayon::prelude::*;
 use crate::encoding::Readout;
 use crate::kernel::CompiledNetwork;
 use crate::neuron::{Membrane, NeuronConfig};
-use crate::spike::{SpikeRaster, SpikeVector};
+use crate::spike::{AsSpikeView, SpikeRaster, SpikeVector};
 use crate::topology::{LayerSpec, Topology};
 use crate::trace::SpikeTrace;
 
@@ -414,10 +414,14 @@ impl SnnRunner {
 
     /// Advances one timestep; returns the output layer's spike vector.
     ///
+    /// Accepts anything spike-shaped — `&SpikeVector` or a borrowed
+    /// raster step ([`SpikeView`](crate::spike::SpikeView)).
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != network.input_count()`.
-    pub fn step(&mut self, input: &SpikeVector) -> &SpikeVector {
+    pub fn step(&mut self, input: impl AsSpikeView) -> &SpikeVector {
+        let input = input.as_view();
         assert_eq!(
             input.len(),
             self.kernels.input_count(),
@@ -427,7 +431,11 @@ impl SnnRunner {
         for li in 0..n_layers {
             let layer = self.kernels.layer(li);
             let events = {
-                let in_spikes = if li == 0 { input } else { &self.spikes[li - 1] };
+                let in_spikes = if li == 0 {
+                    input
+                } else {
+                    self.spikes[li - 1].view()
+                };
                 let currents = &mut self.currents[li];
                 currents.fill(0.0);
                 layer.accumulate_spikes(in_spikes, currents)
@@ -474,7 +482,7 @@ impl SnnRunner {
         for step in input.iter() {
             self.step(step);
             for (li, r) in rasters.iter_mut().enumerate() {
-                r.push(self.spikes[li].clone());
+                r.push_view(self.spikes[li].view());
             }
         }
         (self.outcome(), rasters)
@@ -483,8 +491,8 @@ impl SnnRunner {
     /// Runs a raster while capturing the full [`SpikeTrace`] — the input
     /// raster plus every layer's output raster on a shared timestep axis,
     /// the workload record the trace-driven architectural simulator
-    /// replays. Recording costs one bit-packed clone of each layer's
-    /// spike vector per step on top of [`Self::run`].
+    /// replays. Recording costs one word copy of each layer's spike
+    /// vector into the raster arena per step on top of [`Self::run`].
     pub fn run_traced(&mut self, input: &SpikeRaster) -> (Classification, SpikeTrace) {
         let (outcome, layer_rasters) = self.run_recording(input);
         let mut boundaries = Vec::with_capacity(layer_rasters.len() + 1);
@@ -530,9 +538,9 @@ impl SnnRunner {
                 let out = self.step(step);
                 out.iter_ones().next().is_some()
             };
-            in_raster.push(step.clone());
+            in_raster.push_view(step);
             for (li, r) in rasters.iter_mut().enumerate() {
-                r.push(self.spikes[li].clone());
+                r.push_view(self.spikes[li].view());
             }
             if fired {
                 break;
@@ -661,7 +669,7 @@ pub mod reference {
     //!   compiled speedup against this path.
 
     use super::{argmax, first_spike_options, Classification, Membrane, Network, NeuronConfig};
-    use crate::spike::{SpikeRaster, SpikeVector};
+    use crate::spike::{AsSpikeView, SpikeRaster, SpikeVector};
     use crate::topology::LayerSpec;
 
     /// ANN-mode forward pass over the closure walk, returning every
@@ -794,7 +802,8 @@ pub mod reference {
         /// # Panics
         ///
         /// Panics if `input.len() != network.input_count()`.
-        pub fn step(&mut self, input: &SpikeVector) -> &SpikeVector {
+        pub fn step(&mut self, input: impl AsSpikeView) -> &SpikeVector {
+            let input = input.as_view();
             assert_eq!(input.len(), self.net.input_count(), "input size mismatch");
             let n_layers = self.net.layers().len();
             for li in 0..n_layers {
@@ -803,7 +812,11 @@ pub mod reference {
                 let w = layer.weights();
                 let mut currents = vec![0.0f32; layer.spec().output_count()];
                 {
-                    let in_spikes = if li == 0 { input } else { &self.spikes[li - 1] };
+                    let in_spikes = if li == 0 {
+                        input
+                    } else {
+                        self.spikes[li - 1].view()
+                    };
                     for i in in_spikes.iter_ones() {
                         let s = adj.indptr[i] as usize;
                         let e = adj.indptr[i + 1] as usize;

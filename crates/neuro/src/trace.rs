@@ -19,7 +19,7 @@
 //!
 //! [`SnnRunner::run_traced`]: crate::network::SnnRunner::run_traced
 
-use crate::spike::{SpikeRaster, SpikeVector};
+use crate::spike::SpikeRaster;
 use crate::stats::ActivityProfile;
 
 /// A complete spike record of one stimulus presentation: the input raster
@@ -56,17 +56,12 @@ impl SpikeTrace {
 
     /// Builds an all-silent trace over the given boundary sizes and
     /// timestep count (useful for base-cost probes: the event simulator
-    /// must charge zero Crossbar/Neuron energy on it).
+    /// must charge zero Crossbar/Neuron energy on it). Each boundary is
+    /// one zeroed word arena — no per-step vector construction.
     pub fn silent(neuron_counts: &[usize], steps: usize) -> Self {
         let boundaries = neuron_counts
             .iter()
-            .map(|&n| {
-                let mut r = SpikeRaster::new(n);
-                for _ in 0..steps {
-                    r.push(SpikeVector::new(n));
-                }
-                r
-            })
+            .map(|&n| SpikeRaster::zeroed(n, steps))
             .collect();
         Self::new(boundaries)
     }
@@ -104,13 +99,7 @@ impl SpikeTrace {
         let boundaries = self
             .boundaries
             .iter()
-            .map(|r| {
-                let mut out = SpikeRaster::new(r.neurons());
-                for t in 0..steps.min(r.len()) {
-                    out.push(r.step(t).clone());
-                }
-                out
-            })
+            .map(|r| r.truncated(steps.min(r.len())))
             .collect();
         Self::new(boundaries)
     }
@@ -138,6 +127,7 @@ impl SpikeTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spike::SpikeVector;
 
     fn raster_with_spike(neurons: usize, steps: usize, at: Option<(usize, usize)>) -> SpikeRaster {
         let mut r = SpikeRaster::new(neurons);
@@ -187,6 +177,39 @@ mod tests {
         assert!((p.rate(1) - 1.0 / 16.0).abs() < 1e-12);
         // 4 windows at width 8 on the input, 1 non-zero.
         assert!((p.zero_packet_prob(0, 8) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_matches_per_step_copy_path() {
+        // The arena-slice truncation must produce exactly what the old
+        // per-step clone loop produced.
+        let mut r0 = SpikeRaster::new(70);
+        let mut r1 = SpikeRaster::new(33);
+        for t in 0..6 {
+            let mut a = SpikeVector::new(70);
+            let mut b = SpikeVector::new(33);
+            a.set((t * 13) % 70, true);
+            a.set((t * 29 + 7) % 70, true);
+            b.set((t * 5) % 33, true);
+            r0.push(a);
+            r1.push(b);
+        }
+        let trace = SpikeTrace::new(vec![r0, r1]);
+        for steps in [0, 1, 4, 6, 10] {
+            let fast = trace.truncated(steps);
+            // Old path: fresh raster, one cloned step at a time.
+            let slow_boundaries: Vec<SpikeRaster> = (0..trace.boundary_count())
+                .map(|b| {
+                    let r = trace.boundary(b);
+                    let mut out = SpikeRaster::new(r.neurons());
+                    for t in 0..steps.min(r.len()) {
+                        out.push(r.step(t).to_vector());
+                    }
+                    out
+                })
+                .collect();
+            assert_eq!(fast, SpikeTrace::new(slow_boundaries), "steps {steps}");
+        }
     }
 
     #[test]

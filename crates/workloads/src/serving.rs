@@ -94,7 +94,7 @@ use resparc_core::fabric::{
     SharedEventSimulator, TenantId,
 };
 use resparc_core::map::{Mapper, Mapping};
-use resparc_core::ResparcConfig;
+use resparc_core::{ReplayEngine, ResparcConfig};
 use resparc_energy::accounting::Category;
 use resparc_energy::sram::SramSpec;
 use resparc_energy::units::{Energy, Time};
@@ -296,6 +296,10 @@ pub struct ServingSpec {
     /// Distinct stimulus samples per class (service rounds wrap over
     /// them, like [`churn_sweep`](crate::churn::churn_sweep)).
     pub samples: usize,
+    /// Replay engine for service rounds. Both engines are bit-identical
+    /// in every report; this knob exists for differential testing and
+    /// the benchmark barometer.
+    pub replay_engine: ReplayEngine,
 }
 
 impl ServingSpec {
@@ -314,6 +318,7 @@ impl ServingSpec {
             preempt_after: None,
             qos: QosPolicy::Static,
             samples: 3,
+            replay_engine: ReplayEngine::default(),
         }
     }
 
@@ -344,6 +349,12 @@ impl ServingSpec {
     /// Sets the backfill starvation window (`0` = strict FIFO).
     pub fn with_backfill_window(mut self, window: usize) -> Self {
         self.backfill_window = window;
+        self
+    }
+
+    /// Pins the replay engine used for service rounds.
+    pub fn with_replay_engine(mut self, engine: ReplayEngine) -> Self {
+        self.replay_engine = engine;
         self
     }
 }
@@ -675,7 +686,8 @@ pub fn serving_sweep(
             .iter()
             .map(|st| weights[in_flight[st.request.index() as usize].class])
             .collect();
-        let report = SharedEventSimulator::new(sched.pool()).run_weighted(&pairs, &round_weights);
+        let report = SharedEventSimulator::with_engine(sched.pool(), spec.replay_engine)
+            .run_weighted(&pairs, &round_weights);
 
         dynamic_energy += report
             .tenants

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bursty = SpikeRaster::new(784);
     let dense = RegularEncoder::new(1.0).encode(&stimulus, 15);
     for step in dense.iter() {
-        bursty.push(step.clone());
+        bursty.push_view(step);
     }
     for _ in 15..50 {
         bursty.push(SpikeVector::new(784));

@@ -151,7 +151,7 @@ fn event_beats_stationary_on_bursty_stimuli() {
     let burst = enc.encode(&stimulus, burst_steps);
     let mut raster = SpikeRaster::new(256);
     for step in burst.iter() {
-        raster.push(step.clone());
+        raster.push_view(step);
     }
     for _ in burst_steps..steps {
         raster.push(SpikeVector::new(256));
@@ -234,4 +234,50 @@ fn trace_energy_sweep_tracks_stimulus_sparsity() {
         sparse.mean_total_energy(),
         dense.mean_total_energy()
     );
+}
+
+#[test]
+fn plan_engine_matches_reference_on_mnist_mlp_trace() {
+    // The paper-scale trace the benchmarks time: both engines must
+    // produce the identical report on it.
+    let (net, trace) = mnist_mlp_trace(20);
+    let mapping = Mapper::new(ResparcConfig::resparc_64())
+        .map_network(&net)
+        .unwrap();
+    let reference = EventSimulator::with_engine(&mapping, ReplayEngine::Reference).run(&trace);
+    let plan = EventSimulator::with_engine(&mapping, ReplayEngine::Plan).run(&trace);
+    assert_eq!(reference, plan);
+    assert!(reference.total_energy() > Energy::ZERO);
+}
+
+#[test]
+fn serving_loop_is_engine_independent() {
+    // The whole open-loop serving pipeline — admission, weighted QoS
+    // rounds, preemption, idle gating — must be bit-identical under
+    // either replay engine.
+    let nets = vec![
+        Network::random(Topology::mlp(96, &[64, 10]), 31, 1.0),
+        Network::random(Topology::mlp(96, &[48, 10]), 32, 1.0),
+    ];
+    let classes = vec![
+        ServiceClass::new("premium", 2, 4_000.0).with_weight(4),
+        ServiceClass::new("batch", 2, 20_000.0),
+    ];
+    let spec = ServingSpec::new(8, 900.0, ArrivalProcess::Bursty { burst: 3 }, 77)
+        .with_qos(QosPolicy::Adaptive { max_weight: 16 })
+        .with_preemption(32.0)
+        .with_idle_gating(0.05);
+    let cfg = SweepConfig::rate(6, 0.8, 77);
+    let run = |engine| {
+        serving_sweep(
+            &nets,
+            &classes,
+            &spec.clone().with_replay_engine(engine),
+            &cfg,
+            &ResparcConfig::resparc_64(),
+            PackingPolicy::BestFit,
+        )
+        .expect("small classes fit")
+    };
+    assert_eq!(run(ReplayEngine::Reference), run(ReplayEngine::Plan));
 }

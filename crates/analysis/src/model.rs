@@ -13,7 +13,11 @@
 //!    physical pool, and no unhealthy cell is occupied.
 //! 2. **No double-occupancy** — every resident tenant owns exactly its
 //!    contiguous run, every occupied cell belongs to exactly one
-//!    resident, and footprints sum to the occupied count.
+//!    resident, and footprints sum to the occupied count. On
+//!    heterogeneous inventories the run is additionally uniform in the
+//!    mapping's size class and every partition tile physically fits
+//!    that class's crossbar (an over-capacity admit — a 16-wide tile on
+//!    8×8 cells — is a violation).
 //! 3. **Request conservation** — queued ∪ active ∪ completed is
 //!    exactly the submitted set, with no duplicates (via
 //!    [`FabricScheduler::check_consistency`]): evict–requeue–readmit
@@ -57,6 +61,13 @@ pub enum InjectedBug {
     /// by invariant 4: the abort is neither harness-cancelled nor
     /// unservable.
     DropEvictedOnFail,
+    /// On `Submit`, relabel the probe's `config.mca_size` to the
+    /// smallest *other* inventory class without re-partitioning — the
+    /// heterogeneous over-capacity admit: the pool allocates a run of
+    /// cells whose crossbars are smaller than the probe's tiles.
+    /// Detected by invariant 2's class-capacity check (a tile wider
+    /// than the crossbars of its run). No-op on homogeneous pools.
+    MislabelProbeClass,
 }
 
 /// One bounded exploration: pool shape, tenant footprints and the
@@ -67,8 +78,15 @@ pub struct ModelConfig {
     pub name: &'static str,
     /// Physical NeuroCells in the pool (2–4 keeps exhaustion cheap).
     pub physical_ncs: usize,
+    /// Per-NC MCA size classes for a heterogeneous inventory (length
+    /// must equal `physical_ncs`); `None` = uniform 8×8 machine.
+    pub nc_sizes: Option<Vec<usize>>,
     /// Per-tenant footprint in NeuroCells.
     pub tenant_ncs: Vec<usize>,
+    /// Per-tenant MCA size class, parallel to `tenant_ncs`; tenants
+    /// past its end (and all tenants of homogeneous configs) use the
+    /// machine's base class.
+    pub tenant_classes: Vec<usize>,
     /// Service rounds each request asks for.
     pub service_rounds: usize,
     /// Maximum events per interleaving.
@@ -129,6 +147,25 @@ fn machine_config(physical_ncs: usize) -> ResparcConfig {
     cfg
 }
 
+/// Builds the config's pool: homogeneous on the 8×8 machine, or the
+/// declared mixed inventory.
+fn pool_for(cfg: &ModelConfig) -> FabricPool {
+    let machine = machine_config(cfg.physical_ncs);
+    let pool = match &cfg.nc_sizes {
+        Some(sizes) => {
+            assert_eq!(
+                sizes.len(),
+                cfg.physical_ncs,
+                "{}: nc_sizes must cover the pool",
+                cfg.name
+            );
+            FabricPool::heterogeneous(machine, sizes)
+        }
+        None => FabricPool::new(machine),
+    };
+    pool.with_policy(cfg.policy)
+}
+
 /// Finds an MLP whose mapping occupies exactly `target_ncs` NeuroCells
 /// on `cfg` by sweeping the hidden width.
 fn sized_net(cfg: &ResparcConfig, target_ncs: usize, seed: u64) -> (Network, Mapping) {
@@ -149,11 +186,17 @@ fn sized_net(cfg: &ResparcConfig, target_ncs: usize, seed: u64) -> (Network, Map
 
 impl Setup {
     fn build(cfg: &ModelConfig) -> Setup {
-        let machine = machine_config(cfg.physical_ncs);
+        let pool = pool_for(cfg);
         let mut probes = Vec::new();
         let mut traces = Vec::new();
         for (k, &ncs) in cfg.tenant_ncs.iter().enumerate() {
-            let (net, probe) = sized_net(&machine, ncs, 100 + k as u64);
+            // Each tenant is partitioned for its declared size class
+            // (the base machine when unclassed or homogeneous).
+            let class_cfg = match (&cfg.nc_sizes, cfg.tenant_classes.get(k)) {
+                (Some(_), Some(&class)) => pool.class_config(class),
+                _ => pool.config().clone(),
+            };
+            let (net, probe) = sized_net(&class_cfg, ncs, 100 + k as u64);
             if cfg.check_energy {
                 let stimulus: Vec<f32> = (0..16)
                     .map(|i| 0.25 + 0.25 * ((i + k) % 4) as f32)
@@ -188,7 +231,7 @@ struct Harness {
 
 impl Harness {
     fn new(cfg: &ModelConfig) -> Harness {
-        let pool = FabricPool::new(machine_config(cfg.physical_ncs)).with_policy(cfg.policy);
+        let pool = pool_for(cfg);
         let sched = match cfg.backfill {
             Some(w) => FabricScheduler::new(pool).with_backfill(w),
             None => FabricScheduler::new(pool),
@@ -237,8 +280,24 @@ impl Harness {
         self.history.push(ev);
         match ev {
             Event::Submit(k) => {
+                let mut probe = setup.probes[k].clone();
+                if cfg.bug == Some(InjectedBug::MislabelProbeClass) {
+                    // The seeded bug: lie about the probe's size class
+                    // (smallest other class in the inventory) without
+                    // re-partitioning, so its tiles land on crossbars
+                    // too small to hold them.
+                    if let Some(&wrong) = self
+                        .sched
+                        .pool()
+                        .size_classes()
+                        .iter()
+                        .find(|&&c| c != probe.config.mca_size)
+                    {
+                        probe.config.mca_size = wrong;
+                    }
+                }
                 let request = self.sched.submit_mapped(
-                    setup.probes[k].clone(),
+                    probe,
                     &format!("t{k}"),
                     cfg.service_rounds,
                     (k + 1) as u32,
@@ -278,11 +337,11 @@ impl Harness {
                 self.sched.end_round();
             }
         }
-        self.check_invariants(cfg)
+        self.check_invariants(cfg, setup)
     }
 
     /// Invariants 1–5 (structural; checked after every event).
-    fn check_invariants(&mut self, cfg: &ModelConfig) -> Result<(), String> {
+    fn check_invariants(&mut self, cfg: &ModelConfig, setup: &Setup) -> Result<(), String> {
         let pool = self.sched.pool();
         let occupancy = pool.occupancy();
         let health = pool.nc_health();
@@ -325,6 +384,37 @@ impl Harness {
         if owned != pool.occupied_ncs() {
             return self.violated("occupied NCs not exactly covered by tenant runs");
         }
+        // 2b. Class capacity: a resident's run is uniformly of its
+        // mapping's size class, and every partition tile physically
+        // fits that class's crossbar. (Trivially true on homogeneous
+        // pools; this is what catches an over-capacity heterogeneous
+        // admit.)
+        let sizes = pool.nc_sizes();
+        for t in pool.tenants() {
+            let class = t.mapping.config.mca_size;
+            for (nc, &size) in sizes
+                .iter()
+                .enumerate()
+                .take(t.end_nc())
+                .skip(t.first_nc())
+            {
+                if size != class {
+                    return self.violated(&format!(
+                        "NC {nc} (class {size}) hosts a class-{class} tenant"
+                    ));
+                }
+            }
+            for part in &t.mapping.partitions {
+                for tile in &part.tiles {
+                    if tile.rows as usize > class || tile.cols as usize > class {
+                        return self.violated(&format!(
+                            "tile {}x{} exceeds the {class}-wide crossbars of its run",
+                            tile.rows, tile.cols
+                        ));
+                    }
+                }
+            }
+        }
         for (nc, slot) in occupancy.iter().enumerate() {
             if let Some(id) = slot {
                 if !ids.contains(id) {
@@ -357,7 +447,18 @@ impl Harness {
         let completed = self.sched.completed();
         for rec in &completed[self.checked_completed..] {
             if rec.aborted {
-                let unservable = rec.ncs > pool.max_admissible_run();
+                // Servability is per size class: a 2-run of free
+                // 8-cells is no capacity at all for a 16-class
+                // request. The record carries no class, so recover it
+                // from the harness's fixture.
+                let limit = self
+                    .submitted
+                    .iter()
+                    .position(|s| *s == Some(rec.request))
+                    .map_or(pool.max_admissible_run(), |k| {
+                        pool.max_admissible_run_for(setup.probes[k].config.mca_size)
+                    });
+                let unservable = rec.ncs > limit;
                 if !unservable && !self.cancelled.contains(&rec.request) {
                     return self.violated(&format!(
                         "{} aborted while servable and never cancelled",
@@ -467,16 +568,19 @@ fn dfs(
     None
 }
 
-/// The CI configuration suite: a structural config that exhausts a
-/// deeper interleaving space, plus an energy-checking config that
-/// re-proves the gating/work-conservation claims on every explored
-/// round. Together they exceed 10⁴ transitions.
+/// The CI configuration suite: structural configs that exhaust a
+/// deeper interleaving space (homogeneous and mixed-inventory), plus
+/// energy-checking configs that re-prove the gating/work-conservation
+/// claims on every explored round — the heterogeneous one on a mixed
+/// 8/16 inventory. Together they exceed 10⁴ transitions.
 pub fn suite() -> Vec<ModelConfig> {
     vec![
         ModelConfig {
             name: "structural-3nc-3t",
             physical_ncs: 3,
+            nc_sizes: None,
             tenant_ncs: vec![1, 1, 2],
+            tenant_classes: vec![],
             service_rounds: 2,
             depth: 5,
             policy: PackingPolicy::BestFit,
@@ -487,7 +591,9 @@ pub fn suite() -> Vec<ModelConfig> {
         ModelConfig {
             name: "structural-4nc-defrag",
             physical_ncs: 4,
+            nc_sizes: None,
             tenant_ncs: vec![2, 2],
+            tenant_classes: vec![],
             service_rounds: 2,
             depth: 5,
             policy: PackingPolicy::Defragment,
@@ -496,11 +602,52 @@ pub fn suite() -> Vec<ModelConfig> {
             bug: None,
         },
         ModelConfig {
-            name: "energy-2nc-2t",
-            physical_ncs: 2,
+            name: "structural-het-3nc-2t",
+            physical_ncs: 3,
+            nc_sizes: Some(vec![8, 8, 16]),
             tenant_ncs: vec![1, 1],
+            tenant_classes: vec![8, 16],
             service_rounds: 2,
             depth: 4,
+            policy: PackingPolicy::FirstFit,
+            backfill: None,
+            check_energy: false,
+            bug: None,
+        },
+        ModelConfig {
+            name: "structural-het-4nc-defrag",
+            physical_ncs: 4,
+            nc_sizes: Some(vec![16, 8, 8, 16]),
+            tenant_ncs: vec![2, 1],
+            tenant_classes: vec![8, 16],
+            service_rounds: 2,
+            depth: 4,
+            policy: PackingPolicy::Defragment,
+            backfill: Some(2),
+            check_energy: false,
+            bug: None,
+        },
+        ModelConfig {
+            name: "energy-2nc-2t",
+            physical_ncs: 2,
+            nc_sizes: None,
+            tenant_ncs: vec![1, 1],
+            tenant_classes: vec![],
+            service_rounds: 2,
+            depth: 4,
+            policy: PackingPolicy::FirstFit,
+            backfill: None,
+            check_energy: true,
+            bug: None,
+        },
+        ModelConfig {
+            name: "energy-het-3nc-2t",
+            physical_ncs: 3,
+            nc_sizes: Some(vec![8, 16, 16]),
+            tenant_ncs: vec![1, 1],
+            tenant_classes: vec![8, 16],
+            service_rounds: 2,
+            depth: 3,
             policy: PackingPolicy::FirstFit,
             backfill: None,
             check_energy: true,
@@ -546,7 +693,9 @@ mod tests {
         let cfg = ModelConfig {
             name: "bug-drop-evicted",
             physical_ncs: 3,
+            nc_sizes: None,
             tenant_ncs: vec![1, 1],
+            tenant_classes: vec![],
             service_rounds: 2,
             depth: 4,
             policy: PackingPolicy::FirstFit,
@@ -565,13 +714,46 @@ mod tests {
     }
 
     #[test]
+    fn injected_class_mislabel_bug_is_caught() {
+        // The heterogeneous over-capacity admit: a tenant partitioned
+        // for 16×16 crossbars is submitted labelled as class 8, so the
+        // pool parks its 16-wide tiles on 8×8 cells. The class-capacity
+        // invariant must flag it the moment it lands.
+        let cfg = ModelConfig {
+            name: "bug-mislabel-class",
+            physical_ncs: 3,
+            nc_sizes: Some(vec![8, 8, 16]),
+            tenant_ncs: vec![1],
+            tenant_classes: vec![16],
+            // Two rounds keep the mislabeled tenant resident past the
+            // round that admits it, where the post-event check sees it.
+            service_rounds: 2,
+            depth: 3,
+            policy: PackingPolicy::FirstFit,
+            backfill: None,
+            check_energy: false,
+            bug: Some(InjectedBug::MislabelProbeClass),
+        };
+        let outcome = check(&cfg);
+        let v = outcome
+            .violation
+            .expect("the seeded over-capacity heterogeneous admit must be detected");
+        assert!(
+            v.contains("exceeds") && v.contains("crossbars"),
+            "unexpected violation: {v}"
+        );
+    }
+
+    #[test]
     fn cancel_is_a_legitimate_abort() {
         // Same shape as the bug config but with honest cancels only —
         // the checker must stay quiet.
         let cfg = ModelConfig {
             name: "honest-cancels",
             physical_ncs: 2,
+            nc_sizes: None,
             tenant_ncs: vec![1, 1],
+            tenant_classes: vec![],
             service_rounds: 1,
             depth: 4,
             policy: PackingPolicy::FirstFit,

@@ -193,9 +193,64 @@ fn bench_accuracy_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch placement on the fragmented fig_packing shape: the greedy
+/// decode (one sequential admit pass) vs the annealing search at a
+/// 64-schedule budget. Probes are pre-mapped — this times placement,
+/// not partitioning.
+fn bench_packing(c: &mut Criterion) {
+    let sized = |layers: usize| {
+        let mut hidden = vec![576usize; layers];
+        hidden.push(10);
+        Topology::mlp(144, &hidden)
+    };
+    // Residents pin runs so evicting two leaves holes of 4 and 2 NCs.
+    let mut pool = FabricPool::new(ResparcConfig::resparc_64());
+    let plan = [(2usize, true), (3, false), (4, true), (2, false), (1, true)];
+    let mut evictions = Vec::new();
+    for (k, &(layers, keep)) in plan.iter().enumerate() {
+        let id = pool
+            .admit_topology(&sized(layers), &format!("r{k}"))
+            .unwrap();
+        if !keep {
+            evictions.push(id);
+        }
+    }
+    for id in evictions {
+        pool.evict(id);
+    }
+    let requests: Vec<PlacementRequest> = [2usize, 3]
+        .iter()
+        .enumerate()
+        .map(|(k, &layers)| {
+            PlacementRequest::from_topology(&pool, &sized(layers), &format!("b{k}")).unwrap()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("packing");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            black_box(
+                BatchPlacer::new(PlacementStrategy::Greedy)
+                    .place(black_box(&pool), black_box(&requests)),
+            )
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            black_box(
+                BatchPlacer::new(PlacementStrategy::Optimized)
+                    .with_iterations(64)
+                    .place(black_box(&pool), black_box(&requests)),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crossbar_mvm, bench_mapper, bench_resparc_sim, bench_cmos_sim, bench_functional_snn, bench_hw_cosim, bench_snn_step, bench_forward_batch, bench_accuracy_sweep
+    targets = bench_crossbar_mvm, bench_mapper, bench_resparc_sim, bench_cmos_sim, bench_functional_snn, bench_hw_cosim, bench_snn_step, bench_forward_batch, bench_accuracy_sweep, bench_packing
 }
 criterion_main!(benches);

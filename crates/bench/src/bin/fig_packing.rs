@@ -1,0 +1,14 @@
+//! Prints the batch packing table (greedy first-fit vs the optimizing
+//! placer across fabric shapes) and writes the machine-independent
+//! packing-quality counters to `$BENCH_JSON_DIR/BENCH_packing_quality.json`
+//! (default `.`) for the `bench_gate` ratio gate.
+use std::path::PathBuf;
+
+fn main() {
+    println!("{}", resparc_bench::fig_packing());
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join("BENCH_packing_quality.json");
+    std::fs::write(&path, resparc_bench::packing_quality_json())
+        .expect("write packing quality json");
+    eprintln!("wrote {}", path.display());
+}

@@ -109,24 +109,37 @@ pub enum AdmitError {
     Map(MapError),
     /// No contiguous run of free NeuroCells is large enough (after
     /// defragmentation, if the pool's [`PackingPolicy`] compacts).
+    ///
+    /// All counts are **size-aware**: on a heterogeneous pool
+    /// ([`FabricPool::heterogeneous`]) they tally cells of the
+    /// rejected probe's MCA size class only, so a long free run of
+    /// *smaller* crossbars is never reported as capacity the tenant
+    /// could have used. On a homogeneous pool every cell is the one
+    /// class and the counts are the historical pool-wide values.
     CapacityExhausted {
-        /// NeuroCells the tenant needs (contiguously).
+        /// NeuroCells the tenant needs (contiguously, all of its own
+        /// size class).
         needed_ncs: usize,
-        /// Free NeuroCells in the pool (any position).
+        /// Free NeuroCells of the tenant's size class (any position).
         free_ncs: usize,
-        /// Longest contiguous free run currently available.
+        /// Longest contiguous free run of the tenant's size class
+        /// currently available.
         largest_free_run: usize,
     },
     /// Admission failed *because of unhealthy NeuroCells*: the pool's
     /// healthy free capacity cannot cover the request, but restoring
     /// the quarantined/failed cells to healthy free capacity would.
-    /// Pools without faults never return this variant.
+    /// Pools without faults never return this variant. Like
+    /// [`CapacityExhausted`](Self::CapacityExhausted), the counts are
+    /// size-aware — they tally the rejected probe's class only.
     NoHealthyCapacity {
-        /// NeuroCells the tenant needs (contiguously).
+        /// NeuroCells the tenant needs (contiguously, all of its own
+        /// size class).
         needed_ncs: usize,
-        /// NeuroCells currently quarantined (drained, restorable).
+        /// Same-class NeuroCells currently quarantined (drained,
+        /// restorable).
         quarantined: usize,
-        /// NeuroCells permanently failed.
+        /// Same-class NeuroCells permanently failed.
         failed: usize,
     },
 }

@@ -18,16 +18,34 @@
 //! leftmost prefix). Taking out an **occupied** cell evicts the
 //! resident tenant — its whole run frees — and returns it so a
 //! scheduler can re-queue it for recovery.
+//!
+//! # Heterogeneous inventories
+//!
+//! A pool built with [`FabricPool::heterogeneous`] carries a per-NC
+//! **size class** — the MCA dimension its crossbars were fabricated at
+//! (mixed 32/64/128 inventories in the paper's design space). A tenant
+//! mapped at class `s` only fits a contiguous free run of class-`s`
+//! cells: runs never span a size boundary, exactly as they never span
+//! an unhealthy cell. All run accounting is therefore *size-aware* —
+//! [`FabricPool::largest_free_run`] / [`FabricPool::max_admissible_run`]
+//! report the longest **uniform-class** run (a long run of small cells
+//! is not admissible capacity for a large-class tenant), with per-class
+//! variants ([`FabricPool::largest_free_run_for`],
+//! [`FabricPool::max_admissible_run_for`],
+//! [`FabricPool::can_admit_sized`]) for callers that know their class.
+//! On a homogeneous pool every cell shares one class and all of this
+//! degenerates bit-identically to the historical behaviour.
 
 use resparc_neuro::network::Network;
 use resparc_neuro::topology::Topology;
 
 use crate::config::ResparcConfig;
 use crate::fabric::{AdmitError, Tenant, TenantId};
-use crate::map::{Mapper, Mapping};
+use crate::map::{MapError, Mapper, Mapping};
 
-/// A contiguous NC run as `(start_nc, len)`.
-type NcRun = (usize, usize);
+/// A contiguous uniform-class NC run as `(start_nc, len, mca_size)`:
+/// every cell in the run shares the MCA size class `mca_size`.
+type ClassRun = (usize, usize, usize);
 
 /// Health of one physical NeuroCell.
 ///
@@ -155,6 +173,10 @@ pub struct FabricPool {
     /// occupied cell is `Healthy` — `fail_nc`/`drain_nc` evict the
     /// occupant and admission only lands on healthy runs.
     health: Vec<NcHealth>,
+    /// Per-physical-NC MCA size class, parallel to `occupancy`. A
+    /// homogeneous pool repeats `config.mca_size`; admission runs never
+    /// cross a class boundary.
+    nc_sizes: Vec<usize>,
     tenants: Vec<Tenant>,
     next_id: u32,
     /// Fraction of full leakage power the *idle* (unowned) NC domain
@@ -168,11 +190,79 @@ impl FabricPool {
     /// NCs ungated (billed at full leakage rate).
     pub fn new(config: ResparcConfig) -> Self {
         let slots = config.physical_ncs;
+        let mca = config.mca_size;
         Self {
             config,
             policy: PackingPolicy::FirstFit,
             occupancy: vec![None; slots],
             health: vec![NcHealth::Healthy; slots],
+            nc_sizes: vec![mca; slots],
+            tenants: Vec::new(),
+            next_id: 0,
+            idle_gating: 1.0,
+        }
+    }
+
+    /// Creates an empty pool over a **heterogeneous** NC inventory:
+    /// `nc_sizes[i]` is the MCA dimension NC `i` was fabricated at
+    /// (e.g. `&[32, 32, 64, 64, 128]` for a mixed chip). The machine
+    /// shape otherwise follows `config` — `config.physical_ncs` is
+    /// overridden to `nc_sizes.len()`, and `config.mca_size` remains
+    /// the *default class* used by sizeless probes like
+    /// [`can_admit`](Self::can_admit).
+    ///
+    /// A tenant admitted onto a heterogeneous pool lands on a
+    /// contiguous run of cells **all of its own class** (the class its
+    /// probe was mapped at — `probe.config.mca_size`). The convenience
+    /// entry points [`admit`](Self::admit) /
+    /// [`admit_topology`](Self::admit_topology) map the candidate once
+    /// per class present in the inventory and greedily admit into the
+    /// class with the smallest NC footprint (ties to the smaller MCA);
+    /// [`admit_mapped`](Self::admit_mapped) trusts the caller's class
+    /// choice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resparc_core::fabric::FabricPool;
+    /// use resparc_core::ResparcConfig;
+    ///
+    /// let pool =
+    ///     FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[32, 32, 64, 64, 64, 128]);
+    /// assert_eq!(pool.physical_ncs(), 6);
+    /// assert_eq!(pool.size_classes(), vec![32, 64, 128]);
+    /// // The longest *uniform-class* free run is the three 64s, even
+    /// // though all six cells are free and contiguous.
+    /// assert_eq!(pool.largest_free_run(), 3);
+    /// assert_eq!(pool.largest_free_run_for(128), 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nc_sizes` is empty or contains a zero size.
+    pub fn heterogeneous(mut config: ResparcConfig, nc_sizes: &[usize]) -> Self {
+        assert!(
+            !nc_sizes.is_empty(),
+            "a heterogeneous pool needs at least one NC"
+        );
+        assert!(
+            nc_sizes.iter().all(|&s| s > 0),
+            "every NC size class must be positive, got {nc_sizes:?}"
+        );
+        config.physical_ncs = nc_sizes.len();
+        // A uniform inventory is just a homogeneous pool of that class:
+        // anchor the base config to it so the single-class admission
+        // paths (which map against `config`) probe the right crossbar.
+        if nc_sizes.windows(2).all(|w| w[0] == w[1]) {
+            config.mca_size = nc_sizes[0];
+        }
+        let slots = nc_sizes.len();
+        Self {
+            config,
+            policy: PackingPolicy::FirstFit,
+            occupancy: vec![None; slots],
+            health: vec![NcHealth::Healthy; slots],
+            nc_sizes: nc_sizes.to_vec(),
             tenants: Vec::new(),
             next_id: 0,
             idle_gating: 1.0,
@@ -270,6 +360,37 @@ impl FabricPool {
         &self.health
     }
 
+    /// Per-NC MCA size class, in NC order (parallel to
+    /// [`occupancy`](Self::occupancy)). Homogeneous pools repeat
+    /// `config().mca_size`.
+    pub fn nc_sizes(&self) -> &[usize] {
+        &self.nc_sizes
+    }
+
+    /// The distinct MCA size classes present in the inventory, sorted
+    /// ascending. A homogeneous pool has exactly one.
+    pub fn size_classes(&self) -> Vec<usize> {
+        let mut classes = self.nc_sizes.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// Whether the inventory mixes MCA size classes.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.nc_sizes.windows(2).any(|w| w[0] != w[1])
+    }
+
+    /// The machine configuration for mapping a tenant onto class
+    /// `mca_size` cells: [`config`](Self::config) with its `mca_size`
+    /// swapped. Probes handed to [`admit_mapped`](Self::admit_mapped)
+    /// for a given class must be produced against this.
+    pub fn class_config(&self, mca_size: usize) -> ResparcConfig {
+        let mut cfg = self.config.clone();
+        cfg.mca_size = mca_size;
+        cfg
+    }
+
     /// Free NeuroCells (any position): unoccupied **and** healthy — the
     /// capacity admission can actually use. Quarantined and failed
     /// cells are not free.
@@ -311,11 +432,24 @@ impl FabricPool {
     }
 
     /// Longest contiguous free NC run (what the next admission can get
-    /// without compaction). Runs never span unhealthy cells.
+    /// without compaction). Runs never span unhealthy cells **or size
+    /// class boundaries** — on a heterogeneous pool this is the longest
+    /// *uniform-class* free run, since a run of mixed-size cells is not
+    /// usable capacity for any single tenant.
     pub fn largest_free_run(&self) -> usize {
         self.free_runs()
             .into_iter()
-            .map(|(_, len)| len)
+            .map(|(_, len, _)| len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Longest contiguous free run of class-`mca_size` NCs — what the
+    /// next admission *of that class* can get without compaction.
+    pub fn largest_free_run_for(&self, mca_size: usize) -> usize {
+        self.free_runs_for(mca_size)
+            .into_iter()
+            .map(|(_, len, _)| len)
             .max()
             .unwrap_or(0)
     }
@@ -325,15 +459,39 @@ impl FabricPool {
     /// however many tenants depart and however the pool compacts. A
     /// request needing more can never be served while the unhealthy
     /// cells stay out (a [`FabricScheduler`] uses this to abort
-    /// unservable queued requests instead of waiting forever).
+    /// unservable queued requests instead of waiting forever). Like
+    /// free runs, healthy runs never span a size class boundary; use
+    /// [`max_admissible_run_for`](Self::max_admissible_run_for) when
+    /// the request's class is known.
     ///
     /// [`FabricScheduler`]: crate::fabric::FabricScheduler
     pub fn max_admissible_run(&self) -> usize {
         self.healthy_segments()
             .into_iter()
-            .map(|(_, len)| len)
+            .map(|(_, len, _)| len)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Longest contiguous healthy run of class-`mca_size` NCs — the
+    /// hard admissibility ceiling for tenants mapped at that class. On
+    /// a heterogeneous pool a contiguous healthy stretch of *small*
+    /// cells can dwarf [`max_admissible_run`](Self::max_admissible_run)
+    /// for a *large* class: a class-aware scheduler must gate on this,
+    /// not the class-blind maximum.
+    pub fn max_admissible_run_for(&self, mca_size: usize) -> usize {
+        self.healthy_segments_for(mca_size)
+            .into_iter()
+            .map(|(_, len, _)| len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of maximal free fragments (uniform-class free runs): the
+    /// fragmentation signal an optimizing placer minimises — fewer,
+    /// larger holes admit wider future tenants.
+    pub fn free_fragments(&self) -> usize {
+        self.free_runs().len()
     }
 
     /// Resident tenants, in admission order.
@@ -347,22 +505,37 @@ impl FabricPool {
     }
 
     /// Whether an admission needing `needed_ncs` contiguous NeuroCells
-    /// would currently succeed under the pool's policy (counting the
-    /// room a [`PackingPolicy::Defragment`] compaction would free, but
-    /// performing no mutation). [`FabricScheduler`] probes with this
-    /// before committing a queued request.
+    /// **of the pool's default class** (`config().mca_size`) would
+    /// currently succeed under the pool's policy (counting the room a
+    /// [`PackingPolicy::Defragment`] compaction would free, but
+    /// performing no mutation). [`FabricScheduler`] probes with
+    /// [`can_admit_sized`](Self::can_admit_sized) before committing a
+    /// queued request; this class-blind form is exact on homogeneous
+    /// pools.
     ///
     /// [`FabricScheduler`]: crate::fabric::FabricScheduler
     pub fn can_admit(&self, needed_ncs: usize) -> bool {
+        self.can_admit_sized(needed_ncs, self.config.mca_size)
+    }
+
+    /// Whether an admission needing `needed_ncs` contiguous NeuroCells
+    /// of class `mca_size` would currently succeed under the pool's
+    /// policy (counting the room a [`PackingPolicy::Defragment`]
+    /// compaction would free, but performing no mutation).
+    pub fn can_admit_sized(&self, needed_ncs: usize, mca_size: usize) -> bool {
         let needed = needed_ncs.max(1);
         match self.policy {
-            PackingPolicy::FirstFit | PackingPolicy::BestFit => self.find_run(needed).is_some(),
+            PackingPolicy::FirstFit | PackingPolicy::BestFit => {
+                self.find_run(needed, mca_size).is_some()
+            }
             // Compaction packs tenants into healthy segments: the
             // admissible room is the largest *post-compaction* free
-            // tail, not the raw free total (free cells split across
-            // dead-NC boundaries cannot be fused).
+            // tail of this class, not the raw free total (free cells
+            // split across dead-NC or class boundaries cannot be
+            // fused).
             PackingPolicy::Defragment => {
-                self.find_run(needed).is_some() || self.post_defrag_largest_run() >= needed
+                self.find_run(needed, mca_size).is_some()
+                    || self.post_defrag_largest_run(mca_size) >= needed
             }
         }
     }
@@ -380,6 +553,9 @@ impl FabricPool {
     /// because quarantined/failed NCs hold the capacity the request
     /// needs.
     pub fn admit(&mut self, network: &Network, name: &str) -> Result<TenantId, AdmitError> {
+        if self.is_heterogeneous() {
+            return self.admit_choosing_class(|mapper| mapper.map_network(network), name);
+        }
         let probe = Mapper::new(self.config.clone())
             .map_network(network)
             .map_err(AdmitError::Map)?;
@@ -397,10 +573,57 @@ impl FabricPool {
         topology: &Topology,
         name: &str,
     ) -> Result<TenantId, AdmitError> {
+        if self.is_heterogeneous() {
+            return self.admit_choosing_class(|mapper| mapper.map(topology), name);
+        }
         let probe = Mapper::new(self.config.clone())
             .map(topology)
             .map_err(AdmitError::Map)?;
         self.admit_mapped(probe, name)
+    }
+
+    /// The greedy class-choice admission heterogeneous [`admit`] /
+    /// [`admit_topology`] share: map the candidate once per size class
+    /// present in the inventory, then try classes in ascending
+    /// `(nc_footprint, mca_size)` order — the smallest footprint wins,
+    /// ties to the smaller (cheaper) crossbar. This is the *greedy
+    /// oracle* an optimizing placer is measured against.
+    ///
+    /// [`admit`]: Self::admit
+    /// [`admit_topology`]: Self::admit_topology
+    fn admit_choosing_class<F>(&mut self, probe_for: F, name: &str) -> Result<TenantId, AdmitError>
+    where
+        F: Fn(&Mapper) -> Result<Mapping, MapError>,
+    {
+        let mut probes: Vec<Mapping> = Vec::new();
+        let mut last_map_err: Option<MapError> = None;
+        for size in self.size_classes() {
+            match probe_for(&Mapper::new(self.class_config(size))) {
+                Ok(probe) => probes.push(probe),
+                Err(e) => last_map_err = Some(e),
+            }
+        }
+        probes.sort_by_key(|p| (p.placement.ncs_used.max(1), p.config.mca_size));
+        let Some(first) = probes.first() else {
+            // Every class failed to map; surface the last mapping error
+            // (the inventory is never empty, so at least one class was
+            // tried).
+            return match last_map_err {
+                Some(e) => Err(AdmitError::Map(e)),
+                None => Err(self.capacity_error(1, self.config.mca_size)),
+            };
+        };
+        let fallback = (first.placement.ncs_used.max(1), first.config.mca_size);
+        for i in 0..probes.len() {
+            let needed = probes[i].placement.ncs_used.max(1);
+            let size = probes[i].config.mca_size;
+            if self.can_admit_sized(needed, size) {
+                return self.admit_mapped(probes.swap_remove(i), name);
+            }
+        }
+        // No class fits: report the rejection for the best-footprint
+        // class (the one greedy admission would have preferred).
+        Err(self.capacity_error(fallback.0, fallback.1))
     }
 
     /// Admits an already-mapped probe (any origin; it is re-anchored
@@ -409,11 +632,17 @@ impl FabricPool {
     /// avoid re-mapping a queued request on every admission attempt.
     ///
     /// The probe must have been produced against [`FabricPool::config`]
-    /// (same machine shape), or the resulting placement is meaningless.
+    /// (same machine shape) — on a heterogeneous pool, against
+    /// [`class_config`](Self::class_config) for its size class — or the
+    /// resulting placement is meaningless. The probe's
+    /// `config.mca_size` *is* its class: the allocated run holds only
+    /// cells of that class.
     ///
     /// # Errors
     ///
-    /// [`AdmitError::CapacityExhausted`] if the policy finds no run, or
+    /// [`AdmitError::CapacityExhausted`] if the policy finds no run (on
+    /// a heterogeneous pool its `free_ncs`/`largest_free_run` count the
+    /// probe's class only — see [`AdmitError::CapacityExhausted`]), or
     /// [`AdmitError::NoHealthyCapacity`] when only unhealthy NCs stand
     /// between the request and the capacity it needs.
     ///
@@ -424,21 +653,22 @@ impl FabricPool {
         // property-tested), so the expensive partitioning runs exactly
         // once per admission.
         let needed = probe.placement.ncs_used.max(1);
-        let origin = match self.find_run(needed) {
+        let class = probe.config.mca_size;
+        let origin = match self.find_run(needed, class) {
             Some(origin) => origin,
             None if self.policy == PackingPolicy::Defragment
-                && self.post_defrag_largest_run() >= needed =>
+                && self.post_defrag_largest_run(class) >= needed =>
             {
                 self.defragment();
-                match self.find_run(needed) {
+                match self.find_run(needed, class) {
                     Some(origin) => origin,
                     // The compaction plan guaranteed a fitting free
                     // run; tolerate a miss as plain exhaustion rather
                     // than panicking mid-admission.
-                    None => return Err(self.capacity_error(needed)),
+                    None => return Err(self.capacity_error(needed, class)),
                 }
             }
-            None => return Err(self.capacity_error(needed)),
+            None => return Err(self.capacity_error(needed, class)),
         };
         let mut mapping = probe;
         if origin != mapping.placement.origin_nc {
@@ -552,59 +782,80 @@ impl FabricPool {
         moved
     }
 
-    /// Every maximal contiguous free run (unoccupied **healthy** cells),
-    /// as `(start_nc, len)` in NC order. Unhealthy cells break runs.
-    fn free_runs(&self) -> Vec<(usize, usize)> {
+    /// Every maximal contiguous run of cells satisfying `keep`, broken
+    /// additionally at size class boundaries, as `(start_nc, len,
+    /// mca_size)` in NC order. On a homogeneous pool the class never
+    /// changes, so the runs are exactly the historical health/occupancy
+    /// runs.
+    fn class_runs<F>(&self, keep: F) -> Vec<ClassRun>
+    where
+        F: Fn(usize) -> bool,
+    {
         let mut runs = Vec::new();
         let mut start = 0usize;
         let mut len = 0usize;
-        for (i, (slot, health)) in self.occupancy.iter().zip(&self.health).enumerate() {
-            if slot.is_none() && *health == NcHealth::Healthy {
+        let mut class = 0usize;
+        for i in 0..self.nc_sizes.len() {
+            let size = self.nc_sizes[i];
+            if keep(i) && (len == 0 || size == class) {
                 if len == 0 {
                     start = i;
+                    class = size;
                 }
                 len += 1;
-            } else if len > 0 {
-                runs.push((start, len));
-                len = 0;
+            } else {
+                if len > 0 {
+                    runs.push((start, len, class));
+                    len = 0;
+                }
+                if keep(i) {
+                    start = i;
+                    class = size;
+                    len = 1;
+                }
             }
         }
         if len > 0 {
-            runs.push((start, len));
+            runs.push((start, len, class));
         }
         runs
     }
 
-    /// Every maximal contiguous run of healthy NCs (occupied or not),
-    /// as `(start_nc, len)` in NC order — the segments compaction packs
-    /// tenants into.
-    fn healthy_segments(&self) -> Vec<(usize, usize)> {
-        let mut segments = Vec::new();
-        let mut start = 0usize;
-        let mut len = 0usize;
-        for (i, health) in self.health.iter().enumerate() {
-            if *health == NcHealth::Healthy {
-                if len == 0 {
-                    start = i;
-                }
-                len += 1;
-            } else if len > 0 {
-                segments.push((start, len));
-                len = 0;
-            }
-        }
-        if len > 0 {
-            segments.push((start, len));
-        }
+    /// Every maximal contiguous free run (unoccupied **healthy** cells
+    /// of one class), as `(start_nc, len, mca_size)` in NC order.
+    /// Unhealthy cells and class boundaries break runs.
+    fn free_runs(&self) -> Vec<ClassRun> {
+        self.class_runs(|i| self.occupancy[i].is_none() && self.health[i] == NcHealth::Healthy)
+    }
+
+    /// The free runs of one size class only.
+    fn free_runs_for(&self, mca_size: usize) -> Vec<ClassRun> {
+        let mut runs = self.free_runs();
+        runs.retain(|&(_, _, class)| class == mca_size);
+        runs
+    }
+
+    /// Every maximal contiguous run of healthy NCs of one class
+    /// (occupied or not), as `(start_nc, len, mca_size)` in NC order —
+    /// the segments compaction packs tenants into.
+    fn healthy_segments(&self) -> Vec<ClassRun> {
+        self.class_runs(|i| self.health[i] == NcHealth::Healthy)
+    }
+
+    /// The healthy segments of one size class only.
+    fn healthy_segments_for(&self, mca_size: usize) -> Vec<ClassRun> {
+        let mut segments = self.healthy_segments();
+        segments.retain(|&(_, _, class)| class == mca_size);
         segments
     }
 
     /// The greedy compaction assignment [`defragment`](Self::defragment)
     /// applies: tenants in `first_nc` order, each packed into the
-    /// earliest healthy segment with contiguous room. Returns the
-    /// `(tenant_index, new_origin)` assignments plus each segment's
-    /// leftover free tail as `(start_nc, len)`.
-    fn compaction_plan(&self) -> (Vec<(usize, usize)>, Vec<NcRun>) {
+    /// earliest healthy segment **of its own size class** with
+    /// contiguous room. Returns the `(tenant_index, new_origin)`
+    /// assignments plus each segment's leftover free tail as
+    /// `(start_nc, len, mca_size)`.
+    fn compaction_plan(&self) -> (Vec<(usize, usize)>, Vec<ClassRun>) {
         let segments = self.healthy_segments();
         let mut used = vec![0usize; segments.len()];
         let mut order: Vec<usize> = (0..self.tenants.len()).collect();
@@ -612,16 +863,19 @@ impl FabricPool {
         let mut assignments = Vec::with_capacity(order.len());
         for i in order {
             let size = self.tenants[i].nc_count();
+            let tenant_class = self.tenants[i].mapping.config.mca_size;
             // Invariant, not a reachable failure: when the tenants of
             // the k-th healthy segment are processed (first_nc order),
-            // every tenant from segments ≤ k has already been packed
-            // into segment k or earlier, so segment k never holds more
-            // than the current (valid) layout already fits — first-fit
-            // always finds room for every resident.
+            // every same-class tenant from segments ≤ k has already
+            // been packed into segment k or earlier, so segment k never
+            // holds more than the current (valid) layout already fits —
+            // first-fit always finds room for every resident. Classes
+            // cannot interfere: each tenant only competes for segments
+            // of its own class.
             let Some(s) = segments
                 .iter()
                 .zip(&used)
-                .position(|(&(_, len), &u)| len - u >= size)
+                .position(|(&(_, len, class), &u)| class == tenant_class && len - u >= size)
             else {
                 // Unreachable per the invariant above; degrade to
                 // keep-in-place so a broken plan never tears a layout.
@@ -635,32 +889,45 @@ impl FabricPool {
         let tails = segments
             .iter()
             .zip(&used)
-            .filter(|(&(_, len), &u)| len > u)
-            .map(|(&(start, len), &u)| (start + u, len - u))
+            .filter(|(&(_, len, _), &u)| len > u)
+            .map(|(&(start, len, class), &u)| (start + u, len - u, class))
             .collect();
         (assignments, tails)
     }
 
-    /// The largest contiguous free run a [`defragment`](Self::defragment)
-    /// compaction would leave (pure probe, no mutation).
-    fn post_defrag_largest_run(&self) -> usize {
+    /// The largest contiguous class-`mca_size` free run a
+    /// [`defragment`](Self::defragment) compaction would leave (pure
+    /// probe, no mutation).
+    fn post_defrag_largest_run(&self, mca_size: usize) -> usize {
         self.compaction_plan()
             .1
             .into_iter()
-            .map(|(_, len)| len)
+            .filter(|&(_, _, class)| class == mca_size)
+            .map(|(_, len, _)| len)
             .max()
             .unwrap_or(0)
     }
 
-    /// The typed rejection for a `needed`-NC admission the policy found
-    /// no run for: [`AdmitError::NoHealthyCapacity`] when restoring the
-    /// pool's unhealthy cells to healthy free capacity would cover the
-    /// request (the sickness is the cause), a plain
-    /// [`AdmitError::CapacityExhausted`] otherwise.
-    fn capacity_error(&self, needed: usize) -> AdmitError {
-        let quarantined = self.quarantined_ncs();
-        let failed = self.failed_ncs();
-        if quarantined + failed > 0 && needed <= self.free_ncs() + quarantined + failed {
+    /// The typed rejection for a `needed`-NC class-`mca_size` admission
+    /// the policy found no run for: [`AdmitError::NoHealthyCapacity`]
+    /// when restoring the class's unhealthy cells to healthy free
+    /// capacity would cover the request (the sickness is the cause), a
+    /// plain [`AdmitError::CapacityExhausted`] otherwise. All counts
+    /// are **size-aware** — they tally class-`mca_size` cells only, so
+    /// a long run of smaller cells never masquerades as admissible
+    /// capacity in the error. On a homogeneous pool every cell is the
+    /// one class and the counts match the historical pool-wide values.
+    fn capacity_error(&self, needed: usize, mca_size: usize) -> AdmitError {
+        let class_cells = |pred: &dyn Fn(usize) -> bool| {
+            (0..self.nc_sizes.len())
+                .filter(|&i| self.nc_sizes[i] == mca_size && pred(i))
+                .count()
+        };
+        let quarantined = class_cells(&|i| self.health[i] == NcHealth::Quarantined);
+        let failed = class_cells(&|i| self.health[i] == NcHealth::Failed);
+        let free =
+            class_cells(&|i| self.occupancy[i].is_none() && self.health[i] == NcHealth::Healthy);
+        if quarantined + failed > 0 && needed <= free + quarantined + failed {
             AdmitError::NoHealthyCapacity {
                 needed_ncs: needed,
                 quarantined,
@@ -669,25 +936,26 @@ impl FabricPool {
         } else {
             AdmitError::CapacityExhausted {
                 needed_ncs: needed,
-                free_ncs: self.free_ncs(),
-                largest_free_run: self.largest_free_run(),
+                free_ncs: free,
+                largest_free_run: self.largest_free_run_for(mca_size),
             }
         }
     }
 
     /// The free-run start the pool's policy selects for a `len`-NC
-    /// tenant, or `None` when no run fits (defragmentation is the
-    /// caller's fallback, not this probe's).
-    fn find_run(&self, len: usize) -> Option<usize> {
-        let runs = self.free_runs();
-        let candidates = runs.into_iter().filter(|&(_, run)| run >= len);
+    /// class-`mca_size` tenant, or `None` when no run of that class
+    /// fits (defragmentation is the caller's fallback, not this
+    /// probe's).
+    fn find_run(&self, len: usize, mca_size: usize) -> Option<usize> {
+        let runs = self.free_runs_for(mca_size);
+        let candidates = runs.into_iter().filter(|&(_, run, _)| run >= len);
         match self.policy {
-            PackingPolicy::FirstFit => candidates.map(|(start, _)| start).next(),
+            PackingPolicy::FirstFit => candidates.map(|(start, _, _)| start).next(),
             // Smallest fitting run; leftmost on ties. Defragment packs
             // best-fit first and only compacts when that fails.
             PackingPolicy::BestFit | PackingPolicy::Defragment => candidates
-                .min_by_key(|&(start, run)| (run, start))
-                .map(|(start, _)| start),
+                .min_by_key(|&(start, run, _)| (run, start))
+                .map(|(start, _, _)| start),
         }
     }
 }
@@ -1000,6 +1268,198 @@ mod tests {
         assert_eq!(pool.tenant(d).unwrap().first_nc(), 2);
         assert_eq!(pool.occupancy()[12], None);
         assert_eq!(pool.nc_health()[12], NcHealth::Failed);
+    }
+
+    #[test]
+    fn heterogeneous_runs_break_at_class_boundaries() {
+        let mut pool =
+            FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[64, 64, 64, 32, 32, 64]);
+        assert!(pool.is_heterogeneous());
+        assert_eq!(pool.size_classes(), vec![32, 64]);
+        assert_eq!(pool.physical_ncs(), 6, "physical_ncs follows the inventory");
+        assert_eq!(pool.free_ncs(), 6);
+        // All six cells are free and contiguous, but runs never span a
+        // class boundary: the pool-wide maxima are uniform-class runs.
+        assert_eq!(pool.largest_free_run(), 3);
+        assert_eq!(pool.largest_free_run_for(64), 3);
+        assert_eq!(pool.largest_free_run_for(32), 2);
+        assert_eq!(pool.largest_free_run_for(128), 0, "class absent");
+        assert_eq!(pool.max_admissible_run(), 3);
+        assert_eq!(pool.max_admissible_run_for(32), 2);
+        assert_eq!(pool.free_fragments(), 3);
+        // Health still breaks runs inside a class.
+        pool.fail_nc(1);
+        assert_eq!(pool.largest_free_run_for(64), 1);
+        assert_eq!(pool.max_admissible_run_for(64), 1);
+        assert_eq!(pool.max_admissible_run_for(32), 2);
+        // A homogeneous pool is never heterogeneous.
+        assert!(!FabricPool::new(ResparcConfig::resparc_64()).is_heterogeneous());
+    }
+
+    #[test]
+    fn uniform_nonbase_inventory_admits_as_that_class() {
+        // Regression: `heterogeneous` with a uniform inventory whose
+        // class differs from the base config used to leave
+        // `config.mca_size` at the base value, so the homogeneous
+        // admission path probed a class the pool had zero cells of and
+        // rejected everything.
+        let mut pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[32, 32, 32, 32]);
+        assert!(!pool.is_heterogeneous());
+        assert_eq!(pool.size_classes(), vec![32]);
+        assert_eq!(
+            pool.config().mca_size,
+            32,
+            "base config anchored to the class"
+        );
+        let id = pool
+            .admit_topology(&Topology::mlp(96, &[64, 10]), "t")
+            .expect("a uniform 32-class pool admits a 32-class tenant");
+        let t = pool.tenant(id).unwrap();
+        assert_eq!(t.mapping.config.mca_size, 32);
+        for nc in t.first_nc()..t.end_nc() {
+            assert_eq!(pool.nc_sizes()[nc], 32);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_admission_reports_size_aware_errors() {
+        // Regression for the misleading class-blind error: the 32-class
+        // cells are free and contiguous, yet they are no capacity at
+        // all for a 64-class tenant — the rejection must count the
+        // probe's class only.
+        let mut pool =
+            FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[64, 64, 32, 32, 32, 64]);
+        let probe64 = Mapper::new(pool.class_config(64))
+            .map(&sized_topology(2))
+            .unwrap();
+        let a = pool.admit_mapped(probe64.clone(), "a").unwrap();
+        let ta = pool.tenant(a).unwrap();
+        assert_eq!((ta.first_nc(), ta.end_nc()), (0, 2));
+        assert_eq!(ta.mapping.config.mca_size, 64);
+        // 4 cells free in one contiguous stretch 2..6, but only one is
+        // 64-class: the error must say 1 free / largest run 1, not 4.
+        assert_eq!(pool.free_ncs(), 4);
+        let err = pool.admit_mapped(probe64, "b").unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::CapacityExhausted {
+                needed_ncs: 2,
+                free_ncs: 1,
+                largest_free_run: 1,
+            },
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_capacity_errors_count_the_probe_class_only() {
+        let mut pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[64, 64, 32]);
+        pool.fail_nc(0);
+        // One healthy + one failed 64-class cell: restoring the class's
+        // sick cell would cover the 2-NC request, so the rejection
+        // blames the sickness — with class-filtered counts (the healthy
+        // 32-class cell is not part of the story).
+        let probe64 = Mapper::new(pool.class_config(64))
+            .map(&sized_topology(2))
+            .unwrap();
+        let err = pool.admit_mapped(probe64, "t").unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::NoHealthyCapacity {
+                needed_ncs: 2,
+                quarantined: 0,
+                failed: 1,
+            },
+            "got {err}"
+        );
+        // A class absent from the inventory is plain exhaustion with
+        // zero class capacity.
+        let probe128 = Mapper::new(pool.class_config(128))
+            .map(&Topology::mlp(96, &[64, 10]))
+            .unwrap();
+        let err = pool.admit_mapped(probe128, "t").unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::CapacityExhausted {
+                needed_ncs: 1,
+                free_ncs: 0,
+                largest_free_run: 0,
+            },
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_admit_chooses_the_smallest_footprint_class() {
+        let pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[32, 32, 32, 64]);
+        // Preconditions that make the choices below meaningful: the
+        // 1-NC-at-64 topology widens at MCA 32, the small one does not.
+        let at64 = Mapper::new(pool.class_config(64))
+            .map(&sized_topology(1))
+            .unwrap();
+        let at32 = Mapper::new(pool.class_config(32))
+            .map(&sized_topology(1))
+            .unwrap();
+        assert_eq!(at64.placement.ncs_used, 1);
+        assert!(at32.placement.ncs_used > 1);
+        let small = Topology::mlp(96, &[64, 10]);
+        for class in [32usize, 64] {
+            let probe = Mapper::new(pool.class_config(class)).map(&small).unwrap();
+            assert_eq!(probe.placement.ncs_used, 1, "1 NC at MCA {class}");
+        }
+
+        let mut pool = pool;
+        // Smaller footprint wins: 1 NC at 64 beats >1 NC at 32.
+        let id = pool.admit_topology(&sized_topology(1), "t").unwrap();
+        let t = pool.tenant(id).unwrap();
+        assert_eq!(t.mapping.config.mca_size, 64);
+        assert_eq!(t.first_nc(), 3);
+        // On a footprint tie the smaller (cheaper) crossbar class wins.
+        let id = pool.admit_topology(&small, "s").unwrap();
+        let s = pool.tenant(id).unwrap();
+        assert_eq!(s.mapping.config.mca_size, 32);
+        assert_eq!(s.first_nc(), 0);
+        // When the preferred class is full, admission falls through to
+        // the next class that fits rather than rejecting.
+        let id = pool.admit_topology(&small, "s2").unwrap();
+        let id2 = pool.admit_topology(&small, "s3").unwrap();
+        assert_eq!(pool.tenant(id).unwrap().first_nc(), 1);
+        assert_eq!(pool.tenant(id2).unwrap().first_nc(), 2);
+        let err = pool.admit_topology(&small, "s4").unwrap_err();
+        assert!(
+            matches!(err, AdmitError::CapacityExhausted { .. }),
+            "every class full: {err}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_defragment_compacts_within_classes() {
+        let mut pool =
+            FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[64, 64, 64, 64, 64, 64, 32])
+                .with_policy(PackingPolicy::Defragment);
+        let p2 = Mapper::new(pool.class_config(64))
+            .map(&sized_topology(2))
+            .unwrap();
+        let a = pool.admit_mapped(p2.clone(), "a").unwrap();
+        let b = pool.admit_mapped(p2, "b").unwrap();
+        let p32 = Mapper::new(pool.class_config(32))
+            .map(&Topology::mlp(96, &[64, 10]))
+            .unwrap();
+        let s = pool.admit_mapped(p32, "s").unwrap();
+        assert_eq!(pool.tenant(s).unwrap().first_nc(), 6, "32-class cell");
+        pool.evict(a);
+        // Free 64-class runs {0..2} and {4..6}: a 4-NC 64-class tenant
+        // needs compaction. It must slide b leftward within the 64
+        // segment and leave the 32-class resident alone.
+        assert!(pool.can_admit_sized(4, 64));
+        let p4 = Mapper::new(pool.class_config(64))
+            .map(&sized_topology(4))
+            .unwrap();
+        let w = pool.admit_mapped(p4, "w").unwrap();
+        assert_eq!(pool.tenant(b).unwrap().first_nc(), 0);
+        let tw = pool.tenant(w).unwrap();
+        assert_eq!((tw.first_nc(), tw.end_nc()), (2, 6));
+        assert_eq!(pool.tenant(s).unwrap().first_nc(), 6, "never moved");
     }
 
     #[test]

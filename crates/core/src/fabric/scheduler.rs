@@ -480,17 +480,21 @@ impl FabricScheduler {
     /// the caller should replay this round, in admission order.
     ///
     /// A head request wider than the pool's largest **healthy** segment
-    /// ([`FabricPool::max_admissible_run`]) can never be admitted, not
-    /// even by compaction on an otherwise-empty pool — it is retired
-    /// immediately as an [aborted](ServiceRecord::aborted) record rather
-    /// than head-of-line-blocking the queue forever. Fault-evicted
-    /// requests re-admitted here resume at their recorded
+    /// of its own size class
+    /// ([`FabricPool::max_admissible_run_for`] — on a heterogeneous
+    /// pool a long healthy run of the *wrong* class is not servable
+    /// capacity) can never be admitted, not even by compaction on an
+    /// otherwise-empty pool — it is retired immediately as an
+    /// [aborted](ServiceRecord::aborted) record rather than
+    /// head-of-line-blocking the queue forever. Fault-evicted requests
+    /// re-admitted here resume at their recorded
     /// [`ScheduledTenant::rounds_served`] presentation.
     pub fn begin_round(&mut self) -> Vec<ScheduledTenant> {
         while let Some(head) = self.queue.front() {
             let needed = head.probe.placement.ncs_used.max(1);
-            let servable = needed <= self.pool.max_admissible_run();
-            if servable && !self.pool.can_admit(needed) {
+            let class = head.probe.config.mca_size;
+            let servable = needed <= self.pool.max_admissible_run_for(class);
+            if servable && !self.pool.can_admit_sized(needed, class) {
                 break;
             }
             let Some(head) = self.queue.pop_front() else {
@@ -523,7 +527,10 @@ impl FabricScheduler {
                     let mut i = 1;
                     while i < self.queue.len() {
                         let needed = self.queue[i].probe.placement.ncs_used.max(1);
-                        if needed <= self.pool.max_admissible_run() && self.pool.can_admit(needed) {
+                        let class = self.queue[i].probe.config.mca_size;
+                        if needed <= self.pool.max_admissible_run_for(class)
+                            && self.pool.can_admit_sized(needed, class)
+                        {
                             match self.queue.remove(i) {
                                 Some(p) => self.admit_pending(p),
                                 None => break,
@@ -1110,6 +1117,39 @@ mod tests {
         let rec_b = sched.completed().iter().find(|r| r.request == b).unwrap();
         assert!(!rec_b.aborted);
         assert_eq!(rec_b.rounds_served, 4);
+    }
+
+    #[test]
+    fn unservable_class_requests_abort_on_heterogeneous_pools() {
+        // Regression for the class-blind servability probe: the two
+        // 32-class cells form a contiguous healthy run of 2, but that
+        // is no capacity at all for a 2-NC 64-class request — the
+        // scheduler must judge servability per class and abort it
+        // instead of blocking the queue forever.
+        use crate::fabric::FabricPool;
+        let pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &[32, 32, 64]);
+        let probe64 = crate::map::Mapper::new(pool.class_config(64))
+            .map(&Topology::mlp(144, &[576, 576, 10]))
+            .unwrap();
+        assert_eq!(probe64.placement.ncs_used, 2);
+        assert_eq!(pool.max_admissible_run(), 2, "class-blind run says 2");
+        assert_eq!(pool.max_admissible_run_for(64), 1, "but none of it is 64");
+        let probe32 = crate::map::Mapper::new(pool.class_config(32))
+            .map(&Topology::mlp(96, &[64, 10]))
+            .unwrap();
+        assert_eq!(probe32.placement.ncs_used, 1);
+
+        let mut sched = FabricScheduler::new(pool);
+        let wide = sched.submit_mapped(probe64, "wide64", 1, 1);
+        let narrow = sched.submit_mapped(probe32, "narrow32", 1, 1);
+        let round0 = sched.begin_round();
+        assert_eq!(round0.len(), 1);
+        assert_eq!(round0[0].request, narrow);
+        let rec = &sched.completed()[0];
+        assert_eq!(rec.request, wide);
+        assert!(rec.aborted);
+        sched.end_round();
+        assert!(sched.is_idle());
     }
 
     #[test]

@@ -70,8 +70,8 @@ pub use fabric::{
 };
 pub use hw::{HwBuildError, HwCore};
 pub use map::{
-    LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,
-    Placement, Tile,
+    BatchPlacement, BatchPlacer, LayerPartition, LayerReport, MapError, Mapper, Mapping,
+    MappingReport, PartitionOptions, Placement, PlacementRequest, PlacementStrategy, Tile,
 };
 pub use mpe::{CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule};
 pub use sim::event::{EventLayerStats, EventReport, EventSimulator, ReplayEngine};
@@ -90,8 +90,8 @@ pub mod prelude {
     };
     pub use crate::hw::{HwBuildError, HwCore};
     pub use crate::map::{
-        LayerPartition, LayerReport, MapError, Mapper, Mapping, MappingReport, PartitionOptions,
-        Placement, Tile,
+        BatchPlacement, BatchPlacer, LayerPartition, LayerReport, MapError, Mapper, Mapping,
+        MappingReport, PartitionOptions, Placement, PlacementRequest, PlacementStrategy, Tile,
     };
     pub use crate::mpe::{
         CcuLink, CurrentControlUnit, MacroProcessingEngine, McaBuffers, PhaseSchedule,

@@ -11,6 +11,7 @@
 //! [`Mapper::recommend_mca_size`] and warns when the configured size
 //! exceeds what the device technology supports reliably.
 
+pub mod optimize;
 pub mod partition;
 pub mod placement;
 
@@ -22,6 +23,7 @@ use resparc_neuro::network::Network;
 use resparc_neuro::topology::Topology;
 
 use crate::config::ResparcConfig;
+pub use optimize::{BatchPlacement, BatchPlacer, PlacementRequest, PlacementStrategy};
 pub use partition::{LayerPartition, PartitionOptions, Tile, TileColumnDetail, TileDetail};
 pub use placement::{place, place_with_origin, LayerSpan, Placement};
 

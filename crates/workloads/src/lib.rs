@@ -16,6 +16,10 @@
 //!   schedule of tenant requests run through a `FabricScheduler`
 //!   (admit / queue / evict mid-stream, any packing policy) against the
 //!   static co-resident batching baseline, on identical spike traces,
+//! * [`packing`] — batch placement quality: the same admission batch
+//!   placed by greedy first-fit and by the optimizing `BatchPlacer`
+//!   across fabric shapes (fragmented, heterogeneous MCA inventories),
+//!   metered for admits, utilization and energy per inference,
 //! * [`fault`] — resilience workloads: device-fault grids (stuck-at
 //!   rate / drift / variation vs accuracy and energy per coding scheme)
 //!   and mid-replay NeuroCell-failure drills measuring the scheduler's
@@ -44,6 +48,7 @@ pub mod benchmarks;
 pub mod churn;
 pub mod dataset;
 pub mod fault;
+pub mod packing;
 pub(crate) mod seed;
 pub mod serving;
 pub mod sweep;
@@ -55,6 +60,9 @@ pub use benchmarks::{
 pub use churn::{churn_sweep, ChurnMetrics, ChurnReport, ChurnSpec};
 pub use dataset::{DatasetKind, SyntheticImages, CLASSES};
 pub use fault::{fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint};
+pub use packing::{
+    packing_scenario, packing_sweep, PackingOutcome, PackingReport, PackingRow, PackingShape,
+};
 pub use serving::{
     serving_sweep, ArrivalProcess, ClassReport, QosPolicy, RequestOutcome, ServiceClass,
     ServingReport, ServingSpec,
@@ -75,6 +83,9 @@ pub mod prelude {
     pub use crate::dataset::{DatasetKind, SyntheticImages, CLASSES};
     pub use crate::fault::{
         fault_recovery_drill, fault_sweep, FaultDrillReport, FaultEvent, FaultSweepPoint,
+    };
+    pub use crate::packing::{
+        packing_scenario, packing_sweep, PackingOutcome, PackingReport, PackingRow, PackingShape,
     };
     pub use crate::serving::{
         serving_sweep, ArrivalProcess, ClassReport, QosPolicy, RequestOutcome, ServiceClass,

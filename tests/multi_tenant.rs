@@ -227,6 +227,106 @@ fn defragmenting_admission_succeeds_where_first_fit_exhausts() {
 }
 
 #[test]
+fn optimized_placement_and_defragmentation_replay_bit_identically() {
+    // The acceptance criterion for the optimizing placer: *where* a
+    // tenant lands — greedy first-fit, the annealing search's class
+    // diversion, or a post-defragment translation — must be invisible
+    // to replay. Same network, same trace, byte-identical ledgers.
+    //
+    // Shape: four 64-class cells + two 32-class cells. P and R are
+    // 2-NC tenants only the 64 class can host; Q is flexible (1 NC at
+    // 64, 2 NCs at 32). Greedy parks Q on a 64 cell and strands R;
+    // the optimizer diverts Q to the 32 pair and admits all three.
+    let base = ResparcConfig::resparc_64();
+    let shape = [64usize, 64, 64, 64, 32, 32];
+    let pool = FabricPool::heterogeneous(base, &shape).with_policy(PackingPolicy::Defragment);
+
+    let wide = Topology::mlp(144, &[576, 576, 10]);
+    let narrow = Topology::mlp(144, &[576, 10]);
+    let nets: Vec<Network> = [(&wide, 41u64), (&narrow, 42), (&wide, 43)]
+        .iter()
+        .map(|&(t, seed)| Network::random(t.clone(), seed, 1.0))
+        .collect();
+    let stimulus: Vec<f32> = (0..144).map(|i| (i % 5) as f32 / 4.0).collect();
+    let raster = RegularEncoder::new(0.9).encode(&stimulus, 8);
+    let traces: Vec<SpikeTrace> = nets
+        .iter()
+        .map(|net| net.spiking().run_traced(&raster).1)
+        .collect();
+
+    let requests: Vec<PlacementRequest> = nets
+        .iter()
+        .enumerate()
+        .map(|(k, net)| PlacementRequest::from_network(&pool, net, &format!("t{k}")).unwrap())
+        .collect();
+    let greedy = BatchPlacer::new(PlacementStrategy::Greedy).place(&pool, &requests);
+    let optimized = BatchPlacer::new(PlacementStrategy::Optimized).place(&pool, &requests);
+    assert_eq!(
+        greedy.admitted_count(),
+        2,
+        "greedy strands the second wide tenant"
+    );
+    assert_eq!(optimized.admitted_count(), 3, "the search admits all three");
+
+    // P (request 0) landed in both pools, necessarily on the 64 class.
+    let p_greedy = greedy.admitted[0].expect("greedy admits P");
+    let p_opt = optimized.admitted[0].expect("optimized admits P");
+    for (pool, id) in [(&greedy.pool, p_greedy), (&optimized.pool, p_opt)] {
+        assert_eq!(pool.tenant(id).unwrap().mapping.config.mca_size, 64);
+    }
+
+    // P's replay is placement-strategy-invariant: every non-leakage
+    // category and per-layer tally matches across the two layouts
+    // (leakage domains differ — the optimized pool hosts one more
+    // resident).
+    let g_pairs = [
+        (p_greedy, &traces[0]),
+        (greedy.admitted[1].unwrap(), &traces[1]),
+    ];
+    let g_report = SharedEventSimulator::new(&greedy.pool).run(&g_pairs);
+    let o_pairs = [
+        (p_opt, &traces[0]),
+        (optimized.admitted[1].unwrap(), &traces[1]),
+        (optimized.admitted[2].unwrap(), &traces[2]),
+    ];
+    let o_report = SharedEventSimulator::new(&optimized.pool).run(&o_pairs);
+    for cat in Category::ALL {
+        if matches!(cat, Category::LogicLeakage | Category::MemoryLeakage) {
+            continue;
+        }
+        assert_eq!(
+            o_report.tenants[0].energy.get(cat),
+            g_report.tenants[0].energy.get(cat),
+            "{cat}"
+        );
+    }
+    assert_eq!(o_report.tenants[0].layers, g_report.tenants[0].layers);
+
+    // Defragment translation is equally invisible: evict P from the
+    // optimized layout (opening a hole before R's run), compact, and
+    // the surviving pair's whole SharedReport — compared field-wise
+    // *and* as rendered bytes — is unchanged.
+    let mut pool = optimized.pool.clone();
+    assert!(pool.evict(p_opt).is_some());
+    let pairs = [
+        (optimized.admitted[1].unwrap(), &traces[1]),
+        (optimized.admitted[2].unwrap(), &traces[2]),
+    ];
+    let before = SharedEventSimulator::new(&pool).run(&pairs);
+    assert!(
+        pool.defragment() >= 1,
+        "the hole P left must be compacted away"
+    );
+    let after = SharedEventSimulator::new(&pool).run(&pairs);
+    assert_eq!(before, after);
+    assert_eq!(
+        format!("{before:?}"),
+        format!("{after:?}"),
+        "byte-identical ledgers"
+    );
+}
+
+#[test]
 fn early_exit_trace_prices_exactly_the_truncated_presentation() {
     // The temporal-coding early exit: stop at the first output spike,
     // decode by first spike, and pay the event simulator only for the

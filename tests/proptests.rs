@@ -942,4 +942,175 @@ proptest! {
             .run_weighted(&pairs, &[weight]);
         prop_assert_eq!(&shared_ref, &shared_plan, "weighted SharedReport must be bit-identical");
     }
+
+    /// The PR-4/PR-6 admission invariants extended to heterogeneous
+    /// inventories: on a pool of mixed MCA size classes (with an
+    /// optional failed cell), every resident occupies an in-bounds,
+    /// disjoint, *class-uniform* run of healthy NCs whose mapping was
+    /// produced for exactly that class, a capacity rejection really
+    /// means no size class can host the request, and evicting every
+    /// tenant restores the pristine occupancy.
+    #[test]
+    fn heterogeneous_pool_admission_invariants(
+        nc_sizes in proptest::collection::vec(
+            prop_oneof![Just(32usize), Just(64), Just(128)], 4..12),
+        hiddens in proptest::collection::vec(8usize..260, 1..7),
+        inputs in 16usize..200,
+        fault_nc in 0usize..12,
+        evict_first in proptest::prelude::any::<bool>(),
+    ) {
+        use resparc_suite::resparc_core::fabric::{AdmitError, FabricPool, NcHealth};
+
+        let mut pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &nc_sizes);
+        if fault_nc < nc_sizes.len() {
+            pool.fail_nc(fault_nc);
+        }
+        let pristine = pool.occupancy().to_vec();
+        prop_assert!(pristine.iter().all(|s| s.is_none()));
+
+        let mut admitted = Vec::new();
+        for (k, &h) in hiddens.iter().enumerate() {
+            let t = Topology::mlp(inputs, &[h, 10]);
+            match pool.admit_topology(&t, &format!("t{k}")) {
+                Ok(id) => admitted.push(id),
+                Err(AdmitError::CapacityExhausted { needed_ncs, free_ncs, largest_free_run }) => {
+                    // Size-aware counts: the error reports the best
+                    // class's footprint and free space, and class-bound
+                    // runs can never exceed the pool-wide maximum run.
+                    prop_assert!(needed_ncs > largest_free_run);
+                    prop_assert!(largest_free_run <= free_ncs);
+                    prop_assert!(largest_free_run <= pool.largest_free_run());
+                    // Rejection is honest: no size class can host it.
+                    for &c in &pool.size_classes() {
+                        if let Ok(m) = Mapper::new(pool.class_config(c)).map(&t) {
+                            prop_assert!(
+                                !pool.can_admit_sized(m.placement.ncs_used.max(1), c),
+                                "rejected request would fit class {c}"
+                            );
+                        }
+                    }
+                }
+                Err(AdmitError::NoHealthyCapacity { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected admit error: {e}"),
+            }
+        }
+
+        // Every resident: in-bounds disjoint run, all cells healthy and
+        // of the one class its mapping was partitioned for, spans
+        // inside the run.
+        let mut owned = 0usize;
+        for tenant in pool.tenants() {
+            prop_assert!(tenant.end_nc() <= pool.physical_ncs(), "tenant out of bounds");
+            let class = tenant.mapping.config.mca_size;
+            prop_assert!(pool.size_classes().contains(&class));
+            for nc in tenant.first_nc()..tenant.end_nc() {
+                prop_assert_eq!(pool.occupancy()[nc], Some(tenant.id), "NC {nc} over-committed");
+                prop_assert_eq!(pool.nc_sizes()[nc], class, "NC {nc} wrong size class");
+                prop_assert_eq!(pool.nc_health()[nc], NcHealth::Healthy, "occupied NC {nc} sick");
+            }
+            let cfg_c = pool.class_config(class);
+            let origin_mpe = tenant.first_nc() * cfg_c.mpes_per_nc();
+            let end_mpe = tenant.end_nc() * cfg_c.mpes_per_nc();
+            for span in &tenant.mapping.placement.layers {
+                prop_assert!(span.first_mpe >= origin_mpe && span.end_mpe <= end_mpe);
+            }
+            owned += tenant.nc_count();
+        }
+        prop_assert_eq!(owned, pool.occupied_ncs());
+        prop_assert!(owned <= pool.physical_ncs(), "pool over NC capacity");
+
+        if evict_first {
+            admitted.reverse();
+        }
+        for id in admitted {
+            prop_assert!(pool.evict(id).is_some());
+        }
+        prop_assert_eq!(pool.occupancy(), &pristine[..]);
+        let failed = pool.nc_health().iter().filter(|h| **h == NcHealth::Failed).count();
+        prop_assert_eq!(pool.free_ncs() + failed, pool.physical_ncs());
+    }
+
+    /// The optimizing placer's oracle contract, on arbitrary
+    /// heterogeneous pools and identical churn schedules: after the
+    /// same admit/evict fragmentation prefix, `Optimized` batch
+    /// placement admits at least as many tenants as `Greedy`, never
+    /// does worse on the (admitted, bus trips, fragments) key, and
+    /// both resulting pools satisfy the capacity / disjointness /
+    /// class-uniformity / health invariants.
+    #[test]
+    fn optimized_batch_placement_never_loses_to_greedy(
+        nc_sizes in proptest::collection::vec(prop_oneof![Just(32usize), Just(64)], 4..10),
+        prefix in proptest::collection::vec(
+            (1usize..4, proptest::prelude::any::<bool>()), 0..5),
+        batch_layers in proptest::collection::vec(1usize..4, 1..5),
+        seed in 0u64..1_000,
+    ) {
+        use resparc_suite::resparc_core::fabric::{FabricPool, NcHealth};
+
+        let sized = |layers: usize| {
+            let mut hidden = vec![576usize; layers];
+            hidden.push(10);
+            Topology::mlp(144, &hidden)
+        };
+        let mut pool = FabricPool::heterogeneous(ResparcConfig::resparc_64(), &nc_sizes);
+        // One churn prefix, shared by both strategies: admit what
+        // fits, then evict the flagged subset to carve holes.
+        let mut evictions = Vec::new();
+        for (k, &(layers, keep)) in prefix.iter().enumerate() {
+            if let Ok(id) = pool.admit_topology(&sized(layers), &format!("r{k}")) {
+                if !keep {
+                    evictions.push(id);
+                }
+            }
+        }
+        for id in evictions {
+            pool.evict(id);
+        }
+
+        let requests: Vec<PlacementRequest> = batch_layers
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &layers)| {
+                PlacementRequest::from_topology(&pool, &sized(layers), &format!("b{k}")).ok()
+            })
+            .collect();
+
+        let greedy = BatchPlacer::new(PlacementStrategy::Greedy)
+            .with_seed(seed)
+            .place(&pool, &requests);
+        let optimized = BatchPlacer::new(PlacementStrategy::Optimized)
+            .with_seed(seed)
+            .with_iterations(60)
+            .place(&pool, &requests);
+
+        // Oracle contract: the search never loses to its greedy seed.
+        prop_assert!(
+            optimized.admitted_count() >= greedy.admitted_count(),
+            "optimized admitted {} < greedy {}",
+            optimized.admitted_count(),
+            greedy.admitted_count()
+        );
+        if optimized.admitted_count() == greedy.admitted_count() {
+            prop_assert!(optimized.bus_trips <= greedy.bus_trips);
+            if optimized.bus_trips == greedy.bus_trips {
+                prop_assert!(optimized.fragments <= greedy.fragments);
+            }
+        }
+
+        // Both placements obey the heterogeneous pool invariants.
+        for placed in [&greedy.pool, &optimized.pool] {
+            let mut owned = 0usize;
+            for tenant in placed.tenants() {
+                prop_assert!(tenant.end_nc() <= placed.physical_ncs());
+                let class = tenant.mapping.config.mca_size;
+                for nc in tenant.first_nc()..tenant.end_nc() {
+                    prop_assert_eq!(placed.occupancy()[nc], Some(tenant.id));
+                    prop_assert_eq!(placed.nc_sizes()[nc], class);
+                    prop_assert_eq!(placed.nc_health()[nc], NcHealth::Healthy);
+                }
+                owned += tenant.nc_count();
+            }
+            prop_assert_eq!(owned, placed.occupied_ncs());
+        }
+    }
 }
